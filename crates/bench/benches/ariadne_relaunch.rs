@@ -1,0 +1,46 @@
+//! Figure 10 companion bench: end-to-end simulation cost of the relaunch
+//! study under ZRAM and the Ariadne configurations, plus a pre-decompression
+//! ablation.
+
+use ariadne_core::SizeConfig;
+use ariadne_sim::{MobileSystem, SchemeSpec, SimulationConfig};
+use ariadne_trace::{AppName, Scenario};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn ariadne_benchmarks(c: &mut Criterion) {
+    let config = SimulationConfig::new(42).with_scale(512);
+    let scenario = Scenario::relaunch_study(AppName::Youtube);
+    let mut group = c.benchmark_group("ariadne_relaunch");
+    let specs = [
+        SchemeSpec::Zram,
+        SchemeSpec::ariadne_ehl(SizeConfig::k1_k2_k16()),
+        SchemeSpec::ariadne_al(SizeConfig::k1_k2_k16()),
+        SchemeSpec::Ariadne {
+            sizes: SizeConfig::k1_k2_k16(),
+            mode: ariadne_core::HotListMode::ExcludeHotList,
+            predecomp: false,
+        },
+    ];
+    for spec in specs {
+        let label = if matches!(spec, SchemeSpec::Ariadne { predecomp: false, .. }) {
+            format!("{}-no-predecomp", spec.label())
+        } else {
+            spec.label()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &spec, |b, spec| {
+            b.iter(|| {
+                let mut system = MobileSystem::new(*spec, config);
+                system.run_scenario(&scenario);
+                system.average_relaunch_millis()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ariadne_benchmarks
+}
+criterion_main!(benches);

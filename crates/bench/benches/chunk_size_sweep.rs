@@ -1,0 +1,34 @@
+//! Figure 6 companion bench: compression wall time and achieved ratio as the
+//! chunk size sweeps from 128 B to 128 KiB (real codec executions on the
+//! host; the figure itself is produced by `experiments -- fig6` using the
+//! Pixel-7-calibrated cost model).
+
+use ariadne_bench::anonymous_corpus;
+use ariadne_compress::{Algorithm, ChunkSize, ChunkedCodec};
+use ariadne_trace::AppName;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn chunk_size_benchmarks(c: &mut Criterion) {
+    let corpus = anonymous_corpus(AppName::Youtube, 128, 7); // 512 KiB
+    let mut group = c.benchmark_group("chunk_size_sweep");
+    group.throughput(Throughput::Bytes(corpus.len() as u64));
+    for algorithm in [Algorithm::Lz4, Algorithm::Lzo] {
+        for chunk_bytes in [128usize, 1024, 4096, 32 * 1024, 128 * 1024] {
+            let chunk = ChunkSize::new(chunk_bytes).unwrap();
+            let codec = ChunkedCodec::new(algorithm, chunk);
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.name(), chunk.to_string()),
+                &corpus,
+                |b, data| b.iter(|| codec.compress(data).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = chunk_size_benchmarks
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Real wall-clock throughput of the from-scratch codecs (LZ4-style,
+//! LZO-style, BDI) on synthetic anonymous-page data.
+//!
+//! These numbers are auxiliary to the paper reproduction: simulated latencies
+//! come from the calibrated cost model, while this bench documents how fast
+//! the actual Rust implementations run on the host.
+
+use ariadne_bench::anonymous_corpus;
+use ariadne_compress::Algorithm;
+use ariadne_trace::AppName;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn codec_benchmarks(c: &mut Criterion) {
+    let corpus = anonymous_corpus(AppName::Twitter, 64, 42); // 256 KiB
+    let mut group = c.benchmark_group("codec_throughput");
+    group.throughput(Throughput::Bytes(corpus.len() as u64));
+    for algorithm in Algorithm::ALL {
+        let codec = algorithm.codec();
+        group.bench_with_input(
+            BenchmarkId::new("compress", algorithm.name()),
+            &corpus,
+            |b, data| b.iter(|| codec.compress(data).unwrap()),
+        );
+        let compressed = codec.compress(&corpus).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("decompress", algorithm.name()),
+            &compressed,
+            |b, data| b.iter(|| codec.decompress(data, corpus.len()).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = codec_benchmarks
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 2 companion bench: end-to-end simulation cost of the relaunch
+//! study under the three baseline schemes (DRAM, ZRAM, SWAP).
+//!
+//! The reported relaunch latencies come from `experiments -- fig2`; this
+//! bench tracks how expensive the simulation itself is, which is what limits
+//! how large a scale factor the harness can afford.
+
+use ariadne_sim::{MobileSystem, SchemeSpec, SimulationConfig};
+use ariadne_trace::{AppName, Scenario};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn relaunch_study_benchmarks(c: &mut Criterion) {
+    let config = SimulationConfig::new(42).with_scale(512);
+    let scenario = Scenario::relaunch_study(AppName::Twitter);
+    let mut group = c.benchmark_group("scheme_relaunch");
+    for spec in [SchemeSpec::Dram, SchemeSpec::Zram, SchemeSpec::Swap] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(spec.label()),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    let mut system = MobileSystem::new(*spec, config);
+                    system.run_scenario(&scenario);
+                    system.average_relaunch_millis()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = relaunch_study_benchmarks
+}
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Regenerates every table and figure of the Ariadne paper's evaluation.
+//!
+//! ```text
+//! experiments [--quick] [--scale N] [--seed N] [EXPERIMENT ...]
+//! ```
+//!
+//! With no experiment names, all fourteen experiments run in paper order.
+//! `--quick` uses fewer applications and a larger scale factor (useful for a
+//! fast smoke run); `--scale` overrides the workload/memory scale denominator
+//! (64 is the default and what `EXPERIMENTS.md` records).
+
+use ariadne_sim::experiments::{catalog, run_by_name, ExperimentOptions};
+use std::process::ExitCode;
+
+fn parse_args() -> Result<(ExperimentOptions, Vec<String>), String> {
+    let mut opts = ExperimentOptions::full();
+    let mut names = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {
+                let quick = ExperimentOptions::quick();
+                opts.quick = true;
+                opts.scale = quick.scale;
+            }
+            "--scale" => {
+                let value = args.next().ok_or("--scale needs a value")?;
+                opts.scale = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid scale `{value}`"))?
+                    .max(1);
+            }
+            "--seed" => {
+                let value = args.next().ok_or("--seed needs a value")?;
+                opts.seed = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("invalid seed `{value}`"))?;
+            }
+            "--list" => {
+                for (name, title) in catalog() {
+                    println!("{name:8} {title}");
+                }
+                std::process::exit(0);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--quick] [--scale N] [--seed N] [--list] [EXPERIMENT ...]"
+                );
+                std::process::exit(0);
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
+            name => names.push(name.to_string()),
+        }
+    }
+    Ok((opts, names))
+}
+
+fn main() -> ExitCode {
+    let (opts, names) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let selected: Vec<String> = if names.is_empty() {
+        catalog().iter().map(|(n, _)| (*n).to_string()).collect()
+    } else {
+        names
+    };
+
+    println!(
+        "# Ariadne experiment harness (seed={}, scale=1/{}, mode={})",
+        opts.seed,
+        opts.scale,
+        if opts.quick { "quick" } else { "full" }
+    );
+    println!();
+
+    let mut failures = 0usize;
+    for name in &selected {
+        match run_by_name(name, &opts) {
+            Some(table) => {
+                println!("{table}");
+            }
+            None => {
+                eprintln!("error: unknown experiment `{name}` (use --list)");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

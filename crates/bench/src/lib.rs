@@ -1,0 +1,39 @@
+//! Shared helpers for the Ariadne benchmark suite.
+//!
+//! The actual entry points are the `experiments` binary (regenerates every
+//! table and figure of the paper via `ariadne-sim`) and the Criterion
+//! benches under `benches/` (real wall-clock throughput of the codecs and of
+//! the simulator itself).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ariadne_mem::{AppId, PageId, Pfn};
+use ariadne_trace::{AppName, PageDataGenerator};
+
+/// Build a corpus of synthetic anonymous-page bytes for benchmarking the
+/// codecs (`pages` pages drawn from the given application's profile).
+#[must_use]
+pub fn anonymous_corpus(app: AppName, pages: usize, seed: u64) -> Vec<u8> {
+    let generator = PageDataGenerator::new(seed);
+    let profile = app.profile();
+    let mut corpus = Vec::with_capacity(pages * 4096);
+    for pfn in 0..pages {
+        let page = PageId::new(AppId::new(app.uid()), Pfn::new(pfn as u64));
+        corpus.extend(generator.page_bytes(&profile, page));
+    }
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_the_requested_size_and_is_deterministic() {
+        let a = anonymous_corpus(AppName::Twitter, 8, 1);
+        let b = anonymous_corpus(AppName::Twitter, 8, 1);
+        assert_eq!(a.len(), 8 * 4096);
+        assert_eq!(a, b);
+    }
+}

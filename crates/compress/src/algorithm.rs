@@ -1,0 +1,129 @@
+//! The [`Codec`] trait and the [`Algorithm`] selector enum.
+
+use crate::{Bdi, CompressError, Lz4, Lzo};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A lossless block codec.
+///
+/// Every codec in this crate compresses a complete input buffer into an
+/// owned output buffer and can reverse the transformation exactly. Codecs are
+/// stateless and cheap to construct; the compression state (hash tables and
+/// the like) lives on the stack or in per-call allocations so a single codec
+/// value may be shared freely across threads.
+pub trait Codec: fmt::Debug + Send + Sync {
+    /// Compress `input` into a fresh buffer.
+    ///
+    /// The output of `compress` is only meaningful to the matching
+    /// [`Codec::decompress`]; it is not a standard container format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::InvalidParameter`] if the input violates a
+    /// codec-specific constraint (none of the bundled codecs have any).
+    fn compress(&self, input: &[u8]) -> Result<Vec<u8>, CompressError>;
+
+    /// Decompress `input`, which must have been produced by
+    /// [`Codec::compress`] on the same codec, into a buffer of exactly
+    /// `decompressed_len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::Corrupt`] if the stream is truncated,
+    /// contains an out-of-range back-reference, or does not decode to exactly
+    /// `decompressed_len` bytes.
+    fn decompress(&self, input: &[u8], decompressed_len: usize) -> Result<Vec<u8>, CompressError>;
+
+    /// Short human-readable name of the codec (for reports and benchmarks).
+    fn name(&self) -> &'static str;
+}
+
+/// Selector for the compression algorithms evaluated in the paper.
+///
+/// The Ariadne paper evaluates the two algorithms shipped by Android's ZRAM
+/// (LZ4 and LZO) and discusses compatibility with base-delta-immediate
+/// compression in §4.5. [`Algorithm`] is the value-level way of choosing one
+/// of them; call [`Algorithm::codec`] to obtain the actual implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// LZ4 block format, greedy matcher: fastest, lowest ratio.
+    Lz4,
+    /// LZO-class codec with lazy matching: slower, better ratio.
+    Lzo,
+    /// Base-delta-immediate compression over 64 B segments.
+    Bdi,
+}
+
+impl Algorithm {
+    /// All algorithms, in the order they appear in the paper.
+    pub const ALL: [Algorithm; 3] = [Algorithm::Lz4, Algorithm::Lzo, Algorithm::Bdi];
+
+    /// Return the codec implementation for this algorithm.
+    #[must_use]
+    pub fn codec(self) -> Box<dyn Codec> {
+        match self {
+            Algorithm::Lz4 => Box::new(Lz4::new()),
+            Algorithm::Lzo => Box::new(Lzo::new()),
+            Algorithm::Bdi => Box::new(Bdi::new()),
+        }
+    }
+
+    /// Short lowercase name, matching the kernel module naming (`lz4`, `lzo`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Lz4 => "lz4",
+            Algorithm::Lzo => "lzo",
+            Algorithm::Bdi => "bdi",
+        }
+    }
+}
+
+impl Default for Algorithm {
+    /// LZO is the default algorithm on the Google Pixel 7 (§6.2 of the paper).
+    fn default() -> Self {
+        Algorithm::Lzo
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_algorithm_roundtrips_a_simple_buffer() {
+        let data: Vec<u8> = (0..4096u32).map(|i| (i % 13) as u8).collect();
+        for alg in Algorithm::ALL {
+            let codec = alg.codec();
+            let compressed = codec.compress(&data).unwrap();
+            let restored = codec.decompress(&compressed, data.len()).unwrap();
+            assert_eq!(restored, data, "roundtrip failed for {alg}");
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Algorithm::Lz4.name(), "lz4");
+        assert_eq!(Algorithm::Lzo.name(), "lzo");
+        assert_eq!(Algorithm::Bdi.name(), "bdi");
+        assert_eq!(Algorithm::Lz4.to_string(), "lz4");
+    }
+
+    #[test]
+    fn default_matches_pixel7_kernel_default() {
+        assert_eq!(Algorithm::default(), Algorithm::Lzo);
+    }
+
+    #[test]
+    fn codec_trait_is_object_safe_and_usable_through_box() {
+        let codec: Box<dyn Codec> = Algorithm::Lz4.codec();
+        let out = codec.compress(&[0u8; 128]).unwrap();
+        assert_eq!(codec.decompress(&out, 128).unwrap(), vec![0u8; 128]);
+    }
+}

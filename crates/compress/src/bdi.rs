@@ -1,0 +1,380 @@
+//! Base-delta-immediate (BDI) compression.
+//!
+//! §4.5 of the Ariadne paper lists base-delta compression (Pekhimenko et al.,
+//! PACT 2012) as an algorithm Ariadne is compatible with. BDI exploits the
+//! observation that values stored close together (pointers, counters, array
+//! elements) often differ from a common base by small deltas. This module
+//! implements a software BDI that operates on 64-byte segments:
+//!
+//! * all-zero segment → 1 header byte;
+//! * repeated 8-byte value → header + 8 bytes;
+//! * base (8/4/2 bytes) + per-element deltas of 1, 2 or 4 bytes;
+//! * otherwise the segment is stored verbatim.
+
+use crate::algorithm::Codec;
+use crate::error::CompressError;
+
+/// Segment size BDI operates on. 64 B matches the cache-line granularity used
+/// by the original hardware proposal and the fine-grained redundancy the
+/// paper reports inside anonymous pages.
+pub const SEGMENT: usize = 64;
+
+/// Segment encodings, stored in the header byte of each segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Encoding {
+    Zeros = 0,
+    Repeat8 = 1,
+    Base8Delta1 = 2,
+    Base8Delta2 = 3,
+    Base8Delta4 = 4,
+    Base4Delta1 = 5,
+    Base4Delta2 = 6,
+    Base2Delta1 = 7,
+    Raw = 8,
+    /// Trailing partial segment (shorter than [`SEGMENT`]), stored verbatim.
+    RawPartial = 9,
+}
+
+impl Encoding {
+    fn from_byte(byte: u8) -> Result<Self, CompressError> {
+        Ok(match byte {
+            0 => Encoding::Zeros,
+            1 => Encoding::Repeat8,
+            2 => Encoding::Base8Delta1,
+            3 => Encoding::Base8Delta2,
+            4 => Encoding::Base8Delta4,
+            5 => Encoding::Base4Delta1,
+            6 => Encoding::Base4Delta2,
+            7 => Encoding::Base2Delta1,
+            8 => Encoding::Raw,
+            9 => Encoding::RawPartial,
+            other => {
+                return Err(CompressError::corrupt(format!(
+                    "unknown BDI segment encoding {other}"
+                )))
+            }
+        })
+    }
+}
+
+/// Base-delta-immediate codec over 64-byte segments.
+///
+/// ```
+/// use ariadne_compress::{Bdi, Codec};
+///
+/// # fn main() -> Result<(), ariadne_compress::CompressError> {
+/// // Pointer-like data: large shared base, small deltas.
+/// let mut page = Vec::new();
+/// for i in 0..512u64 {
+///     page.extend_from_slice(&(0x7f80_0000_0000u64 + i * 8).to_le_bytes());
+/// }
+/// let codec = Bdi::new();
+/// let packed = codec.compress(&page)?;
+/// assert!(packed.len() < page.len() / 2);
+/// assert_eq!(codec.decompress(&packed, page.len())?, page);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Bdi {
+    _private: (),
+}
+
+impl Bdi {
+    /// Create a new BDI codec.
+    #[must_use]
+    pub fn new() -> Self {
+        Bdi { _private: () }
+    }
+
+    /// Try to encode `seg` (exactly [`SEGMENT`] bytes) with base size `B` and
+    /// delta size `D`. Returns the encoded payload (base followed by deltas)
+    /// if every element fits.
+    fn try_base_delta(seg: &[u8], base_size: usize, delta_size: usize) -> Option<Vec<u8>> {
+        debug_assert_eq!(seg.len() % base_size, 0);
+        let read = |i: usize| -> u64 {
+            let mut v = [0u8; 8];
+            v[..base_size].copy_from_slice(&seg[i * base_size..(i + 1) * base_size]);
+            u64::from_le_bytes(v)
+        };
+        let count = seg.len() / base_size;
+        let base = read(0);
+        let max_delta: i64 = match delta_size {
+            1 => i64::from(i8::MAX),
+            2 => i64::from(i16::MAX),
+            4 => i64::from(i32::MAX),
+            _ => unreachable!("delta size is 1, 2 or 4"),
+        };
+        let mut payload = Vec::with_capacity(base_size + count * delta_size);
+        payload.extend_from_slice(&seg[..base_size]);
+        for i in 0..count {
+            let value = read(i) as i64;
+            let delta = value.wrapping_sub(base as i64);
+            if delta > max_delta || delta < -(max_delta + 1) {
+                return None;
+            }
+            payload.extend_from_slice(&delta.to_le_bytes()[..delta_size]);
+        }
+        Some(payload)
+    }
+
+    fn encode_segment(seg: &[u8], out: &mut Vec<u8>) {
+        if seg.iter().all(|&b| b == 0) {
+            out.push(Encoding::Zeros as u8);
+            return;
+        }
+        if seg.chunks_exact(8).all(|c| c == &seg[..8]) {
+            out.push(Encoding::Repeat8 as u8);
+            out.extend_from_slice(&seg[..8]);
+            return;
+        }
+        // Candidate encodings, ordered by resulting payload size.
+        let candidates: [(Encoding, usize, usize); 6] = [
+            (Encoding::Base8Delta1, 8, 1),
+            (Encoding::Base2Delta1, 2, 1),
+            (Encoding::Base4Delta1, 4, 1),
+            (Encoding::Base8Delta2, 8, 2),
+            (Encoding::Base4Delta2, 4, 2),
+            (Encoding::Base8Delta4, 8, 4),
+        ];
+        let mut best: Option<(Encoding, Vec<u8>)> = None;
+        for (enc, base, delta) in candidates {
+            if let Some(payload) = Self::try_base_delta(seg, base, delta) {
+                let better = match &best {
+                    Some((_, existing)) => payload.len() < existing.len(),
+                    None => true,
+                };
+                if better {
+                    best = Some((enc, payload));
+                }
+            }
+        }
+        match best {
+            Some((enc, payload)) if payload.len() < SEGMENT => {
+                out.push(enc as u8);
+                out.extend_from_slice(&payload);
+            }
+            _ => {
+                out.push(Encoding::Raw as u8);
+                out.extend_from_slice(seg);
+            }
+        }
+    }
+
+    fn decode_segment<'a>(
+        encoding: Encoding,
+        input: &'a [u8],
+        out: &mut Vec<u8>,
+    ) -> Result<&'a [u8], CompressError> {
+        let take = |input: &'a [u8], n: usize| -> Result<(&'a [u8], &'a [u8]), CompressError> {
+            if input.len() < n {
+                Err(CompressError::corrupt("truncated BDI segment payload"))
+            } else {
+                Ok(input.split_at(n))
+            }
+        };
+        let decode_base_delta = |payload: &[u8],
+                                 base_size: usize,
+                                 delta_size: usize,
+                                 out: &mut Vec<u8>| {
+            let mut base = [0u8; 8];
+            base[..base_size].copy_from_slice(&payload[..base_size]);
+            let base = u64::from_le_bytes(base) as i64;
+            let count = SEGMENT / base_size;
+            for i in 0..count {
+                let start = base_size + i * delta_size;
+                let mut d = [0u8; 8];
+                d[..delta_size].copy_from_slice(&payload[start..start + delta_size]);
+                // Sign-extend the delta.
+                let delta = match delta_size {
+                    1 => i64::from(d[0] as i8),
+                    2 => i64::from(i16::from_le_bytes([d[0], d[1]])),
+                    _ => i64::from(i32::from_le_bytes([d[0], d[1], d[2], d[3]])),
+                };
+                let value = (base.wrapping_add(delta)) as u64;
+                out.extend_from_slice(&value.to_le_bytes()[..base_size]);
+            }
+        };
+
+        match encoding {
+            Encoding::Zeros => {
+                out.extend_from_slice(&[0u8; SEGMENT]);
+                Ok(input)
+            }
+            Encoding::Repeat8 => {
+                let (value, rest) = take(input, 8)?;
+                for _ in 0..SEGMENT / 8 {
+                    out.extend_from_slice(value);
+                }
+                Ok(rest)
+            }
+            Encoding::Raw => {
+                let (seg, rest) = take(input, SEGMENT)?;
+                out.extend_from_slice(seg);
+                Ok(rest)
+            }
+            Encoding::RawPartial => {
+                let (len_byte, rest) = take(input, 1)?;
+                let len = len_byte[0] as usize;
+                let (seg, rest) = take(rest, len)?;
+                out.extend_from_slice(seg);
+                Ok(rest)
+            }
+            Encoding::Base8Delta1 => {
+                let (payload, rest) = take(input, 8 + 8)?;
+                decode_base_delta(payload, 8, 1, out);
+                Ok(rest)
+            }
+            Encoding::Base8Delta2 => {
+                let (payload, rest) = take(input, 8 + 16)?;
+                decode_base_delta(payload, 8, 2, out);
+                Ok(rest)
+            }
+            Encoding::Base8Delta4 => {
+                let (payload, rest) = take(input, 8 + 32)?;
+                decode_base_delta(payload, 8, 4, out);
+                Ok(rest)
+            }
+            Encoding::Base4Delta1 => {
+                let (payload, rest) = take(input, 4 + 16)?;
+                decode_base_delta(payload, 4, 1, out);
+                Ok(rest)
+            }
+            Encoding::Base4Delta2 => {
+                let (payload, rest) = take(input, 4 + 32)?;
+                decode_base_delta(payload, 4, 2, out);
+                Ok(rest)
+            }
+            Encoding::Base2Delta1 => {
+                let (payload, rest) = take(input, 2 + 32)?;
+                decode_base_delta(payload, 2, 1, out);
+                Ok(rest)
+            }
+        }
+    }
+}
+
+impl Codec for Bdi {
+    fn compress(&self, input: &[u8]) -> Result<Vec<u8>, CompressError> {
+        let mut out = Vec::with_capacity(input.len() / 2 + 8);
+        let mut chunks = input.chunks_exact(SEGMENT);
+        for seg in &mut chunks {
+            Self::encode_segment(seg, &mut out);
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            out.push(Encoding::RawPartial as u8);
+            out.push(tail.len() as u8);
+            out.extend_from_slice(tail);
+        }
+        Ok(out)
+    }
+
+    fn decompress(&self, input: &[u8], decompressed_len: usize) -> Result<Vec<u8>, CompressError> {
+        let mut out = Vec::with_capacity(decompressed_len);
+        let mut rest = input;
+        while !rest.is_empty() {
+            let encoding = Encoding::from_byte(rest[0])?;
+            rest = Self::decode_segment(encoding, &rest[1..], &mut out)?;
+        }
+        if out.len() != decompressed_len {
+            return Err(CompressError::corrupt(format!(
+                "decoded {} bytes, expected {decompressed_len}",
+                out.len()
+            )));
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "bdi"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> Vec<u8> {
+        let codec = Bdi::new();
+        let packed = codec.compress(data).unwrap();
+        codec.decompress(&packed, data.len()).unwrap()
+    }
+
+    #[test]
+    fn zero_page_collapses_to_headers() {
+        let data = vec![0u8; 4096];
+        let packed = Bdi::new().compress(&data).unwrap();
+        assert_eq!(packed.len(), 4096 / SEGMENT);
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn pointer_like_data_uses_base_delta() {
+        let mut data = Vec::new();
+        for i in 0..512u64 {
+            data.extend_from_slice(&(0x5555_0000_1000u64 + i * 16).to_le_bytes());
+        }
+        let packed = Bdi::new().compress(&data).unwrap();
+        assert!(packed.len() < data.len() / 2, "got {}", packed.len());
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn small_integer_arrays_use_narrow_bases() {
+        // 16-bit counters close to each other.
+        let mut data = Vec::new();
+        for i in 0..2048u16 {
+            data.extend_from_slice(&(1000 + (i % 50)).to_le_bytes());
+        }
+        let packed = Bdi::new().compress(&data).unwrap();
+        assert!(packed.len() < data.len());
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn random_data_falls_back_to_raw_without_corruption() {
+        let mut x = 0xCAFEBABEu32;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x >> 16) as u8
+            })
+            .collect();
+        let packed = Bdi::new().compress(&data).unwrap();
+        // At worst one header byte per segment of expansion.
+        assert!(packed.len() <= data.len() + data.len() / SEGMENT + 2);
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn non_segment_aligned_lengths_roundtrip() {
+        for len in [1usize, 63, 64, 65, 100, 4095, 4097] {
+            let data: Vec<u8> = (0..len).map(|i| (i % 7) as u8).collect();
+            assert_eq!(roundtrip(&data), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn negative_deltas_are_handled() {
+        let mut data = Vec::new();
+        for i in (0..512u64).rev() {
+            data.extend_from_slice(&(0x9000_0000u64 + i).to_le_bytes());
+        }
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn corrupt_header_is_rejected() {
+        assert!(Bdi::new().decompress(&[200u8], 64).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let data = vec![1u8; 64];
+        let packed = Bdi::new().compress(&data).unwrap();
+        assert!(Bdi::new().decompress(&packed[..packed.len() - 1], 64).is_err());
+    }
+}

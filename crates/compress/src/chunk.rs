@@ -1,0 +1,484 @@
+//! Chunked compression framing — the mechanism AdaptiveComp builds on.
+//!
+//! The paper's Insight 2 (§3) is a trade-off between the compression chunk
+//! size and the resulting ratio/latency: compressing 128 B at a time is fast
+//! but yields a low ratio, compressing 128 KiB at a time is slow but yields a
+//! high ratio. [`ChunkedCodec`] makes the chunk size an explicit, validated
+//! parameter: the input is split into `chunk_size` pieces, each piece is
+//! compressed independently, and each compressed piece records whether it was
+//! stored compressed or raw (when compression would have expanded it). A
+//! [`CompressedImage`] can be decompressed wholesale or one chunk at a time,
+//! which is what allows Ariadne to decompress only the pages an application
+//! actually touches.
+
+use crate::algorithm::{Algorithm, Codec};
+use crate::error::CompressError;
+use crate::stats::CompressionStats;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Smallest chunk size evaluated in the paper (Figure 6).
+pub const MIN_CHUNK_SIZE: usize = 128;
+/// Largest chunk size evaluated in the paper (Figure 6).
+pub const MAX_CHUNK_SIZE: usize = 128 * 1024;
+
+/// A validated compression chunk size in bytes.
+///
+/// The paper sweeps powers of two from 128 B to 128 KiB; we enforce the same
+/// domain so configuration mistakes surface immediately instead of producing
+/// silently meaningless results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ChunkSize(usize);
+
+impl ChunkSize {
+    /// Create a chunk size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::InvalidParameter`] if `bytes` is not a power
+    /// of two or lies outside `128 B ..= 128 KiB`.
+    pub fn new(bytes: usize) -> Result<Self, CompressError> {
+        if !bytes.is_power_of_two() || !(MIN_CHUNK_SIZE..=MAX_CHUNK_SIZE).contains(&bytes) {
+            return Err(CompressError::InvalidParameter {
+                parameter: "chunk_size",
+                detail: format!(
+                    "{bytes} is not a power of two in {MIN_CHUNK_SIZE}..={MAX_CHUNK_SIZE}"
+                ),
+            });
+        }
+        Ok(ChunkSize(bytes))
+    }
+
+    /// The chunk size in bytes.
+    #[must_use]
+    pub fn bytes(self) -> usize {
+        self.0
+    }
+
+    /// Convenience constructors for the sizes named in the paper's Table 5.
+    #[must_use]
+    pub fn b256() -> Self {
+        ChunkSize(256)
+    }
+    /// 512 B chunks.
+    #[must_use]
+    pub fn b512() -> Self {
+        ChunkSize(512)
+    }
+    /// 1 KiB chunks.
+    #[must_use]
+    pub fn k1() -> Self {
+        ChunkSize(1024)
+    }
+    /// 2 KiB chunks.
+    #[must_use]
+    pub fn k2() -> Self {
+        ChunkSize(2048)
+    }
+    /// 4 KiB chunks (one page — the only size baseline ZRAM supports).
+    #[must_use]
+    pub fn k4() -> Self {
+        ChunkSize(4096)
+    }
+    /// 16 KiB chunks.
+    #[must_use]
+    pub fn k16() -> Self {
+        ChunkSize(16 * 1024)
+    }
+    /// 32 KiB chunks.
+    #[must_use]
+    pub fn k32() -> Self {
+        ChunkSize(32 * 1024)
+    }
+    /// 64 KiB chunks.
+    #[must_use]
+    pub fn k64() -> Self {
+        ChunkSize(64 * 1024)
+    }
+    /// 128 KiB chunks.
+    #[must_use]
+    pub fn k128() -> Self {
+        ChunkSize(128 * 1024)
+    }
+
+    /// Every chunk size swept in Figure 6 of the paper, smallest first.
+    #[must_use]
+    pub fn figure6_sweep() -> Vec<ChunkSize> {
+        [128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072]
+            .iter()
+            .map(|&b| ChunkSize(b))
+            .collect()
+    }
+}
+
+impl fmt::Display for ChunkSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1024 {
+            write!(f, "{}K", self.0 / 1024)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+/// How a single chunk was stored inside a [`CompressedImage`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChunkStorage {
+    /// The chunk shrank and is stored compressed.
+    Compressed,
+    /// Compression would have expanded the chunk; it is stored verbatim.
+    Raw,
+}
+
+/// One compressed (or raw) chunk of a [`CompressedImage`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressedChunk {
+    storage: ChunkStorage,
+    original_len: usize,
+    payload: Vec<u8>,
+}
+
+impl CompressedChunk {
+    /// How the chunk is stored.
+    #[must_use]
+    pub fn storage(&self) -> ChunkStorage {
+        self.storage
+    }
+
+    /// Length of the chunk before compression.
+    #[must_use]
+    pub fn original_len(&self) -> usize {
+        self.original_len
+    }
+
+    /// Length of the stored payload (compressed or raw).
+    #[must_use]
+    pub fn stored_len(&self) -> usize {
+        self.payload.len()
+    }
+}
+
+/// The result of compressing a buffer with a [`ChunkedCodec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressedImage {
+    algorithm: Algorithm,
+    chunk_size: ChunkSize,
+    original_len: usize,
+    chunks: Vec<CompressedChunk>,
+}
+
+impl CompressedImage {
+    /// Algorithm that produced this image.
+    #[must_use]
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Chunk size the image was compressed with.
+    #[must_use]
+    pub fn chunk_size(&self) -> ChunkSize {
+        self.chunk_size
+    }
+
+    /// Total length of the original data.
+    #[must_use]
+    pub fn original_len(&self) -> usize {
+        self.original_len
+    }
+
+    /// Total stored (compressed) length, including raw-stored chunks.
+    #[must_use]
+    pub fn compressed_len(&self) -> usize {
+        self.chunks.iter().map(CompressedChunk::stored_len).sum()
+    }
+
+    /// Number of chunks in the image.
+    #[must_use]
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Iterate over the chunks of the image.
+    pub fn chunks(&self) -> impl Iterator<Item = &CompressedChunk> {
+        self.chunks.iter()
+    }
+
+    /// Compression statistics for the whole image.
+    #[must_use]
+    pub fn stats(&self) -> CompressionStats {
+        CompressionStats::new(self.original_len, self.compressed_len())
+    }
+}
+
+/// Splits data into fixed-size chunks and compresses each independently.
+///
+/// ```
+/// use ariadne_compress::{Algorithm, ChunkedCodec, ChunkSize};
+///
+/// # fn main() -> Result<(), ariadne_compress::CompressError> {
+/// let codec = ChunkedCodec::new(Algorithm::Lzo, ChunkSize::k4());
+/// let data: Vec<u8> = (0..32_768u32).map(|i| (i / 64) as u8).collect();
+/// let image = codec.compress(&data)?;
+/// // Decompress only the third 4 KiB chunk.
+/// let chunk = codec.decompress_chunk(&image, 2)?;
+/// assert_eq!(&chunk[..], &data[8192..12288]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ChunkedCodec {
+    algorithm: Algorithm,
+    chunk_size: ChunkSize,
+    codec: Box<dyn Codec>,
+}
+
+impl ChunkedCodec {
+    /// Create a chunked codec for `algorithm` with the given `chunk_size`.
+    #[must_use]
+    pub fn new(algorithm: Algorithm, chunk_size: ChunkSize) -> Self {
+        ChunkedCodec {
+            algorithm,
+            chunk_size,
+            codec: algorithm.codec(),
+        }
+    }
+
+    /// The algorithm used by this codec.
+    #[must_use]
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The chunk size used by this codec.
+    #[must_use]
+    pub fn chunk_size(&self) -> ChunkSize {
+        self.chunk_size
+    }
+
+    /// Compress `data` into a [`CompressedImage`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`CompressError`] from the underlying codec.
+    pub fn compress(&self, data: &[u8]) -> Result<CompressedImage, CompressError> {
+        let mut chunks = Vec::with_capacity(data.len() / self.chunk_size.bytes() + 1);
+        for piece in data.chunks(self.chunk_size.bytes()) {
+            let compressed = self.codec.compress(piece)?;
+            let chunk = if compressed.len() < piece.len() {
+                CompressedChunk {
+                    storage: ChunkStorage::Compressed,
+                    original_len: piece.len(),
+                    payload: compressed,
+                }
+            } else {
+                CompressedChunk {
+                    storage: ChunkStorage::Raw,
+                    original_len: piece.len(),
+                    payload: piece.to_vec(),
+                }
+            };
+            chunks.push(chunk);
+        }
+        Ok(CompressedImage {
+            algorithm: self.algorithm,
+            chunk_size: self.chunk_size,
+            original_len: data.len(),
+            chunks,
+        })
+    }
+
+    /// Decompress an entire image back into the original bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::InvalidParameter`] if the image was produced
+    /// by a different algorithm, or a [`CompressError::Corrupt`] from the
+    /// underlying codec.
+    pub fn decompress(&self, image: &CompressedImage) -> Result<Vec<u8>, CompressError> {
+        self.check_algorithm(image)?;
+        let mut out = Vec::with_capacity(image.original_len);
+        for chunk in &image.chunks {
+            out.extend_from_slice(&self.decode_chunk(chunk)?);
+        }
+        Ok(out)
+    }
+
+    /// Decompress the `index`-th chunk of an image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::ChunkOutOfRange`] for a bad index, or a codec
+    /// error for corrupt payloads.
+    pub fn decompress_chunk(
+        &self,
+        image: &CompressedImage,
+        index: usize,
+    ) -> Result<Vec<u8>, CompressError> {
+        self.check_algorithm(image)?;
+        let chunk = image
+            .chunks
+            .get(index)
+            .ok_or(CompressError::ChunkOutOfRange {
+                index,
+                available: image.chunks.len(),
+            })?;
+        self.decode_chunk(chunk)
+    }
+
+    fn decode_chunk(&self, chunk: &CompressedChunk) -> Result<Vec<u8>, CompressError> {
+        match chunk.storage {
+            ChunkStorage::Raw => Ok(chunk.payload.clone()),
+            ChunkStorage::Compressed => self.codec.decompress(&chunk.payload, chunk.original_len),
+        }
+    }
+
+    fn check_algorithm(&self, image: &CompressedImage) -> Result<(), CompressError> {
+        if image.algorithm != self.algorithm {
+            return Err(CompressError::InvalidParameter {
+                parameter: "algorithm",
+                detail: format!(
+                    "image was compressed with {} but this codec uses {}",
+                    image.algorithm, self.algorithm
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data(len: usize) -> Vec<u8> {
+        // Data with 128 B-scale structure similar to anonymous pages.
+        (0..len)
+            .map(|i| {
+                let region = i / 128;
+                ((region * 37 + (i % 16)) % 251) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chunk_size_rejects_invalid_values() {
+        assert!(ChunkSize::new(0).is_err());
+        assert!(ChunkSize::new(100).is_err()); // not a power of two
+        assert!(ChunkSize::new(64).is_err()); // too small
+        assert!(ChunkSize::new(256 * 1024).is_err()); // too large
+        assert!(ChunkSize::new(4096).is_ok());
+    }
+
+    #[test]
+    fn chunk_size_display_matches_paper_notation() {
+        assert_eq!(ChunkSize::new(128).unwrap().to_string(), "128B");
+        assert_eq!(ChunkSize::k1().to_string(), "1K");
+        assert_eq!(ChunkSize::k128().to_string(), "128K");
+    }
+
+    #[test]
+    fn figure6_sweep_is_complete_and_ordered() {
+        let sweep = ChunkSize::figure6_sweep();
+        assert_eq!(sweep.first().unwrap().bytes(), 128);
+        assert_eq!(sweep.last().unwrap().bytes(), 128 * 1024);
+        assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn whole_image_roundtrips_for_every_algorithm_and_size() {
+        let data = sample_data(40_000);
+        for alg in Algorithm::ALL {
+            for size in [ChunkSize::b256(), ChunkSize::k4(), ChunkSize::k32()] {
+                let codec = ChunkedCodec::new(alg, size);
+                let image = codec.compress(&data).unwrap();
+                assert_eq!(codec.decompress(&image).unwrap(), data, "{alg} {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn individual_chunks_decompress_to_the_right_slice() {
+        let data = sample_data(20_000);
+        let codec = ChunkedCodec::new(Algorithm::Lz4, ChunkSize::k1());
+        let image = codec.compress(&data).unwrap();
+        for index in 0..image.chunk_count() {
+            let start = index * 1024;
+            let end = (start + 1024).min(data.len());
+            assert_eq!(codec.decompress_chunk(&image, index).unwrap(), &data[start..end]);
+        }
+    }
+
+    #[test]
+    fn larger_chunks_do_not_hurt_compression_ratio() {
+        let data = sample_data(256 * 1024);
+        let small = ChunkedCodec::new(Algorithm::Lzo, ChunkSize::new(128).unwrap())
+            .compress(&data)
+            .unwrap();
+        let large = ChunkedCodec::new(Algorithm::Lzo, ChunkSize::k64())
+            .compress(&data)
+            .unwrap();
+        assert!(
+            large.compressed_len() <= small.compressed_len(),
+            "large {} vs small {}",
+            large.compressed_len(),
+            small.compressed_len()
+        );
+    }
+
+    #[test]
+    fn incompressible_chunks_are_stored_raw() {
+        let mut x = 7u32;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x >> 24) as u8
+            })
+            .collect();
+        let codec = ChunkedCodec::new(Algorithm::Lz4, ChunkSize::new(128).unwrap());
+        let image = codec.compress(&data).unwrap();
+        assert!(image
+            .chunks()
+            .any(|c| c.storage() == ChunkStorage::Raw));
+        // Raw storage bounds the image size by the original size.
+        assert!(image.compressed_len() <= data.len());
+        assert_eq!(codec.decompress(&image).unwrap(), data);
+    }
+
+    #[test]
+    fn chunk_index_out_of_range_is_reported() {
+        let codec = ChunkedCodec::new(Algorithm::Lz4, ChunkSize::k4());
+        let image = codec.compress(&[1u8; 4096]).unwrap();
+        let err = codec.decompress_chunk(&image, 5).unwrap_err();
+        assert!(matches!(err, CompressError::ChunkOutOfRange { index: 5, available: 1 }));
+    }
+
+    #[test]
+    fn algorithm_mismatch_is_rejected() {
+        let data = sample_data(8192);
+        let image = ChunkedCodec::new(Algorithm::Lz4, ChunkSize::k4())
+            .compress(&data)
+            .unwrap();
+        let other = ChunkedCodec::new(Algorithm::Lzo, ChunkSize::k4());
+        assert!(other.decompress(&image).is_err());
+    }
+
+    #[test]
+    fn empty_input_produces_empty_image() {
+        let codec = ChunkedCodec::new(Algorithm::Lzo, ChunkSize::k4());
+        let image = codec.compress(&[]).unwrap();
+        assert_eq!(image.chunk_count(), 0);
+        assert_eq!(image.compressed_len(), 0);
+        assert_eq!(codec.decompress(&image).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn stats_report_the_real_ratio() {
+        let data = vec![0u8; 65536];
+        let codec = ChunkedCodec::new(Algorithm::Lz4, ChunkSize::k4());
+        let image = codec.compress(&data).unwrap();
+        let stats = image.stats();
+        assert!(stats.ratio().value() > 10.0);
+    }
+}

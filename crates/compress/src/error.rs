@@ -1,0 +1,93 @@
+//! Error type shared by every codec in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by compression and decompression routines.
+///
+/// The `Display` representation is lowercase and concise, per the Rust API
+/// guidelines (C-GOOD-ERR).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CompressError {
+    /// The compressed stream ended unexpectedly or contained an impossible
+    /// back-reference.
+    Corrupt {
+        /// Human-readable detail of what was wrong with the stream.
+        detail: String,
+    },
+    /// A parameter was outside its legal range (for example a zero chunk
+    /// size, or a chunk size that is not a power of two).
+    InvalidParameter {
+        /// Which parameter was invalid.
+        parameter: &'static str,
+        /// Why it was rejected.
+        detail: String,
+    },
+    /// The caller asked for a chunk index that does not exist in the image.
+    ChunkOutOfRange {
+        /// The requested chunk index.
+        index: usize,
+        /// Number of chunks actually present.
+        available: usize,
+    },
+}
+
+impl fmt::Display for CompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompressError::Corrupt { detail } => {
+                write!(f, "corrupt compressed stream: {detail}")
+            }
+            CompressError::InvalidParameter { parameter, detail } => {
+                write!(f, "invalid parameter `{parameter}`: {detail}")
+            }
+            CompressError::ChunkOutOfRange { index, available } => {
+                write!(
+                    f,
+                    "chunk index {index} out of range ({available} chunks available)"
+                )
+            }
+        }
+    }
+}
+
+impl Error for CompressError {}
+
+impl CompressError {
+    /// Convenience constructor for corrupt-stream errors.
+    pub(crate) fn corrupt(detail: impl Into<String>) -> Self {
+        CompressError::Corrupt {
+            detail: detail.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = CompressError::corrupt("truncated literal run");
+        let text = err.to_string();
+        assert!(text.contains("truncated literal run"));
+        assert!(text.starts_with("corrupt"));
+    }
+
+    #[test]
+    fn chunk_out_of_range_reports_both_numbers() {
+        let err = CompressError::ChunkOutOfRange {
+            index: 9,
+            available: 4,
+        };
+        let text = err.to_string();
+        assert!(text.contains('9') && text.contains('4'));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompressError>();
+    }
+}

@@ -1,0 +1,65 @@
+//! Compression substrate for the Ariadne reproduction.
+//!
+//! The Ariadne paper (HPCA 2025) relies on the Linux kernel's LZ4 and LZO
+//! compressors, invoked through ZRAM with a fixed 4 KiB compression unit.
+//! Ariadne's key mechanism, *AdaptiveComp*, varies the compression chunk size
+//! (from 128 B up to 128 KiB) according to the hotness of the data being
+//! compressed. This crate provides everything the rest of the workspace needs
+//! to reproduce that behaviour in userspace:
+//!
+//! * [`Lz4`] — an LZ4-block-format compatible codec (greedy hash-table
+//!   matcher), the "fast" algorithm of the paper.
+//! * [`Lzo`] — an LZO-class codec using lazy matching over hash chains; it
+//!   trades speed for ratio exactly like the kernel's LZO1X does relative to
+//!   LZ4.
+//! * [`Bdi`] — base-delta-immediate compression, listed in §4.5 of the paper
+//!   as an alternative algorithm Ariadne is compatible with.
+//! * [`ChunkedCodec`] — splits a buffer into fixed-size chunks, compresses
+//!   each independently and frames the result so that individual chunks can
+//!   be decompressed on their own (the mechanism AdaptiveComp builds on).
+//! * [`LatencyModel`] — a calibrated cost model that converts (algorithm,
+//!   chunk size, byte count) into simulated nanoseconds, reproducing the
+//!   latency/ratio trade-off of the paper's Figure 6. Real wall-clock numbers
+//!   from a laptop would not transfer to a Pixel 7's Cortex cores, so all
+//!   simulated timing in the workspace flows through this model while the
+//!   *ratios* come from genuinely compressing the bytes.
+//!
+//! # Quick example
+//!
+//! ```
+//! use ariadne_compress::{Algorithm, ChunkedCodec, ChunkSize};
+//!
+//! # fn main() -> Result<(), ariadne_compress::CompressError> {
+//! let data = vec![42u8; 4096];
+//! let codec = ChunkedCodec::new(Algorithm::Lz4, ChunkSize::new(1024)?);
+//! let compressed = codec.compress(&data)?;
+//! assert!(compressed.compressed_len() < data.len());
+//! let restored = codec.decompress(&compressed)?;
+//! assert_eq!(restored, data);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algorithm;
+mod bdi;
+mod chunk;
+mod error;
+mod latency;
+mod lz4;
+mod lzo;
+mod stats;
+
+pub use algorithm::{Algorithm, Codec};
+pub use bdi::Bdi;
+pub use chunk::{ChunkSize, ChunkedCodec, CompressedChunk, CompressedImage};
+pub use error::CompressError;
+pub use latency::{CostNanos, LatencyModel, LatencyParams};
+pub use lz4::Lz4;
+pub use lzo::Lzo;
+pub use stats::{CompressionRatio, CompressionStats};
+
+/// The page size used throughout the workspace (4 KiB, as on the Pixel 7).
+pub const PAGE_SIZE: usize = 4096;

@@ -1,0 +1,137 @@
+//! Compression statistics: ratios and aggregate accounting.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::AddAssign;
+
+/// A compression ratio (original size divided by compressed size).
+///
+/// The paper reports ratios between 1.7 (128 B chunks) and 3.9 (128 KiB
+/// chunks); higher is better. A ratio below 1.0 means the data expanded.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct CompressionRatio(f64);
+
+impl CompressionRatio {
+    /// Build a ratio from raw sizes. A compressed size of zero (only possible
+    /// for empty input) is reported as a ratio of 1.0.
+    #[must_use]
+    pub fn from_sizes(original: usize, compressed: usize) -> Self {
+        if compressed == 0 {
+            CompressionRatio(1.0)
+        } else {
+            CompressionRatio(original as f64 / compressed as f64)
+        }
+    }
+
+    /// The ratio as a floating-point value.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for CompressionRatio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}x", self.0)
+    }
+}
+
+/// Aggregate compression statistics (byte counts before and after).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompressionStats {
+    original_bytes: usize,
+    compressed_bytes: usize,
+    operations: usize,
+}
+
+impl CompressionStats {
+    /// Statistics for a single compression of `original` bytes down to
+    /// `compressed` bytes.
+    #[must_use]
+    pub fn new(original: usize, compressed: usize) -> Self {
+        CompressionStats {
+            original_bytes: original,
+            compressed_bytes: compressed,
+            operations: 1,
+        }
+    }
+
+    /// Total bytes before compression.
+    #[must_use]
+    pub fn original_bytes(&self) -> usize {
+        self.original_bytes
+    }
+
+    /// Total bytes after compression.
+    #[must_use]
+    pub fn compressed_bytes(&self) -> usize {
+        self.compressed_bytes
+    }
+
+    /// Number of compression operations aggregated into this value.
+    #[must_use]
+    pub fn operations(&self) -> usize {
+        self.operations
+    }
+
+    /// The aggregate compression ratio.
+    #[must_use]
+    pub fn ratio(&self) -> CompressionRatio {
+        CompressionRatio::from_sizes(self.original_bytes, self.compressed_bytes)
+    }
+}
+
+impl AddAssign for CompressionStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.original_bytes += rhs.original_bytes;
+        self.compressed_bytes += rhs.compressed_bytes;
+        self.operations += rhs.operations;
+    }
+}
+
+impl fmt::Display for CompressionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} -> {} bytes ({}) over {} ops",
+            self.original_bytes,
+            self.compressed_bytes,
+            self.ratio(),
+            self.operations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_from_sizes() {
+        assert!((CompressionRatio::from_sizes(4096, 1024).value() - 4.0).abs() < 1e-9);
+        assert!((CompressionRatio::from_sizes(0, 0).value() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_display_is_compact() {
+        assert_eq!(CompressionRatio::from_sizes(39, 10).to_string(), "3.90x");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut total = CompressionStats::default();
+        total += CompressionStats::new(4096, 2048);
+        total += CompressionStats::new(4096, 1024);
+        assert_eq!(total.original_bytes(), 8192);
+        assert_eq!(total.compressed_bytes(), 3072);
+        assert_eq!(total.operations(), 2);
+        assert!(total.ratio().value() > 2.6 && total.ratio().value() < 2.7);
+    }
+
+    #[test]
+    fn display_mentions_ratio_and_ops() {
+        let stats = CompressionStats::new(100, 50);
+        let text = stats.to_string();
+        assert!(text.contains("2.00x") && text.contains("1 ops"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests: every codec must losslessly roundtrip arbitrary
+//! byte sequences, and the chunked framing must preserve slicing semantics.
+
+use ariadne_compress::{Algorithm, ChunkSize, ChunkedCodec, Codec};
+use proptest::prelude::*;
+
+fn arbitrary_bytes() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // Fully random bytes.
+        proptest::collection::vec(any::<u8>(), 0..6000),
+        // Highly repetitive data (worst case for match emission logic).
+        (any::<u8>(), 0usize..6000).prop_map(|(b, n)| vec![b; n]),
+        // Structured data: repeating small templates, like anonymous pages.
+        (proptest::collection::vec(any::<u8>(), 1..64), 1usize..200).prop_map(
+            |(template, reps)| {
+                template
+                    .iter()
+                    .cycle()
+                    .take(template.len() * reps)
+                    .copied()
+                    .collect()
+            }
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn lz4_roundtrips(data in arbitrary_bytes()) {
+        let codec = ariadne_compress::Lz4::new();
+        let packed = codec.compress(&data).unwrap();
+        prop_assert_eq!(codec.decompress(&packed, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn lzo_roundtrips(data in arbitrary_bytes()) {
+        let codec = ariadne_compress::Lzo::new();
+        let packed = codec.compress(&data).unwrap();
+        prop_assert_eq!(codec.decompress(&packed, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn bdi_roundtrips(data in arbitrary_bytes()) {
+        let codec = ariadne_compress::Bdi::new();
+        let packed = codec.compress(&data).unwrap();
+        prop_assert_eq!(codec.decompress(&packed, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn chunked_roundtrips_across_algorithms_and_sizes(
+        data in arbitrary_bytes(),
+        alg_idx in 0usize..3,
+        size_idx in 0usize..4,
+    ) {
+        let alg = Algorithm::ALL[alg_idx];
+        let sizes = [128usize, 512, 4096, 32768];
+        let codec = ChunkedCodec::new(alg, ChunkSize::new(sizes[size_idx]).unwrap());
+        let image = codec.compress(&data).unwrap();
+        prop_assert_eq!(codec.decompress(&image).unwrap(), data);
+    }
+
+    #[test]
+    fn chunked_per_chunk_decompression_matches_slices(
+        data in proptest::collection::vec(any::<u8>(), 0..5000),
+    ) {
+        let chunk = 512usize;
+        let codec = ChunkedCodec::new(Algorithm::Lz4, ChunkSize::new(chunk).unwrap());
+        let image = codec.compress(&data).unwrap();
+        for index in 0..image.chunk_count() {
+            let start = index * chunk;
+            let end = (start + chunk).min(data.len());
+            prop_assert_eq!(codec.decompress_chunk(&image, index).unwrap(), &data[start..end]);
+        }
+    }
+
+    #[test]
+    fn corrupting_a_byte_never_panics(
+        data in proptest::collection::vec(any::<u8>(), 16..1024),
+        flip in any::<(usize, u8)>(),
+    ) {
+        // Decoders must fail gracefully (error or wrong data), never panic.
+        for alg in Algorithm::ALL {
+            let codec = alg.codec();
+            let mut packed = codec.compress(&data).unwrap();
+            if !packed.is_empty() {
+                let pos = flip.0 % packed.len();
+                packed[pos] ^= flip.1 | 1;
+                let _ = codec.decompress(&packed, data.len());
+            }
+        }
+    }
+}

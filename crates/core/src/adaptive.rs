@@ -1,0 +1,219 @@
+//! AdaptiveComp: size-adaptive compression (§4.3).
+//!
+//! AdaptiveComp maps the hotness of reclaim victims onto compression chunk
+//! sizes: cold data is compressed in large multi-page chunks (best ratio —
+//! and since it is unlikely to be read again, its slow decompression is
+//! rarely paid), warm data in medium chunks, and hot data — when it must be
+//! compressed at all — in small sub-page chunks so that relaunch-critical
+//! decompression stays fast. This module also groups cold victims into the
+//! multi-page batches that become single zpool entries.
+
+use crate::config::SizeConfig;
+use ariadne_compress::ChunkSize;
+use ariadne_mem::{Hotness, PageId, PAGE_SIZE};
+
+/// A batch of pages that will be compressed together as one zpool entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressionGroup {
+    /// The pages in the group, in address order.
+    pub pages: Vec<PageId>,
+    /// The hotness level the pages had when selected.
+    pub hotness: Hotness,
+    /// The chunk size the group will be compressed with.
+    pub chunk_size: ChunkSize,
+}
+
+/// The size-adaptive compression policy.
+///
+/// ```
+/// use ariadne_core::{AdaptiveComp, SizeConfig};
+/// use ariadne_mem::Hotness;
+///
+/// let policy = AdaptiveComp::new(SizeConfig::k1_k2_k16());
+/// assert_eq!(policy.chunk_size_for(Hotness::Cold).bytes(), 16 * 1024);
+/// assert_eq!(policy.chunk_size_for(Hotness::Hot).bytes(), 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveComp {
+    sizes: SizeConfig,
+}
+
+impl AdaptiveComp {
+    /// Create the policy from a size configuration.
+    #[must_use]
+    pub fn new(sizes: SizeConfig) -> Self {
+        AdaptiveComp { sizes }
+    }
+
+    /// The configured size triple.
+    #[must_use]
+    pub fn sizes(&self) -> SizeConfig {
+        self.sizes
+    }
+
+    /// The compression chunk size used for data of the given hotness.
+    #[must_use]
+    pub fn chunk_size_for(&self, hotness: Hotness) -> ChunkSize {
+        match hotness {
+            Hotness::Hot => self.sizes.small,
+            Hotness::Warm => self.sizes.medium,
+            Hotness::Cold => self.sizes.large,
+        }
+    }
+
+    /// How many pages are compressed together into one zpool entry for data
+    /// of the given hotness. Hot and warm data always use one page per entry
+    /// (sub-page chunking within the page); cold data fills a whole large
+    /// chunk with as many pages as fit.
+    #[must_use]
+    pub fn pages_per_entry(&self, hotness: Hotness) -> usize {
+        match hotness {
+            Hotness::Hot | Hotness::Warm => 1,
+            Hotness::Cold => (self.sizes.large.bytes() / PAGE_SIZE).max(1),
+        }
+    }
+
+    /// Group reclaim victims into compression batches. Victims must be given
+    /// with their hotness (as returned by
+    /// [`crate::HotnessOrg::pick_victims`]); consecutive cold victims of the
+    /// same application are batched into multi-page groups, everything else
+    /// becomes a single-page group.
+    #[must_use]
+    pub fn group_victims(&self, victims: &[(PageId, Hotness)]) -> Vec<CompressionGroup> {
+        let mut groups: Vec<CompressionGroup> = Vec::new();
+        let mut cold_batch: Vec<PageId> = Vec::new();
+        let cold_batch_size = self.pages_per_entry(Hotness::Cold);
+
+        let flush_cold = |batch: &mut Vec<PageId>, groups: &mut Vec<CompressionGroup>| {
+            if batch.is_empty() {
+                return;
+            }
+            let mut pages = std::mem::take(batch);
+            pages.sort_by_key(|p| p.pfn().value());
+            groups.push(CompressionGroup {
+                pages,
+                hotness: Hotness::Cold,
+                chunk_size: self.sizes.large,
+            });
+        };
+
+        for &(page, hotness) in victims {
+            match hotness {
+                Hotness::Cold => {
+                    // Batch only pages of the same application together so a
+                    // later fault decompresses one application's data.
+                    if let Some(first) = cold_batch.first() {
+                        if first.app() != page.app() {
+                            flush_cold(&mut cold_batch, &mut groups);
+                        }
+                    }
+                    cold_batch.push(page);
+                    if cold_batch.len() >= cold_batch_size {
+                        flush_cold(&mut cold_batch, &mut groups);
+                    }
+                }
+                Hotness::Warm | Hotness::Hot => {
+                    flush_cold(&mut cold_batch, &mut groups);
+                    groups.push(CompressionGroup {
+                        pages: vec![page],
+                        hotness,
+                        chunk_size: self.chunk_size_for(hotness),
+                    });
+                }
+            }
+        }
+        flush_cold(&mut cold_batch, &mut groups);
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ariadne_mem::{AppId, Pfn};
+
+    fn page(app: u32, pfn: u64) -> PageId {
+        PageId::new(AppId::new(app), Pfn::new(pfn))
+    }
+
+    #[test]
+    fn chunk_sizes_follow_the_size_configuration() {
+        let policy = AdaptiveComp::new(SizeConfig::b256_k2_k32());
+        assert_eq!(policy.chunk_size_for(Hotness::Hot).bytes(), 256);
+        assert_eq!(policy.chunk_size_for(Hotness::Warm).bytes(), 2048);
+        assert_eq!(policy.chunk_size_for(Hotness::Cold).bytes(), 32 * 1024);
+        assert_eq!(policy.sizes(), SizeConfig::b256_k2_k32());
+    }
+
+    #[test]
+    fn cold_entries_cover_multiple_pages() {
+        let policy = AdaptiveComp::new(SizeConfig::k1_k2_k16());
+        assert_eq!(policy.pages_per_entry(Hotness::Cold), 4);
+        assert_eq!(policy.pages_per_entry(Hotness::Warm), 1);
+        assert_eq!(policy.pages_per_entry(Hotness::Hot), 1);
+        // A sub-page large size still yields one page per entry.
+        let tiny = AdaptiveComp::new(SizeConfig::new(
+            ChunkSize::b256(),
+            ChunkSize::b512(),
+            ChunkSize::k1(),
+        ));
+        assert_eq!(tiny.pages_per_entry(Hotness::Cold), 1);
+    }
+
+    #[test]
+    fn cold_victims_are_batched_warm_are_single() {
+        let policy = AdaptiveComp::new(SizeConfig::k1_k2_k16());
+        let victims = vec![
+            (page(1, 0), Hotness::Cold),
+            (page(1, 1), Hotness::Cold),
+            (page(1, 2), Hotness::Cold),
+            (page(1, 3), Hotness::Cold),
+            (page(1, 4), Hotness::Cold),
+            (page(1, 10), Hotness::Warm),
+        ];
+        let groups = policy.group_victims(&victims);
+        // 4 cold pages per 16K entry -> one full group + one remainder group,
+        // then the warm single.
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].pages.len(), 4);
+        assert_eq!(groups[0].hotness, Hotness::Cold);
+        assert_eq!(groups[1].pages.len(), 1);
+        assert_eq!(groups[2].hotness, Hotness::Warm);
+        assert_eq!(groups[2].chunk_size, ChunkSize::k2());
+    }
+
+    #[test]
+    fn cold_batches_never_mix_applications() {
+        let policy = AdaptiveComp::new(SizeConfig::k1_k2_k16());
+        let victims = vec![
+            (page(1, 0), Hotness::Cold),
+            (page(1, 1), Hotness::Cold),
+            (page(2, 0), Hotness::Cold),
+            (page(2, 1), Hotness::Cold),
+        ];
+        let groups = policy.group_victims(&victims);
+        assert_eq!(groups.len(), 2);
+        assert!(groups[0].pages.iter().all(|p| p.app() == AppId::new(1)));
+        assert!(groups[1].pages.iter().all(|p| p.app() == AppId::new(2)));
+    }
+
+    #[test]
+    fn cold_group_pages_are_address_ordered() {
+        let policy = AdaptiveComp::new(SizeConfig::k1_k2_k16());
+        let victims = vec![
+            (page(1, 9), Hotness::Cold),
+            (page(1, 2), Hotness::Cold),
+            (page(1, 5), Hotness::Cold),
+        ];
+        let groups = policy.group_victims(&victims);
+        assert_eq!(groups.len(), 1);
+        let pfns: Vec<u64> = groups[0].pages.iter().map(|p| p.pfn().value()).collect();
+        assert_eq!(pfns, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn empty_victim_list_produces_no_groups() {
+        let policy = AdaptiveComp::new(SizeConfig::k1_k2_k16());
+        assert!(policy.group_victims(&[]).is_empty());
+    }
+}

@@ -1,0 +1,832 @@
+//! The complete Ariadne swap scheme (§4).
+//!
+//! [`AriadneScheme`] wires the three techniques together behind the common
+//! [`SwapScheme`] interface:
+//!
+//! 1. reclaim victims come from [`HotnessOrg`] — cold data of the least
+//!    recently used application first;
+//! 2. victims are compressed by [`AdaptiveComp`]'s rules — large multi-page
+//!    chunks for cold data, medium chunks for warm, small chunks for hot;
+//! 3. page faults on compressed data trigger [`PreDecompBuffer`]-backed
+//!    proactive decompression of the next zpool sector.
+//!
+//! Compression operates on the real synthetic page bytes (so compression
+//! ratios are genuine); latencies come from the calibrated cost models.
+
+use crate::adaptive::{AdaptiveComp, CompressionGroup};
+use crate::config::{AriadneConfig, HotListMode};
+use crate::hotness::HotnessOrg;
+use crate::identification::{IdentificationMetrics, IdentificationTracker};
+use crate::predecomp::PreDecompBuffer;
+use ariadne_compress::{ChunkSize, ChunkedCodec, CostNanos};
+use ariadne_mem::{
+    AppId, CpuActivity, FlashDevice, Hotness, MainMemory, PageId, PageLocation, ReclaimRequest,
+    SimClock, Zpool, ZpoolHandle, PAGE_SIZE,
+};
+use ariadne_zram::{
+    AccessKind, AccessOutcome, ReclaimOutcome, SchemeContext, SchemeStats, SwapScheme,
+    WritebackPolicy,
+};
+use std::collections::HashMap;
+
+/// Metadata remembered for pages sitting in the pre-decompression buffer so
+/// they can be re-compressed (at the same size) if they are evicted unused.
+#[derive(Debug, Clone, Copy)]
+struct BufferedPageMeta {
+    compressed_bytes: usize,
+    chunk_size: ChunkSize,
+    hotness: Hotness,
+}
+
+/// The hotness-aware, size-adaptive compressed swap scheme.
+///
+/// ```
+/// use ariadne_core::{AriadneConfig, AriadneScheme};
+/// use ariadne_zram::{MemoryConfig, SwapScheme};
+///
+/// let scheme = AriadneScheme::new(AriadneConfig::al_1k_2k_16k(MemoryConfig::pixel7_scaled(256)));
+/// assert_eq!(scheme.name(), "Ariadne-AL-1K-2K-16K");
+/// ```
+#[derive(Debug)]
+pub struct AriadneScheme {
+    config: AriadneConfig,
+    dram: MainMemory,
+    zpool: Zpool,
+    flash: FlashDevice,
+    org: HotnessOrg,
+    adaptive: AdaptiveComp,
+    buffer: PreDecompBuffer,
+    buffer_meta: HashMap<PageId, BufferedPageMeta>,
+    tracker: IdentificationTracker,
+    foreground: Option<AppId>,
+    stats: SchemeStats,
+}
+
+impl AriadneScheme {
+    /// Create the scheme from an [`AriadneConfig`].
+    #[must_use]
+    pub fn new(config: AriadneConfig) -> Self {
+        let mut dram = MainMemory::new(config.memory.dram_bytes, config.memory.watermarks);
+        // The pre-decompression buffer lives in DRAM; reserve its capacity so
+        // the memory accounting stays honest.
+        let reserve = config.predecomp_buffer_pages * PAGE_SIZE;
+        let _ = dram.set_reserved(reserve.min(config.memory.dram_bytes / 2));
+        AriadneScheme {
+            dram,
+            zpool: Zpool::new(config.memory.zpool_bytes),
+            flash: FlashDevice::new(config.memory.flash_swap_bytes),
+            org: HotnessOrg::new(),
+            adaptive: AdaptiveComp::new(config.sizes),
+            buffer: PreDecompBuffer::new(config.predecomp_buffer_pages),
+            buffer_meta: HashMap::new(),
+            tracker: IdentificationTracker::new(),
+            foreground: None,
+            stats: SchemeStats::default(),
+            config,
+        }
+    }
+
+    /// The configuration the scheme was built with.
+    #[must_use]
+    pub fn config(&self) -> &AriadneConfig {
+        &self.config
+    }
+
+    /// Hot-data identification quality samples collected so far (Figure 14).
+    /// Call after the workload finished; prediction windows whose relaunch
+    /// completed are closed on the fly.
+    pub fn identification_metrics(&mut self) -> Vec<(AppId, IdentificationMetrics)> {
+        self.tracker.close_finished();
+        self.tracker.completed().to_vec()
+    }
+
+    /// The hotness organization (exposed for inspection in experiments).
+    #[must_use]
+    pub fn hotness_org(&self) -> &HotnessOrg {
+        &self.org
+    }
+
+    /// Pre-decompression buffer hit/waste counters.
+    #[must_use]
+    pub fn predecomp_buffer(&self) -> &PreDecompBuffer {
+        &self.buffer
+    }
+
+    fn algorithm(&self) -> ariadne_compress::Algorithm {
+        self.config.memory.algorithm
+    }
+
+    /// Compress one victim group into the zpool. Returns the compression
+    /// latency.
+    fn compress_group(
+        &mut self,
+        group: &CompressionGroup,
+        clock: &mut SimClock,
+        ctx: &SchemeContext,
+    ) -> CostNanos {
+        let bytes = ctx.pages_bytes(&group.pages);
+        let codec = ChunkedCodec::new(self.algorithm(), group.chunk_size);
+        let image = codec.compress(&bytes).expect("compression cannot fail");
+        let compressed_len = image.compressed_len();
+        let cost = ctx
+            .latency
+            .compression_cost(self.algorithm(), group.chunk_size, bytes.len());
+
+        self.make_zpool_room(compressed_len, clock, ctx);
+        if self
+            .zpool
+            .store(
+                group.pages.clone(),
+                bytes.len(),
+                compressed_len,
+                group.chunk_size,
+                group.hotness,
+            )
+            .is_err()
+        {
+            self.stats.dropped_pages += group.pages.len();
+        }
+        for page in &group.pages {
+            self.dram.remove(*page);
+        }
+
+        self.stats.compression_ops += 1;
+        self.stats.pages_compressed += group.pages.len();
+        self.stats.bytes_before_compression += bytes.len();
+        self.stats.bytes_after_compression += compressed_len;
+        self.stats.compression_time += cost;
+        self.stats.compression_log.extend(group.pages.iter().copied());
+        self.stats.cpu.charge(CpuActivity::Compression, cost);
+        clock.charge_cpu(CpuActivity::Compression, cost);
+        self.stats.zpool = self.zpool.stats();
+        cost
+    }
+
+    /// Free zpool space for `incoming_bytes`, preferring to move *cold*
+    /// entries out (to flash under the ZSWAP policy, or dropping them).
+    fn make_zpool_room(
+        &mut self,
+        incoming_bytes: usize,
+        clock: &mut SimClock,
+        ctx: &SchemeContext,
+    ) {
+        while self.zpool.would_overflow(incoming_bytes) && !self.zpool.is_empty() {
+            // Victim: the oldest cold entry; if none, the oldest entry of any
+            // hotness.
+            let victim = self
+                .zpool
+                .iter()
+                .filter(|(_, e)| e.hotness == Hotness::Cold)
+                .min_by_key(|(_, e)| e.sector.value())
+                .or_else(|| self.zpool.iter().min_by_key(|(_, e)| e.sector.value()))
+                .map(|(h, _)| h);
+            let Some(handle) = victim else { break };
+            let entry = self.zpool.remove(handle).expect("victim handle is live");
+            match self.config.memory.writeback {
+                WritebackPolicy::DropOldest => {
+                    self.stats.dropped_pages += entry.pages.len();
+                }
+                WritebackPolicy::WritebackToFlash => {
+                    let io_cpu = ctx.timing.lru_ops(2);
+                    clock.charge_cpu(CpuActivity::SwapIo, io_cpu);
+                    self.stats.cpu.charge(CpuActivity::SwapIo, io_cpu);
+                    if self
+                        .flash
+                        .write(
+                            entry.pages.clone(),
+                            entry.original_bytes,
+                            entry.compressed_bytes,
+                            true,
+                        )
+                        .is_err()
+                    {
+                        self.stats.dropped_pages += entry.pages.len();
+                    }
+                    self.stats.flash = self.flash.stats();
+                }
+            }
+        }
+    }
+
+    /// Reclaim at least `target_pages` pages. When `synchronous` the caller
+    /// is waiting (direct reclaim) and the compression latency is returned as
+    /// user-visible latency.
+    fn do_reclaim(
+        &mut self,
+        target_pages: usize,
+        synchronous: bool,
+        clock: &mut SimClock,
+        ctx: &SchemeContext,
+    ) -> (usize, CostNanos) {
+        let allow_hot = self.config.mode == HotListMode::AllLists;
+        let mut victims = self
+            .org
+            .pick_victims(target_pages, allow_hot, self.foreground);
+        if victims.is_empty() && !allow_hot {
+            // Last resort (§4.2): if absolutely necessary, hot data is
+            // compressed too — with the small chunk size, so the penalty on a
+            // later relaunch stays limited.
+            victims = self.org.pick_victims(target_pages, true, self.foreground);
+        }
+        if victims.is_empty() {
+            return (0, CostNanos::zero());
+        }
+
+        let scan = ctx.timing.reclaim_scan(victims.len());
+        clock.charge_cpu(CpuActivity::ReclaimScan, scan);
+        self.stats.cpu.charge(CpuActivity::ReclaimScan, scan);
+        let list_cpu = ctx.timing.lru_ops(victims.len());
+        clock.charge_cpu(CpuActivity::ListMaintenance, list_cpu);
+        self.stats.cpu.charge(CpuActivity::ListMaintenance, list_cpu);
+
+        let reclaimed = victims.len();
+        let mut latency = CostNanos::zero();
+        let groups = self.adaptive.group_victims(&victims);
+        for group in &groups {
+            let cost = self.compress_group(group, clock, ctx);
+            if synchronous {
+                latency += cost;
+                clock.advance(cost);
+            }
+        }
+        (reclaimed, latency)
+    }
+
+    /// Ensure there is room for `pages` more resident pages, via direct
+    /// reclaim if needed. Returns the user-visible latency incurred.
+    fn make_room_for(
+        &mut self,
+        pages: usize,
+        clock: &mut SimClock,
+        ctx: &SchemeContext,
+    ) -> CostNanos {
+        let mut latency = CostNanos::zero();
+        while self.dram.free_bytes() < pages * PAGE_SIZE {
+            let needed = (pages * PAGE_SIZE - self.dram.free_bytes()).div_ceil(PAGE_SIZE);
+            let (reclaimed, cost) = self.do_reclaim(needed, true, clock, ctx);
+            latency += cost;
+            if reclaimed == 0 {
+                break;
+            }
+        }
+        latency
+    }
+
+    /// Decompress the zpool entry behind `handle` and make its pages
+    /// resident. Returns (latency, pages, hotness, sector).
+    fn fault_in_entry(
+        &mut self,
+        handle: ZpoolHandle,
+        clock: &mut SimClock,
+        ctx: &SchemeContext,
+    ) -> (CostNanos, Vec<PageId>, Hotness) {
+        let entry = self.zpool.remove(handle).expect("entry is live");
+        let mut latency = self.make_room_for(entry.pages.len(), clock, ctx);
+        let cost = ctx.latency.decompression_cost(
+            self.algorithm(),
+            entry.chunk_size,
+            entry.original_bytes,
+        );
+        latency += cost;
+        self.stats.decompression_ops += 1;
+        self.stats.pages_decompressed += entry.pages.len();
+        self.stats.decompression_time += cost;
+        self.stats.cpu.charge(CpuActivity::Decompression, cost);
+        clock.charge_cpu(CpuActivity::Decompression, cost);
+        self.stats.swapin_sector_trace.push(entry.sector.value());
+        self.stats.zpool = self.zpool.stats();
+
+        // Proactive decompression: also decompress the entry at the next
+        // sector (one page look-ahead, Insight 3) into the buffer. Its cost
+        // is CPU work but not user-visible latency — that is the point.
+        if self.config.predecomp_enabled {
+            self.pre_decompress_next(entry.sector, clock, ctx);
+        }
+
+        for page in &entry.pages {
+            let _ = self.dram.insert(*page);
+        }
+        (latency, entry.pages, entry.hotness)
+    }
+
+    /// Speculatively decompress the single-page entry following `sector`.
+    fn pre_decompress_next(
+        &mut self,
+        sector: ariadne_mem::ZpoolSector,
+        clock: &mut SimClock,
+        ctx: &SchemeContext,
+    ) {
+        let candidate = self
+            .zpool
+            .next_by_sector(sector)
+            .filter(|(_, e)| e.pages.len() == 1)
+            .map(|(h, _)| h);
+        let Some(handle) = candidate else { return };
+        let entry = self.zpool.remove(handle).expect("candidate handle is live");
+        let cost = ctx.latency.decompression_cost(
+            self.algorithm(),
+            entry.chunk_size,
+            entry.original_bytes,
+        );
+        self.stats.decompression_ops += 1;
+        self.stats.pages_decompressed += 1;
+        self.stats.decompression_time += cost;
+        self.stats.cpu.charge(CpuActivity::Decompression, cost);
+        clock.charge_cpu(CpuActivity::Decompression, cost);
+        self.stats.zpool = self.zpool.stats();
+
+        let page = entry.pages[0];
+        self.buffer_meta.insert(
+            page,
+            BufferedPageMeta {
+                compressed_bytes: entry.compressed_bytes,
+                chunk_size: entry.chunk_size,
+                hotness: entry.hotness,
+            },
+        );
+        if let Some(evicted) = self.buffer.insert(page) {
+            self.recompress_buffered(evicted, clock, ctx);
+            self.stats.predecomp_wasted = self.buffer.wasted();
+        }
+    }
+
+    /// A page evicted unused from the pre-decompression buffer is compressed
+    /// back into the zpool (same size as before; the CPU pays again).
+    fn recompress_buffered(&mut self, page: PageId, clock: &mut SimClock, ctx: &SchemeContext) {
+        let Some(meta) = self.buffer_meta.remove(&page) else {
+            return;
+        };
+        let cost =
+            ctx.latency
+                .compression_cost(self.algorithm(), meta.chunk_size, PAGE_SIZE);
+        self.stats.compression_ops += 1;
+        self.stats.pages_compressed += 1;
+        self.stats.bytes_before_compression += PAGE_SIZE;
+        self.stats.bytes_after_compression += meta.compressed_bytes;
+        self.stats.compression_time += cost;
+        self.stats.cpu.charge(CpuActivity::Compression, cost);
+        clock.charge_cpu(CpuActivity::Compression, cost);
+        self.make_zpool_room(meta.compressed_bytes, clock, ctx);
+        if self
+            .zpool
+            .store(
+                vec![page],
+                PAGE_SIZE,
+                meta.compressed_bytes,
+                meta.chunk_size,
+                meta.hotness,
+            )
+            .is_err()
+        {
+            self.stats.dropped_pages += 1;
+        }
+        self.stats.zpool = self.zpool.stats();
+    }
+
+    /// Update hotness organization and identification tracking for an access.
+    fn note_access(&mut self, page: PageId, kind: AccessKind) {
+        match kind {
+            AccessKind::Launch | AccessKind::Relaunch => {
+                self.org.on_relaunch_access(page);
+                if kind == AccessKind::Relaunch {
+                    self.tracker.on_relaunch_access(page.app(), page);
+                }
+            }
+            AccessKind::Execution => {
+                self.org.on_execution_access(page);
+                self.tracker.on_execution_access(page.app(), page);
+            }
+        }
+    }
+}
+
+impl SwapScheme for AriadneScheme {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> String {
+        self.config.scheme_name()
+    }
+
+    fn register_page(&mut self, page: PageId, clock: &mut SimClock, ctx: &SchemeContext) {
+        if self.dram.contains(page) {
+            return;
+        }
+        let _ = self.make_room_for(1, clock, ctx);
+        if self.dram.insert(page).is_ok() {
+            // New anonymous data generated during execution starts cold
+            // (§4.2, hotness initialization); launch accesses promote it.
+            self.org.insert(page, Hotness::Cold);
+            let list_cpu = ctx.timing.lru_ops(1);
+            clock.charge_cpu(CpuActivity::ListMaintenance, list_cpu);
+            self.stats.cpu.charge(CpuActivity::ListMaintenance, list_cpu);
+        }
+    }
+
+    fn access(
+        &mut self,
+        page: PageId,
+        kind: AccessKind,
+        clock: &mut SimClock,
+        ctx: &SchemeContext,
+    ) -> AccessOutcome {
+        // Fast path: already resident.
+        if self.dram.contains(page) {
+            self.note_access(page, kind);
+            let latency = ctx.timing.dram_access(1);
+            clock.advance(latency);
+            return AccessOutcome {
+                latency,
+                found_in: PageLocation::Dram,
+            };
+        }
+
+        // Pre-decompression buffer hit: the data is already uncompressed.
+        if self.buffer.take(page) {
+            self.buffer_meta.remove(&page);
+            self.stats.predecomp_hits = self.buffer.hits();
+            let mut latency = self.make_room_for(1, clock, ctx);
+            let _ = self.dram.insert(page);
+            self.note_access(page, kind);
+            latency += ctx.timing.dram_copy(1) + ctx.timing.dram_access(1);
+            clock.advance(latency);
+            return AccessOutcome {
+                latency,
+                found_in: PageLocation::PreDecompBuffer,
+            };
+        }
+
+        let mut latency = ctx.timing.page_fault();
+        let found_in;
+
+        if let Some(handle) = self.zpool.handle_for(page) {
+            found_in = PageLocation::Zpool;
+            let (fault_latency, pages, hotness) = self.fault_in_entry(handle, clock, ctx);
+            latency += fault_latency;
+            // Sibling pages decompressed alongside the requested one keep
+            // their previous hotness; the requested page is classified by the
+            // access that brought it in.
+            for sibling in pages.iter().filter(|p| **p != page) {
+                self.org.insert(*sibling, hotness);
+            }
+            self.note_access(page, kind);
+        } else if let Some(slot) = self.flash.slot_for(page) {
+            found_in = PageLocation::Flash;
+            let (pages, stored, original, compressed) =
+                self.flash.read(slot).expect("slot was just looked up");
+            latency += self.make_room_for(pages.len(), clock, ctx);
+            latency += ctx.timing.flash_read(stored);
+            let io_cpu = ctx.timing.lru_ops(2);
+            clock.charge_cpu(CpuActivity::SwapIo, io_cpu);
+            self.stats.cpu.charge(CpuActivity::SwapIo, io_cpu);
+            if compressed {
+                // Cold data is compressed with the large chunk size before it
+                // is written back, so this is the slow path Ariadne tries to
+                // make rare.
+                let cost = ctx.latency.decompression_cost(
+                    self.algorithm(),
+                    self.adaptive.chunk_size_for(Hotness::Cold),
+                    original,
+                );
+                latency += cost;
+                self.stats.decompression_ops += 1;
+                self.stats.pages_decompressed += pages.len();
+                self.stats.decompression_time += cost;
+                self.stats.cpu.charge(CpuActivity::Decompression, cost);
+                clock.charge_cpu(CpuActivity::Decompression, cost);
+            }
+            self.flash.discard(slot).expect("slot exists");
+            self.stats.flash = self.flash.stats();
+            self.stats.swapin_sector_trace.push(slot.value());
+            for p in &pages {
+                let _ = self.dram.insert(*p);
+                if *p != page {
+                    self.org.insert(*p, Hotness::Cold);
+                }
+            }
+            self.note_access(page, kind);
+        } else {
+            found_in = PageLocation::Absent;
+            latency += self.make_room_for(1, clock, ctx);
+            latency += ctx.timing.dram_copy(1);
+            self.stats.dropped_pages += 1;
+            let _ = self.dram.insert(page);
+            self.note_access(page, kind);
+        }
+
+        latency += ctx.timing.dram_access(1);
+        clock.advance(latency);
+        AccessOutcome { latency, found_in }
+    }
+
+    fn reclaim(
+        &mut self,
+        request: ReclaimRequest,
+        clock: &mut SimClock,
+        ctx: &SchemeContext,
+    ) -> ReclaimOutcome {
+        let (reclaimed, _) = self.do_reclaim(request.target_pages, false, clock, ctx);
+        ReclaimOutcome {
+            pages_reclaimed: reclaimed,
+            bytes_freed: reclaimed * PAGE_SIZE,
+        }
+    }
+
+    fn on_foreground(&mut self, app: AppId) {
+        self.foreground = Some(app);
+        self.org.touch_app(app);
+    }
+
+    fn on_background(&mut self, app: AppId) {
+        if self.foreground == Some(app) {
+            self.foreground = None;
+        }
+    }
+
+    fn on_relaunch_start(&mut self, app: AppId) {
+        // The hot list right now is the prediction for this relaunch.
+        let predicted = self.org.hot_list(app);
+        self.tracker.on_relaunch_start(app, predicted);
+        // Rotate: the previous relaunch's hot data becomes warm; the accesses
+        // of this relaunch will rebuild the hot list (§4.2, hotness update).
+        self.org.rotate_hot_list(app);
+        self.org.touch_app(app);
+        self.foreground = Some(app);
+    }
+
+    fn on_relaunch_end(&mut self, app: AppId) {
+        self.tracker.on_relaunch_end(app);
+    }
+
+    fn location_of(&self, page: PageId) -> PageLocation {
+        if self.dram.contains(page) {
+            PageLocation::Dram
+        } else if self.buffer.contains(page) {
+            PageLocation::PreDecompBuffer
+        } else if self.zpool.contains(page) {
+            PageLocation::Zpool
+        } else if self.flash.contains(page) {
+            PageLocation::Flash
+        } else {
+            PageLocation::Absent
+        }
+    }
+
+    fn dram(&self) -> &MainMemory {
+        &self.dram
+    }
+
+    fn stats(&self) -> &SchemeStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SizeConfig;
+    use ariadne_mem::reclaim::ReclaimReason;
+    use ariadne_mem::Watermarks;
+    use ariadne_trace::{AppName, WorkloadBuilder};
+    use ariadne_zram::MemoryConfig;
+
+    fn tiny_memory(dram_pages: usize, zpool_pages: usize) -> MemoryConfig {
+        let dram = dram_pages * PAGE_SIZE;
+        MemoryConfig {
+            dram_bytes: dram,
+            zpool_bytes: zpool_pages * PAGE_SIZE,
+            flash_swap_bytes: 4096 * PAGE_SIZE,
+            watermarks: Watermarks::new(dram / 8, dram / 4).unwrap(),
+            ..MemoryConfig::pixel7_scaled(1024)
+        }
+    }
+
+    fn setup(
+        config: AriadneConfig,
+    ) -> (AriadneScheme, SchemeContext, SimClock, Vec<PageId>) {
+        let workloads = vec![WorkloadBuilder::new(1).scale(1024).build(AppName::Twitter)];
+        let ctx = SchemeContext::new(1, &workloads);
+        let pages: Vec<PageId> = workloads[0].pages.iter().map(|p| p.page).collect();
+        (AriadneScheme::new(config), ctx, SimClock::new(), pages)
+    }
+
+    fn request(pages: usize) -> ReclaimRequest {
+        ReclaimRequest {
+            target_pages: pages,
+            reason: ReclaimReason::LowWatermark,
+        }
+    }
+
+    #[test]
+    fn launch_accesses_build_the_hot_list() {
+        let config = AriadneConfig::ehl_1k_2k_16k(tiny_memory(4096, 1024));
+        let (mut scheme, ctx, mut clock, pages) = setup(config);
+        for &page in pages.iter().take(20) {
+            scheme.register_page(page, &mut clock, &ctx);
+        }
+        for &page in pages.iter().take(10) {
+            scheme.access(page, AccessKind::Launch, &mut clock, &ctx);
+        }
+        let app = pages[0].app();
+        let (hot, _, cold) = scheme.hotness_org().list_sizes(app);
+        assert_eq!(hot, 10);
+        assert_eq!(cold, 10);
+    }
+
+    #[test]
+    fn reclaim_takes_cold_pages_and_uses_large_chunks() {
+        let config = AriadneConfig::ehl_1k_2k_16k(tiny_memory(4096, 1024));
+        let (mut scheme, ctx, mut clock, pages) = setup(config);
+        for &page in pages.iter().take(40) {
+            scheme.register_page(page, &mut clock, &ctx);
+        }
+        // Pages 0..10 become hot; the rest stay cold.
+        for &page in pages.iter().take(10) {
+            scheme.access(page, AccessKind::Launch, &mut clock, &ctx);
+        }
+        let outcome = scheme.reclaim(request(8), &mut clock, &ctx);
+        assert_eq!(outcome.pages_reclaimed, 8);
+        // Hot pages survived in DRAM; cold pages were compressed.
+        assert_eq!(scheme.location_of(pages[0]), PageLocation::Dram);
+        assert!(scheme
+            .stats()
+            .compression_log
+            .iter()
+            .all(|p| !pages[..10].contains(p)));
+        // Cold data was grouped: 8 pages with 16K chunks -> 2 entries of 4 pages.
+        assert_eq!(scheme.stats().compression_ops, 2);
+        assert_eq!(scheme.stats().pages_compressed, 8);
+    }
+
+    #[test]
+    fn ehl_keeps_hot_data_uncompressed_until_last_resort() {
+        let config = AriadneConfig::ehl_1k_2k_16k(tiny_memory(4096, 1024));
+        let (mut scheme, ctx, mut clock, pages) = setup(config);
+        for &page in pages.iter().take(10) {
+            scheme.register_page(page, &mut clock, &ctx);
+            scheme.access(page, AccessKind::Launch, &mut clock, &ctx);
+        }
+        // Everything is hot; a normal reclaim pass in EHL mode still works
+        // via the last-resort path but only when nothing else is available.
+        let outcome = scheme.reclaim(request(2), &mut clock, &ctx);
+        assert_eq!(outcome.pages_reclaimed, 2);
+        // Small chunk size was used for the hot victims.
+        let entry_sizes: Vec<usize> = scheme
+            .stats()
+            .compression_log
+            .iter()
+            .map(|_| 1)
+            .collect();
+        assert_eq!(entry_sizes.len(), 2);
+    }
+
+    #[test]
+    fn faulting_cold_data_decompresses_the_whole_group() {
+        let config = AriadneConfig::ehl_1k_2k_16k(tiny_memory(4096, 1024)).without_predecomp();
+        let (mut scheme, ctx, mut clock, pages) = setup(config);
+        for &page in pages.iter().take(40) {
+            scheme.register_page(page, &mut clock, &ctx);
+        }
+        scheme.reclaim(request(8), &mut clock, &ctx);
+        let compressed = scheme.stats().compression_log.clone();
+        let target = compressed[0];
+        let outcome = scheme.access(target, AccessKind::Execution, &mut clock, &ctx);
+        assert_eq!(outcome.found_in, PageLocation::Zpool);
+        // The other pages of the same 16K group came back to DRAM too.
+        let resident_siblings = compressed[..4]
+            .iter()
+            .filter(|p| scheme.location_of(**p) == PageLocation::Dram)
+            .count();
+        assert_eq!(resident_siblings, 4);
+    }
+
+    #[test]
+    fn predecomp_hits_avoid_decompression_latency() {
+        let sizes = SizeConfig::new(ChunkSize::k1(), ChunkSize::k2(), ChunkSize::k4());
+        let config = AriadneConfig::new(sizes, HotListMode::AllLists, tiny_memory(4096, 1024))
+            .with_predecomp_buffer(4);
+        let (mut scheme, ctx, mut clock, pages) = setup(config);
+        for &page in pages.iter().take(40) {
+            scheme.register_page(page, &mut clock, &ctx);
+        }
+        // Warm them so they are compressed as single-page entries (required
+        // for the one-page look-ahead).
+        for &page in pages.iter().take(40) {
+            scheme.access(page, AccessKind::Execution, &mut clock, &ctx);
+        }
+        scheme.reclaim(request(16), &mut clock, &ctx);
+        let compressed = scheme.stats().compression_log.clone();
+        assert!(compressed.len() >= 2);
+
+        // Fault the first compressed page: its zpool-sector neighbour should
+        // be pre-decompressed into the buffer.
+        let first = compressed[0];
+        let second = compressed[1];
+        scheme.access(first, AccessKind::Relaunch, &mut clock, &ctx);
+        assert_eq!(scheme.location_of(second), PageLocation::PreDecompBuffer);
+
+        // Accessing the neighbour is now a buffer hit with near-DRAM latency.
+        let outcome = scheme.access(second, AccessKind::Relaunch, &mut clock, &ctx);
+        assert_eq!(outcome.found_in, PageLocation::PreDecompBuffer);
+        assert_eq!(scheme.stats().predecomp_hits, 1);
+        let decomp = ctx.latency.decompression_cost(
+            ariadne_compress::Algorithm::Lzo,
+            ChunkSize::k2(),
+            PAGE_SIZE,
+        );
+        assert!(outcome.latency < decomp + ctx.timing.page_fault());
+    }
+
+    #[test]
+    fn direct_reclaim_cost_appears_on_the_fault_path() {
+        let config = AriadneConfig::al_1k_2k_16k(tiny_memory(16, 1024)).without_predecomp();
+        let (mut scheme, ctx, mut clock, pages) = setup(config);
+        // Fill DRAM beyond capacity so every further touch forces reclaim.
+        for &page in pages.iter().take(30) {
+            scheme.register_page(page, &mut clock, &ctx);
+        }
+        assert!(scheme.stats().compression_ops > 0);
+        let compressed = scheme.stats().compression_log[0];
+        let outcome = scheme.access(compressed, AccessKind::Relaunch, &mut clock, &ctx);
+        assert!(outcome.latency > ctx.timing.dram_access(1));
+    }
+
+    #[test]
+    fn identification_metrics_reflect_hot_list_quality() {
+        let config = AriadneConfig::ehl_1k_2k_16k(tiny_memory(4096, 1024));
+        let (mut scheme, ctx, mut clock, pages) = setup(config);
+        let app = pages[0].app();
+        for &page in pages.iter().take(20) {
+            scheme.register_page(page, &mut clock, &ctx);
+        }
+        // First relaunch touches pages 0..10.
+        scheme.on_relaunch_start(app);
+        for &page in pages.iter().take(10) {
+            scheme.access(page, AccessKind::Relaunch, &mut clock, &ctx);
+        }
+        scheme.on_relaunch_end(app);
+        // Second relaunch touches pages 0..8 (80 % overlap).
+        scheme.on_relaunch_start(app);
+        for &page in pages.iter().take(8) {
+            scheme.access(page, AccessKind::Relaunch, &mut clock, &ctx);
+        }
+        scheme.on_relaunch_end(app);
+
+        let metrics = scheme.identification_metrics();
+        // The first window has an empty prediction (nothing was hot yet); the
+        // second window predicted pages 0..10 and saw 0..8 used.
+        let last = metrics.last().unwrap().1;
+        assert!((last.coverage - 1.0).abs() < 1e-9);
+        assert!((last.accuracy - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_expose_real_compression_ratios() {
+        let config = AriadneConfig::ehl_1k_2k_16k(tiny_memory(4096, 1024));
+        let (mut scheme, ctx, mut clock, pages) = setup(config);
+        for &page in pages.iter().take(64) {
+            scheme.register_page(page, &mut clock, &ctx);
+        }
+        scheme.reclaim(request(32), &mut clock, &ctx);
+        let ratio = scheme.stats().compression_ratio();
+        assert!(ratio > 1.2 && ratio < 30.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zswap_writeback_sends_cold_overflow_to_flash() {
+        let memory = tiny_memory(4096, 4).with_writeback(WritebackPolicy::WritebackToFlash);
+        let config = AriadneConfig::ehl_1k_2k_16k(memory);
+        let (mut scheme, ctx, mut clock, pages) = setup(config);
+        for &page in pages.iter().take(64) {
+            scheme.register_page(page, &mut clock, &ctx);
+        }
+        scheme.reclaim(request(48), &mut clock, &ctx);
+        assert!(scheme.stats().flash.writes > 0);
+        // Writeback preserved the data: nothing was dropped, and a page that
+        // went to flash can still be faulted back in.
+        assert_eq!(scheme.stats().dropped_pages, 0);
+        let written_back = pages
+            .iter()
+            .take(64)
+            .find(|&&p| scheme.location_of(p) == PageLocation::Flash)
+            .copied()
+            .expect("some page was written back to flash");
+        let outcome = scheme.access(written_back, AccessKind::Relaunch, &mut clock, &ctx);
+        assert_eq!(outcome.found_in, PageLocation::Flash);
+        assert_eq!(scheme.location_of(written_back), PageLocation::Dram);
+    }
+
+    #[test]
+    fn absent_pages_still_become_resident() {
+        let config = AriadneConfig::ehl_1k_2k_16k(tiny_memory(4096, 1024));
+        let (mut scheme, ctx, mut clock, pages) = setup(config);
+        let outcome = scheme.access(pages[0], AccessKind::Execution, &mut clock, &ctx);
+        assert_eq!(outcome.found_in, PageLocation::Absent);
+        assert_eq!(scheme.location_of(pages[0]), PageLocation::Dram);
+    }
+}

@@ -1,0 +1,327 @@
+//! The main-memory (DRAM) model with reclaim watermarks.
+//!
+//! [`MainMemory`] tracks which pages are resident uncompressed in DRAM and
+//! how much of the configured capacity they (plus any reserved regions such
+//! as the zpool) occupy. Like the kernel, it exposes *watermarks*: when free
+//! memory drops below the **low** watermark the background reclaimer
+//! (kswapd) starts compressing/swapping pages out, and it keeps going until
+//! free memory rises above the **high** watermark.
+
+use crate::error::MemError;
+use crate::page::{PageId, PAGE_SIZE};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Reclaim watermarks, expressed in bytes of *free* memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Watermarks {
+    /// Background reclaim starts when free memory drops below this.
+    pub low: usize,
+    /// Background reclaim stops when free memory rises above this.
+    pub high: usize,
+}
+
+impl Watermarks {
+    /// Android-like defaults: low = 6.25 % of capacity, high = 10 %.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn android_default(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be non-zero");
+        Watermarks {
+            low: capacity / 16,
+            high: capacity / 10,
+        }
+    }
+
+    /// Build custom watermarks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidParameter`] if `low > high`.
+    pub fn new(low: usize, high: usize) -> Result<Self, MemError> {
+        if low > high {
+            return Err(MemError::InvalidParameter {
+                parameter: "watermarks",
+                detail: format!("low ({low}) must not exceed high ({high})"),
+            });
+        }
+        Ok(Watermarks { low, high })
+    }
+}
+
+/// The uncompressed-page region of main memory.
+///
+/// ```
+/// use ariadne_mem::{AppId, MainMemory, PageId, Pfn, Watermarks};
+///
+/// let capacity = 16 * 1024 * 1024;
+/// let mut dram = MainMemory::new(capacity, Watermarks::android_default(capacity));
+/// for i in 0..100 {
+///     dram.insert(PageId::new(AppId::new(1), Pfn::new(i))).unwrap();
+/// }
+/// assert_eq!(dram.used_bytes(), 100 * 4096);
+/// assert!(!dram.below_low_watermark());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MainMemory {
+    capacity: usize,
+    reserved: usize,
+    resident: HashSet<PageId>,
+    watermarks: Watermarks,
+    peak_used: usize,
+}
+
+impl MainMemory {
+    /// Create a DRAM model with `capacity` bytes and the given watermarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize, watermarks: Watermarks) -> Self {
+        assert!(capacity > 0, "capacity must be non-zero");
+        MainMemory {
+            capacity,
+            reserved: 0,
+            resident: HashSet::new(),
+            watermarks,
+            peak_used: 0,
+        }
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The configured watermarks.
+    #[must_use]
+    pub fn watermarks(&self) -> Watermarks {
+        self.watermarks
+    }
+
+    /// Bytes currently used by resident pages plus reservations.
+    #[must_use]
+    pub fn used_bytes(&self) -> usize {
+        self.resident.len() * PAGE_SIZE + self.reserved
+    }
+
+    /// Peak value of [`MainMemory::used_bytes`] observed so far.
+    #[must_use]
+    pub fn peak_used_bytes(&self) -> usize {
+        self.peak_used
+    }
+
+    /// Bytes currently free.
+    #[must_use]
+    pub fn free_bytes(&self) -> usize {
+        self.capacity.saturating_sub(self.used_bytes())
+    }
+
+    /// Number of resident uncompressed pages.
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Adjust the amount of capacity reserved for non-page uses (the zpool
+    /// and the pre-decompression buffer reserve space this way).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidParameter`] if the reservation would exceed
+    /// total capacity.
+    pub fn set_reserved(&mut self, bytes: usize) -> Result<(), MemError> {
+        if bytes > self.capacity {
+            return Err(MemError::InvalidParameter {
+                parameter: "reserved",
+                detail: format!("{bytes} exceeds capacity {}", self.capacity),
+            });
+        }
+        self.reserved = bytes;
+        self.note_usage();
+        Ok(())
+    }
+
+    /// Bytes currently reserved for non-page uses.
+    #[must_use]
+    pub fn reserved_bytes(&self) -> usize {
+        self.reserved
+    }
+
+    /// Whether `page` is resident.
+    #[must_use]
+    pub fn contains(&self, page: PageId) -> bool {
+        self.resident.contains(&page)
+    }
+
+    /// Make `page` resident.
+    ///
+    /// Inserting may push usage past the watermarks — the caller (the swap
+    /// scheme) is responsible for reclaiming afterwards, exactly as the
+    /// kernel allows allocations to dip into the watermark gap and wakes
+    /// kswapd asynchronously. Inserting beyond *capacity* is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::ZpoolFull`]-style capacity errors if there is no
+    /// room at all, or succeeds trivially if the page is already resident.
+    pub fn insert(&mut self, page: PageId) -> Result<(), MemError> {
+        if self.resident.contains(&page) {
+            return Ok(());
+        }
+        if self.free_bytes() < PAGE_SIZE {
+            return Err(MemError::ZpoolFull {
+                requested: PAGE_SIZE,
+                available: self.free_bytes(),
+            });
+        }
+        self.resident.insert(page);
+        self.note_usage();
+        Ok(())
+    }
+
+    /// Remove `page` from the resident set. Returns `true` if it was present.
+    pub fn remove(&mut self, page: PageId) -> bool {
+        self.resident.remove(&page)
+    }
+
+    /// Remove every resident page belonging to `app`, returning them.
+    pub fn evict_app(&mut self, app: crate::page::AppId) -> Vec<PageId> {
+        let victims: Vec<PageId> = self
+            .resident
+            .iter()
+            .filter(|p| p.app() == app)
+            .copied()
+            .collect();
+        for v in &victims {
+            self.resident.remove(v);
+        }
+        victims
+    }
+
+    /// Whether free memory is below the low watermark (kswapd should run).
+    #[must_use]
+    pub fn below_low_watermark(&self) -> bool {
+        self.free_bytes() < self.watermarks.low
+    }
+
+    /// Whether free memory is above the high watermark (kswapd may stop).
+    #[must_use]
+    pub fn above_high_watermark(&self) -> bool {
+        self.free_bytes() > self.watermarks.high
+    }
+
+    /// Bytes that must be freed to reach the high watermark (zero if already
+    /// above it).
+    #[must_use]
+    pub fn reclaim_target_bytes(&self) -> usize {
+        self.watermarks.high.saturating_sub(self.free_bytes())
+    }
+
+    fn note_usage(&mut self) {
+        self.peak_used = self.peak_used.max(self.used_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::{AppId, Pfn};
+
+    fn page(app: u32, pfn: u64) -> PageId {
+        PageId::new(AppId::new(app), Pfn::new(pfn))
+    }
+
+    #[test]
+    fn insert_and_remove_track_usage() {
+        let mut dram = MainMemory::new(1 << 20, Watermarks::android_default(1 << 20));
+        assert!(dram.insert(page(1, 0)).is_ok());
+        assert!(dram.insert(page(1, 1)).is_ok());
+        assert_eq!(dram.used_bytes(), 2 * PAGE_SIZE);
+        assert!(dram.remove(page(1, 0)));
+        assert!(!dram.remove(page(1, 0)));
+        assert_eq!(dram.resident_pages(), 1);
+    }
+
+    #[test]
+    fn double_insert_is_idempotent() {
+        let mut dram = MainMemory::new(1 << 20, Watermarks::android_default(1 << 20));
+        dram.insert(page(1, 7)).unwrap();
+        dram.insert(page(1, 7)).unwrap();
+        assert_eq!(dram.used_bytes(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let capacity = 4 * PAGE_SIZE;
+        let mut dram = MainMemory::new(capacity, Watermarks::new(0, 0).unwrap());
+        for i in 0..4 {
+            dram.insert(page(1, i)).unwrap();
+        }
+        assert!(dram.insert(page(1, 99)).is_err());
+        assert_eq!(dram.free_bytes(), 0);
+    }
+
+    #[test]
+    fn watermarks_flag_memory_pressure() {
+        let capacity = 100 * PAGE_SIZE;
+        let marks = Watermarks::new(10 * PAGE_SIZE, 20 * PAGE_SIZE).unwrap();
+        let mut dram = MainMemory::new(capacity, marks);
+        for i in 0..85 {
+            dram.insert(page(1, i)).unwrap();
+        }
+        assert!(!dram.below_low_watermark());
+        assert!(!dram.above_high_watermark());
+        for i in 85..95 {
+            dram.insert(page(1, i)).unwrap();
+        }
+        assert!(dram.below_low_watermark());
+        assert_eq!(dram.reclaim_target_bytes(), 15 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn reservations_consume_capacity() {
+        let capacity = 100 * PAGE_SIZE;
+        let mut dram = MainMemory::new(capacity, Watermarks::android_default(capacity));
+        dram.set_reserved(50 * PAGE_SIZE).unwrap();
+        assert_eq!(dram.free_bytes(), 50 * PAGE_SIZE);
+        assert!(dram.set_reserved(101 * PAGE_SIZE).is_err());
+    }
+
+    #[test]
+    fn evict_app_removes_only_that_app() {
+        let mut dram = MainMemory::new(1 << 22, Watermarks::android_default(1 << 22));
+        for i in 0..10 {
+            dram.insert(page(1, i)).unwrap();
+            dram.insert(page(2, i)).unwrap();
+        }
+        let evicted = dram.evict_app(AppId::new(1));
+        assert_eq!(evicted.len(), 10);
+        assert_eq!(dram.resident_pages(), 10);
+        assert!(evicted.iter().all(|p| p.app() == AppId::new(1)));
+    }
+
+    #[test]
+    fn peak_usage_is_tracked() {
+        let mut dram = MainMemory::new(1 << 20, Watermarks::android_default(1 << 20));
+        for i in 0..20 {
+            dram.insert(page(1, i)).unwrap();
+        }
+        for i in 0..20 {
+            dram.remove(page(1, i));
+        }
+        assert_eq!(dram.peak_used_bytes(), 20 * PAGE_SIZE);
+        assert_eq!(dram.used_bytes(), 0);
+    }
+
+    #[test]
+    fn invalid_watermarks_are_rejected() {
+        assert!(Watermarks::new(10, 5).is_err());
+        assert!(Watermarks::new(5, 10).is_ok());
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for memory-substrate operations.
+
+use crate::page::PageId;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by the memory-substrate components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemError {
+    /// The zpool has no free space for the requested allocation.
+    ZpoolFull {
+        /// Bytes that were requested.
+        requested: usize,
+        /// Bytes currently free.
+        available: usize,
+    },
+    /// The flash swap area has no free slots.
+    SwapSpaceFull,
+    /// A page was looked up that the component does not hold.
+    PageNotFound {
+        /// The page that was requested.
+        page: PageId,
+    },
+    /// A zpool handle was used after the entry was removed.
+    StaleHandle,
+    /// A parameter was outside its legal range.
+    InvalidParameter {
+        /// Which parameter was invalid.
+        parameter: &'static str,
+        /// Why it was rejected.
+        detail: String,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::ZpoolFull {
+                requested,
+                available,
+            } => write!(
+                f,
+                "zpool full: requested {requested} bytes, {available} available"
+            ),
+            MemError::SwapSpaceFull => write!(f, "flash swap space is full"),
+            MemError::PageNotFound { page } => write!(f, "page {page} not found"),
+            MemError::StaleHandle => write!(f, "stale zpool handle"),
+            MemError::InvalidParameter { parameter, detail } => {
+                write!(f, "invalid parameter `{parameter}`: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::{AppId, Pfn};
+
+    #[test]
+    fn display_is_informative() {
+        let err = MemError::ZpoolFull {
+            requested: 4096,
+            available: 128,
+        };
+        assert!(err.to_string().contains("4096"));
+        let err = MemError::PageNotFound {
+            page: PageId::new(AppId::new(3), Pfn::new(77)),
+        };
+        assert!(err.to_string().contains("77"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<MemError>();
+    }
+}

@@ -1,0 +1,307 @@
+//! The flash-memory swap device (UFS 3.1 on the Pixel 7).
+//!
+//! Flash-backed swap matters to the paper in two ways: the SWAP baseline
+//! stores reclaimed pages there directly, and both ZSWAP and Ariadne write
+//! *compressed* cold data there when the zpool fills up. Every write wears
+//! the flash cells, so [`FlashDevice`] keeps the write statistics the paper
+//! uses to argue that Ariadne (which swaps out compressed data, and mostly
+//! cold data) writes less than a flash-only swap scheme.
+
+use crate::error::MemError;
+use crate::page::{PageId, PAGE_SIZE};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a slot in the flash swap area.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct SwapSlot(u64);
+
+impl SwapSlot {
+    /// The raw slot number.
+    #[must_use]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SwapSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot:{}", self.0)
+    }
+}
+
+/// Wear and traffic statistics for the flash swap device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlashStats {
+    /// Number of write operations performed.
+    pub writes: usize,
+    /// Total bytes written (flash lifetime is proportional to this).
+    pub bytes_written: usize,
+    /// Number of read operations performed.
+    pub reads: usize,
+    /// Total bytes read.
+    pub bytes_read: usize,
+}
+
+/// A stored object in the flash swap area.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct FlashEntry {
+    pages: Vec<PageId>,
+    stored_bytes: usize,
+    original_bytes: usize,
+    compressed: bool,
+}
+
+/// The flash swap device.
+///
+/// ```
+/// use ariadne_mem::{AppId, FlashDevice, PageId, Pfn};
+///
+/// let mut flash = FlashDevice::new(8 * 1024 * 1024);
+/// let page = PageId::new(AppId::new(1), Pfn::new(0));
+/// let slot = flash.write(vec![page], 4096, 4096, false).unwrap();
+/// assert!(flash.contains(page));
+/// let entry = flash.read(slot).unwrap();
+/// assert_eq!(entry.0, vec![page]);
+/// assert_eq!(flash.stats().bytes_written, 4096);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FlashDevice {
+    capacity: usize,
+    used: usize,
+    next_slot: u64,
+    entries: HashMap<SwapSlot, FlashEntry>,
+    page_index: HashMap<PageId, SwapSlot>,
+    stats: FlashStats,
+}
+
+impl FlashDevice {
+    /// Create a flash swap area of `capacity` bytes.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        FlashDevice {
+            capacity,
+            ..FlashDevice::default()
+        }
+    }
+
+    /// Configured swap-area capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently stored (page-granular).
+    #[must_use]
+    pub fn used_bytes(&self) -> usize {
+        self.used
+    }
+
+    /// Bytes still free.
+    #[must_use]
+    pub fn free_bytes(&self) -> usize {
+        self.capacity.saturating_sub(self.used)
+    }
+
+    /// Number of objects stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime read/write statistics.
+    #[must_use]
+    pub fn stats(&self) -> FlashStats {
+        self.stats
+    }
+
+    /// Whether `page` is currently stored in the swap area.
+    #[must_use]
+    pub fn contains(&self, page: PageId) -> bool {
+        self.page_index.contains_key(&page)
+    }
+
+    /// The slot holding `page`, if any.
+    #[must_use]
+    pub fn slot_for(&self, page: PageId) -> Option<SwapSlot> {
+        self.page_index.get(&page).copied()
+    }
+
+    /// Write an object covering `pages` to the swap area.
+    ///
+    /// `stored_bytes` is what actually hits the flash (compressed size for
+    /// ZSWAP-style writeback, `pages.len() * 4096` for the SWAP baseline).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::SwapSpaceFull`] when the area cannot hold the
+    /// object and [`MemError::InvalidParameter`] for an empty page list or a
+    /// page that is already swapped out.
+    pub fn write(
+        &mut self,
+        pages: Vec<PageId>,
+        original_bytes: usize,
+        stored_bytes: usize,
+        compressed: bool,
+    ) -> Result<SwapSlot, MemError> {
+        if pages.is_empty() {
+            return Err(MemError::InvalidParameter {
+                parameter: "pages",
+                detail: "a swap object must cover at least one page".to_string(),
+            });
+        }
+        if let Some(dup) = pages.iter().find(|p| self.page_index.contains_key(p)) {
+            return Err(MemError::InvalidParameter {
+                parameter: "pages",
+                detail: format!("page {dup} is already in the swap area"),
+            });
+        }
+        let footprint = Self::footprint(stored_bytes);
+        if self.used + footprint > self.capacity {
+            return Err(MemError::SwapSpaceFull);
+        }
+        let slot = SwapSlot(self.next_slot);
+        self.next_slot += 1;
+        self.used += footprint;
+        self.stats.writes += 1;
+        self.stats.bytes_written += stored_bytes;
+        for page in &pages {
+            self.page_index.insert(*page, slot);
+        }
+        self.entries.insert(
+            slot,
+            FlashEntry {
+                pages,
+                stored_bytes,
+                original_bytes,
+                compressed,
+            },
+        );
+        Ok(slot)
+    }
+
+    /// Read the object in `slot` (without removing it), returning its pages,
+    /// stored size, original size and whether it is compressed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::StaleHandle`] if the slot is free.
+    pub fn read(&mut self, slot: SwapSlot) -> Result<(Vec<PageId>, usize, usize, bool), MemError> {
+        let entry = self.entries.get(&slot).ok_or(MemError::StaleHandle)?;
+        self.stats.reads += 1;
+        self.stats.bytes_read += entry.stored_bytes;
+        Ok((
+            entry.pages.clone(),
+            entry.stored_bytes,
+            entry.original_bytes,
+            entry.compressed,
+        ))
+    }
+
+    /// Remove the object in `slot`, freeing the space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::StaleHandle`] if the slot is free.
+    pub fn discard(&mut self, slot: SwapSlot) -> Result<(), MemError> {
+        let entry = self.entries.remove(&slot).ok_or(MemError::StaleHandle)?;
+        self.used -= Self::footprint(entry.stored_bytes);
+        for page in &entry.pages {
+            self.page_index.remove(page);
+        }
+        Ok(())
+    }
+
+    fn footprint(stored_bytes: usize) -> usize {
+        stored_bytes.div_ceil(PAGE_SIZE).max(1) * PAGE_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::{AppId, Pfn};
+
+    fn page(app: u32, pfn: u64) -> PageId {
+        PageId::new(AppId::new(app), Pfn::new(pfn))
+    }
+
+    #[test]
+    fn write_read_discard_cycle() {
+        let mut flash = FlashDevice::new(1 << 20);
+        let slot = flash.write(vec![page(1, 1)], 4096, 4096, false).unwrap();
+        let (pages, stored, original, compressed) = flash.read(slot).unwrap();
+        assert_eq!(pages, vec![page(1, 1)]);
+        assert_eq!((stored, original, compressed), (4096, 4096, false));
+        flash.discard(slot).unwrap();
+        assert!(flash.is_empty());
+        assert!(flash.read(slot).is_err());
+        assert!(flash.discard(slot).is_err());
+    }
+
+    #[test]
+    fn wear_statistics_accumulate() {
+        let mut flash = FlashDevice::new(1 << 20);
+        let s1 = flash.write(vec![page(1, 1)], 4096, 4096, false).unwrap();
+        let s2 = flash
+            .write(vec![page(1, 2), page(1, 3)], 8192, 3000, true)
+            .unwrap();
+        flash.read(s1).unwrap();
+        flash.read(s2).unwrap();
+        flash.read(s2).unwrap();
+        let stats = flash.stats();
+        assert_eq!(stats.writes, 2);
+        assert_eq!(stats.bytes_written, 4096 + 3000);
+        assert_eq!(stats.reads, 3);
+        assert_eq!(stats.bytes_read, 4096 + 2 * 3000);
+    }
+
+    #[test]
+    fn compressed_objects_use_less_space_than_raw() {
+        let mut flash = FlashDevice::new(1 << 20);
+        flash
+            .write(vec![page(1, 1), page(1, 2), page(1, 3)], 12288, 4000, true)
+            .unwrap();
+        // Three compressed pages fit in one flash page.
+        assert_eq!(flash.used_bytes(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut flash = FlashDevice::new(2 * PAGE_SIZE);
+        flash.write(vec![page(1, 1)], 4096, 4096, false).unwrap();
+        flash.write(vec![page(1, 2)], 4096, 4096, false).unwrap();
+        assert!(matches!(
+            flash.write(vec![page(1, 3)], 4096, 4096, false),
+            Err(MemError::SwapSpaceFull)
+        ));
+    }
+
+    #[test]
+    fn duplicate_and_empty_writes_are_rejected() {
+        let mut flash = FlashDevice::new(1 << 20);
+        flash.write(vec![page(1, 1)], 4096, 4096, false).unwrap();
+        assert!(flash.write(vec![page(1, 1)], 4096, 4096, false).is_err());
+        assert!(flash.write(vec![], 0, 0, false).is_err());
+    }
+
+    #[test]
+    fn page_index_tracks_slots() {
+        let mut flash = FlashDevice::new(1 << 20);
+        let slot = flash
+            .write(vec![page(3, 7), page(3, 8)], 8192, 8192, false)
+            .unwrap();
+        assert_eq!(flash.slot_for(page(3, 8)), Some(slot));
+        flash.discard(slot).unwrap();
+        assert_eq!(flash.slot_for(page(3, 8)), None);
+    }
+}

@@ -1,0 +1,451 @@
+//! A generic least-recently-used list.
+//!
+//! The Linux kernel keeps anonymous pages on per-cgroup active/inactive LRU
+//! lists; baseline ZRAM picks compression victims from the tail of the
+//! inactive list, and Ariadne's HotnessOrg replaces the two lists with three
+//! (hot/warm/cold). [`LruList`] is the shared building block: an ordered set
+//! with O(1) membership tests, O(1) promotion to the head (most recently
+//! used) and O(1) eviction from the tail (least recently used).
+//!
+//! Internally it is a doubly linked list over a slab `Vec`, so there is no
+//! per-operation allocation once the slab has grown.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<K> {
+    key: K,
+    prev: usize,
+    next: usize,
+}
+
+/// An ordered set with LRU semantics.
+///
+/// The *head* of the list is the most recently used element; the *tail* is
+/// the least recently used one (the eviction candidate).
+///
+/// ```
+/// use ariadne_mem::LruList;
+///
+/// let mut lru = LruList::new();
+/// lru.touch(1);
+/// lru.touch(2);
+/// lru.touch(3);
+/// lru.touch(1); // 1 becomes most recently used again
+/// assert_eq!(lru.pop_lru(), Some(2));
+/// assert_eq!(lru.pop_lru(), Some(3));
+/// assert_eq!(lru.pop_lru(), Some(1));
+/// assert!(lru.is_empty());
+/// ```
+#[derive(Clone)]
+pub struct LruList<K> {
+    nodes: Vec<Node<K>>,
+    free: Vec<usize>,
+    index: HashMap<K, usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl<K: Eq + Hash + Clone> Default for LruList<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone> LruList<K> {
+    /// Create an empty list.
+    #[must_use]
+    pub fn new() -> Self {
+        LruList {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Number of elements on the list.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the list is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Whether `key` is on the list.
+    #[must_use]
+    pub fn contains(&self, key: &K) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Insert `key` at the head (most recently used position), or move it
+    /// there if it is already present. Returns `true` if the key was newly
+    /// inserted.
+    pub fn touch(&mut self, key: K) -> bool {
+        if let Some(&slot) = self.index.get(&key) {
+            self.unlink(slot);
+            self.link_front(slot);
+            false
+        } else {
+            let slot = self.allocate(key.clone());
+            self.index.insert(key, slot);
+            self.link_front(slot);
+            true
+        }
+    }
+
+    /// Insert `key` at the tail (least recently used position), or move it
+    /// there if already present. Baseline reclaim uses this to demote pages;
+    /// HotnessOrg uses it when initialising cold data. Returns `true` if the
+    /// key was newly inserted.
+    pub fn insert_lru(&mut self, key: K) -> bool {
+        if let Some(&slot) = self.index.get(&key) {
+            self.unlink(slot);
+            self.link_back(slot);
+            false
+        } else {
+            let slot = self.allocate(key.clone());
+            self.index.insert(key, slot);
+            self.link_back(slot);
+            true
+        }
+    }
+
+    /// Remove and return the least recently used element.
+    pub fn pop_lru(&mut self) -> Option<K> {
+        if self.tail == NIL {
+            return None;
+        }
+        let slot = self.tail;
+        let key = self.nodes[slot].key.clone();
+        self.remove(&key);
+        Some(key)
+    }
+
+    /// Look at the least recently used element without removing it.
+    #[must_use]
+    pub fn peek_lru(&self) -> Option<&K> {
+        if self.tail == NIL {
+            None
+        } else {
+            Some(&self.nodes[self.tail].key)
+        }
+    }
+
+    /// Look at the most recently used element without removing it.
+    #[must_use]
+    pub fn peek_mru(&self) -> Option<&K> {
+        if self.head == NIL {
+            None
+        } else {
+            Some(&self.nodes[self.head].key)
+        }
+    }
+
+    /// Remove `key` from the list. Returns `true` if it was present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        match self.index.remove(key) {
+            None => false,
+            Some(slot) => {
+                self.unlink(slot);
+                self.free.push(slot);
+                true
+            }
+        }
+    }
+
+    /// Remove every element.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.index.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Iterate from most recently used to least recently used.
+    pub fn iter(&self) -> Iter<'_, K> {
+        Iter {
+            list: self,
+            cursor: self.head,
+        }
+    }
+
+    /// Iterate from least recently used to most recently used (the order in
+    /// which the kernel would scan for reclaim victims).
+    pub fn iter_lru(&self) -> IterLru<'_, K> {
+        IterLru {
+            list: self,
+            cursor: self.tail,
+        }
+    }
+
+    /// Drain up to `count` elements from the LRU end, returning them in
+    /// eviction order.
+    pub fn drain_lru(&mut self, count: usize) -> Vec<K> {
+        let mut out = Vec::with_capacity(count.min(self.len()));
+        while out.len() < count {
+            match self.pop_lru() {
+                Some(key) => out.push(key),
+                None => break,
+            }
+        }
+        out
+    }
+
+    fn allocate(&mut self, key: K) -> usize {
+        if let Some(slot) = self.free.pop() {
+            self.nodes[slot] = Node {
+                key,
+                prev: NIL,
+                next: NIL,
+            };
+            slot
+        } else {
+            self.nodes.push(Node {
+                key,
+                prev: NIL,
+                next: NIL,
+            });
+            self.nodes.len() - 1
+        }
+    }
+
+    fn link_front(&mut self, slot: usize) {
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn link_back(&mut self, slot: usize) {
+        self.nodes[slot].next = NIL;
+        self.nodes[slot].prev = self.tail;
+        if self.tail != NIL {
+            self.nodes[self.tail].next = slot;
+        }
+        self.tail = slot;
+        if self.head == NIL {
+            self.head = slot;
+        }
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.nodes[slot].prev, self.nodes[slot].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else if self.head == slot {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else if self.tail == slot {
+            self.tail = prev;
+        }
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = NIL;
+    }
+}
+
+impl<K: Eq + Hash + Clone + fmt::Debug> fmt::Debug for LruList<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<K: Eq + Hash + Clone> FromIterator<K> for LruList<K> {
+    /// Builds a list where the *last* item of the iterator ends up most
+    /// recently used, matching repeated calls to [`LruList::touch`].
+    fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
+        let mut list = LruList::new();
+        for key in iter {
+            list.touch(key);
+        }
+        list
+    }
+}
+
+impl<K: Eq + Hash + Clone> Extend<K> for LruList<K> {
+    fn extend<I: IntoIterator<Item = K>>(&mut self, iter: I) {
+        for key in iter {
+            self.touch(key);
+        }
+    }
+}
+
+/// Iterator over a [`LruList`] from most to least recently used.
+pub struct Iter<'a, K> {
+    list: &'a LruList<K>,
+    cursor: usize,
+}
+
+impl<'a, K> Iterator for Iter<'a, K> {
+    type Item = &'a K;
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let node = &self.list.nodes[self.cursor];
+        self.cursor = node.next;
+        Some(&node.key)
+    }
+}
+
+/// Iterator over a [`LruList`] from least to most recently used.
+pub struct IterLru<'a, K> {
+    list: &'a LruList<K>,
+    cursor: usize,
+}
+
+impl<'a, K> Iterator for IterLru<'a, K> {
+    type Item = &'a K;
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let node = &self.list.nodes[self.cursor];
+        self.cursor = node.prev;
+        Some(&node.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touch_orders_by_recency() {
+        let mut lru = LruList::new();
+        for i in 0..5 {
+            lru.touch(i);
+        }
+        lru.touch(0);
+        assert_eq!(lru.peek_mru(), Some(&0));
+        assert_eq!(lru.peek_lru(), Some(&1));
+        assert_eq!(lru.iter().copied().collect::<Vec<_>>(), vec![0, 4, 3, 2, 1]);
+        assert_eq!(lru.iter_lru().copied().collect::<Vec<_>>(), vec![1, 2, 3, 4, 0]);
+    }
+
+    #[test]
+    fn insert_lru_places_at_tail() {
+        let mut lru = LruList::new();
+        lru.touch("a");
+        lru.touch("b");
+        lru.insert_lru("c");
+        assert_eq!(lru.pop_lru(), Some("c"));
+    }
+
+    #[test]
+    fn remove_and_reuse_slots() {
+        let mut lru = LruList::new();
+        for i in 0..10 {
+            lru.touch(i);
+        }
+        assert!(lru.remove(&3));
+        assert!(!lru.remove(&3));
+        assert_eq!(lru.len(), 9);
+        lru.touch(100);
+        assert_eq!(lru.len(), 10);
+        assert!(lru.contains(&100));
+        assert!(!lru.contains(&3));
+    }
+
+    #[test]
+    fn drain_lru_returns_eviction_order() {
+        let mut lru: LruList<u32> = (0..6).collect();
+        let drained = lru.drain_lru(3);
+        assert_eq!(drained, vec![0, 1, 2]);
+        assert_eq!(lru.len(), 3);
+    }
+
+    #[test]
+    fn drain_more_than_len_stops_early() {
+        let mut lru: LruList<u32> = (0..3).collect();
+        assert_eq!(lru.drain_lru(10).len(), 3);
+        assert!(lru.is_empty());
+        assert_eq!(lru.pop_lru(), None);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut lru: LruList<u32> = (0..100).collect();
+        lru.clear();
+        assert!(lru.is_empty());
+        assert_eq!(lru.peek_lru(), None);
+        lru.touch(5);
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn touch_of_existing_key_returns_false() {
+        let mut lru = LruList::new();
+        assert!(lru.touch(1));
+        assert!(!lru.touch(1));
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn single_element_edge_cases() {
+        let mut lru = LruList::new();
+        lru.touch(42);
+        assert_eq!(lru.peek_mru(), lru.peek_lru());
+        assert!(lru.remove(&42));
+        assert_eq!(lru.peek_mru(), None);
+        assert_eq!(lru.pop_lru(), None);
+    }
+
+    #[test]
+    fn extend_and_from_iterator_agree() {
+        let a: LruList<u32> = (0..10).collect();
+        let mut b = LruList::new();
+        b.extend(0..10);
+        assert_eq!(
+            a.iter().collect::<Vec<_>>(),
+            b.iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn debug_output_lists_entries() {
+        let lru: LruList<u32> = (0..3).collect();
+        let text = format!("{lru:?}");
+        assert!(text.contains('2') && text.contains('0'));
+    }
+
+    #[test]
+    fn heavy_mixed_workload_keeps_index_consistent() {
+        let mut lru = LruList::new();
+        let mut expected_len = 0usize;
+        for round in 0..1000u32 {
+            let key = round % 64;
+            if round % 3 == 0 {
+                if lru.remove(&key) {
+                    expected_len -= 1;
+                }
+            } else if lru.touch(key) {
+                expected_len += 1;
+            }
+            assert_eq!(lru.len(), expected_len);
+        }
+        // Every key reachable by iteration must be reported as contained.
+        let keys: Vec<u32> = lru.iter().copied().collect();
+        assert_eq!(keys.len(), lru.len());
+        for key in keys {
+            assert!(lru.contains(&key));
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! The kswapd-style reclaim controller.
+//!
+//! In Android, the `kswapd` kernel thread wakes up when free memory drops
+//! below the low watermark and reclaims pages (for anonymous data: compresses
+//! them into the zpool, or writes them to the flash swap area) until free
+//! memory exceeds the high watermark. Direct reclaim happens synchronously
+//! when an allocation cannot be satisfied at all.
+//!
+//! [`ReclaimController`] encapsulates the *when and how much* part of that
+//! logic so every swap scheme reclaims under identical rules; the *which
+//! pages and where to* part is the policy that differs between schemes and
+//! lives in `ariadne-zram` / `ariadne-core`.
+
+use crate::dram::MainMemory;
+use crate::page::PAGE_SIZE;
+use serde::{Deserialize, Serialize};
+
+/// Why a reclaim pass was requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReclaimReason {
+    /// Free memory fell below the low watermark (background kswapd work).
+    LowWatermark,
+    /// An allocation needs `bytes` immediately (direct reclaim).
+    DirectAllocation {
+        /// Bytes the allocation needs.
+        bytes: usize,
+    },
+    /// A proactive reclaim pass requested by policy (e.g. the vendor
+    /// behaviour of periodically compressing background apps, §2.3).
+    Proactive {
+        /// Bytes the policy wants freed.
+        bytes: usize,
+    },
+}
+
+/// A request produced by the controller: reclaim at least `target_pages`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReclaimRequest {
+    /// Number of pages the scheme should evict from DRAM.
+    pub target_pages: usize,
+    /// Why the pass was triggered.
+    pub reason: ReclaimReason,
+}
+
+/// Lifetime statistics of the reclaim controller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReclaimControllerStats {
+    /// Number of background (watermark-triggered) passes requested.
+    pub background_passes: usize,
+    /// Number of direct-reclaim passes requested.
+    pub direct_passes: usize,
+    /// Number of proactive passes requested.
+    pub proactive_passes: usize,
+    /// Total pages requested for reclaim.
+    pub pages_requested: usize,
+}
+
+/// Decides when reclaim should run and how many pages it should free.
+///
+/// ```
+/// use ariadne_mem::{MainMemory, ReclaimController, Watermarks};
+///
+/// let capacity = 64 * 4096;
+/// let dram = MainMemory::new(capacity, Watermarks::new(8 * 4096, 16 * 4096).unwrap());
+/// let mut kswapd = ReclaimController::new();
+/// // Plenty of free memory: no reclaim needed.
+/// assert!(kswapd.background_request(&dram).is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReclaimController {
+    stats: ReclaimControllerStats,
+}
+
+impl ReclaimController {
+    /// Create a controller.
+    #[must_use]
+    pub fn new() -> Self {
+        ReclaimController::default()
+    }
+
+    /// If free memory is below the low watermark, produce the background
+    /// reclaim request that would restore the high watermark.
+    pub fn background_request(&mut self, dram: &MainMemory) -> Option<ReclaimRequest> {
+        if !dram.below_low_watermark() {
+            return None;
+        }
+        let bytes = dram.reclaim_target_bytes();
+        let target_pages = bytes.div_ceil(PAGE_SIZE).max(1);
+        self.stats.background_passes += 1;
+        self.stats.pages_requested += target_pages;
+        Some(ReclaimRequest {
+            target_pages,
+            reason: ReclaimReason::LowWatermark,
+        })
+    }
+
+    /// Produce the direct-reclaim request needed to make room for an
+    /// allocation of `bytes` (returns `None` if it already fits).
+    pub fn direct_request(&mut self, dram: &MainMemory, bytes: usize) -> Option<ReclaimRequest> {
+        if dram.free_bytes() >= bytes {
+            return None;
+        }
+        let missing = bytes - dram.free_bytes();
+        let target_pages = missing.div_ceil(PAGE_SIZE).max(1);
+        self.stats.direct_passes += 1;
+        self.stats.pages_requested += target_pages;
+        Some(ReclaimRequest {
+            target_pages,
+            reason: ReclaimReason::DirectAllocation { bytes },
+        })
+    }
+
+    /// Produce a proactive reclaim request for `bytes` (vendor-style periodic
+    /// compression of background applications).
+    pub fn proactive_request(&mut self, bytes: usize) -> ReclaimRequest {
+        let target_pages = bytes.div_ceil(PAGE_SIZE).max(1);
+        self.stats.proactive_passes += 1;
+        self.stats.pages_requested += target_pages;
+        ReclaimRequest {
+            target_pages,
+            reason: ReclaimReason::Proactive { bytes },
+        }
+    }
+
+    /// Lifetime statistics.
+    #[must_use]
+    pub fn stats(&self) -> ReclaimControllerStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dram::Watermarks;
+    use crate::page::{AppId, PageId, Pfn};
+
+    fn dram_with_used(capacity_pages: usize, used_pages: usize) -> MainMemory {
+        let capacity = capacity_pages * PAGE_SIZE;
+        let marks = Watermarks::new(capacity / 8, capacity / 4).unwrap();
+        let mut dram = MainMemory::new(capacity, marks);
+        for i in 0..used_pages {
+            dram.insert(PageId::new(AppId::new(1), Pfn::new(i as u64)))
+                .unwrap();
+        }
+        dram
+    }
+
+    #[test]
+    fn no_background_reclaim_when_memory_is_plentiful() {
+        let dram = dram_with_used(100, 10);
+        let mut kswapd = ReclaimController::new();
+        assert!(kswapd.background_request(&dram).is_none());
+        assert_eq!(kswapd.stats().background_passes, 0);
+    }
+
+    #[test]
+    fn background_reclaim_targets_the_high_watermark() {
+        // capacity 100 pages, low 12.5 pages, high 25 pages; use 95 pages.
+        let dram = dram_with_used(100, 95);
+        let mut kswapd = ReclaimController::new();
+        let request = kswapd.background_request(&dram).unwrap();
+        // free = 5 pages, need 25 -> reclaim 20 pages.
+        assert_eq!(request.target_pages, 20);
+        assert_eq!(request.reason, ReclaimReason::LowWatermark);
+    }
+
+    #[test]
+    fn direct_reclaim_covers_the_allocation_gap() {
+        let dram = dram_with_used(100, 98);
+        let mut kswapd = ReclaimController::new();
+        assert!(kswapd.direct_request(&dram, PAGE_SIZE).is_none());
+        let request = kswapd.direct_request(&dram, 10 * PAGE_SIZE).unwrap();
+        assert_eq!(request.target_pages, 8);
+        assert!(matches!(
+            request.reason,
+            ReclaimReason::DirectAllocation { .. }
+        ));
+    }
+
+    #[test]
+    fn proactive_requests_always_fire() {
+        let mut kswapd = ReclaimController::new();
+        let request = kswapd.proactive_request(3 * PAGE_SIZE + 1);
+        assert_eq!(request.target_pages, 4);
+        assert_eq!(kswapd.stats().proactive_passes, 1);
+    }
+
+    #[test]
+    fn stats_accumulate_across_requests() {
+        let dram = dram_with_used(100, 95);
+        let mut kswapd = ReclaimController::new();
+        kswapd.background_request(&dram).unwrap();
+        kswapd.direct_request(&dram, 20 * PAGE_SIZE).unwrap();
+        kswapd.proactive_request(PAGE_SIZE);
+        let stats = kswapd.stats();
+        assert_eq!(stats.background_passes, 1);
+        assert_eq!(stats.direct_passes, 1);
+        assert_eq!(stats.proactive_passes, 1);
+        assert!(stats.pages_requested >= 21);
+    }
+}

@@ -1,0 +1,466 @@
+//! The zpool: the DRAM region ZRAM stores compressed data in.
+//!
+//! Compressed entries are written to sector-numbered 4 KiB blocks, allocated
+//! sequentially (like the zram block device the paper traces, whose traces
+//! record a "ZRAM sector" per page). Keeping the sector numbers around is
+//! what lets the workspace study *Insight 3*: pages that are compressed
+//! together get adjacent sectors, so swap-in streams that touch adjacent
+//! sectors exhibit the locality Table 3 reports and PreDecomp exploits.
+
+use crate::error::MemError;
+use crate::page::{Hotness, PageId};
+use ariadne_compress::ChunkSize;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Size of one zpool block (and of one zram sector) in bytes.
+pub const ZPOOL_BLOCK_SIZE: usize = 4096;
+
+/// Handle to an entry stored in the zpool.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct ZpoolHandle(u64);
+
+impl ZpoolHandle {
+    /// The raw handle value.
+    #[must_use]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ZpoolHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "zh:{}", self.0)
+    }
+}
+
+/// A zram sector number: the position of an entry's first block in the pool.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct ZpoolSector(u64);
+
+impl ZpoolSector {
+    /// Create a sector number.
+    #[must_use]
+    pub fn new(value: u64) -> Self {
+        ZpoolSector(value)
+    }
+
+    /// The raw sector number.
+    #[must_use]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Absolute distance in sectors between two entries; small distances mean
+    /// the entries were compressed around the same time.
+    #[must_use]
+    pub fn distance(self, other: ZpoolSector) -> u64 {
+        self.0.abs_diff(other.0)
+    }
+}
+
+impl fmt::Display for ZpoolSector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sector:{}", self.0)
+    }
+}
+
+/// Metadata for one compressed entry in the zpool.
+///
+/// An entry covers one or more pages: baseline ZRAM always stores exactly one
+/// page per entry, while Ariadne's AdaptiveComp stores a whole compression
+/// chunk (possibly many pages of cold data) per entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ZpoolEntry {
+    /// The pages whose data this entry holds, in address order.
+    pub pages: Vec<PageId>,
+    /// Sector number of the entry (allocation order).
+    pub sector: ZpoolSector,
+    /// Bytes of original (uncompressed) data.
+    pub original_bytes: usize,
+    /// Bytes the compressed image occupies in the pool.
+    pub compressed_bytes: usize,
+    /// Chunk size the data was compressed with.
+    pub chunk_size: ChunkSize,
+    /// Hotness level the data had when it was compressed (used for
+    /// writeback-victim selection and reporting).
+    pub hotness: Hotness,
+}
+
+impl ZpoolEntry {
+    /// Number of 4 KiB zpool blocks the entry occupies.
+    #[must_use]
+    pub fn blocks(&self) -> usize {
+        self.compressed_bytes.div_ceil(ZPOOL_BLOCK_SIZE).max(1)
+    }
+}
+
+/// Aggregate statistics about zpool usage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ZpoolStats {
+    /// Number of entries currently stored.
+    pub entries: usize,
+    /// Total original bytes of the stored entries.
+    pub original_bytes: usize,
+    /// Total compressed bytes of the stored entries.
+    pub compressed_bytes: usize,
+    /// Number of store operations performed over the pool's lifetime.
+    pub stores: usize,
+    /// Number of remove (load/invalidate) operations over the lifetime.
+    pub removals: usize,
+}
+
+/// The compressed-page pool.
+///
+/// ```
+/// use ariadne_mem::{AppId, Hotness, PageId, Pfn, Zpool};
+/// use ariadne_compress::ChunkSize;
+///
+/// let mut pool = Zpool::new(1024 * 1024);
+/// let page = PageId::new(AppId::new(1), Pfn::new(3));
+/// let handle = pool
+///     .store(vec![page], 4096, 1200, ChunkSize::k4(), Hotness::Cold)
+///     .unwrap();
+/// assert_eq!(pool.entry(handle).unwrap().pages, vec![page]);
+/// assert_eq!(pool.handle_for(page), Some(handle));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Zpool {
+    capacity: usize,
+    used: usize,
+    next_handle: u64,
+    next_sector: u64,
+    entries: HashMap<ZpoolHandle, ZpoolEntry>,
+    page_index: HashMap<PageId, ZpoolHandle>,
+    stores: usize,
+    removals: usize,
+}
+
+impl Zpool {
+    /// Create a zpool with `capacity` bytes (the paper's parameter `S`,
+    /// 3 GB on the evaluated device).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Zpool {
+            capacity,
+            ..Zpool::default()
+        }
+    }
+
+    /// Configured capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently occupied by compressed entries (block-granular).
+    #[must_use]
+    pub fn used_bytes(&self) -> usize {
+        self.used
+    }
+
+    /// Bytes still free.
+    #[must_use]
+    pub fn free_bytes(&self) -> usize {
+        self.capacity.saturating_sub(self.used)
+    }
+
+    /// Whether storing `compressed_bytes` more would exceed capacity.
+    #[must_use]
+    pub fn would_overflow(&self, compressed_bytes: usize) -> bool {
+        let blocks = compressed_bytes.div_ceil(ZPOOL_BLOCK_SIZE).max(1);
+        self.used + blocks * ZPOOL_BLOCK_SIZE > self.capacity
+    }
+
+    /// Number of entries stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the pool is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Store a compressed entry covering `pages`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::ZpoolFull`] if the entry does not fit, and
+    /// [`MemError::InvalidParameter`] if `pages` is empty or one of the pages
+    /// is already stored in the pool.
+    pub fn store(
+        &mut self,
+        pages: Vec<PageId>,
+        original_bytes: usize,
+        compressed_bytes: usize,
+        chunk_size: ChunkSize,
+        hotness: Hotness,
+    ) -> Result<ZpoolHandle, MemError> {
+        if pages.is_empty() {
+            return Err(MemError::InvalidParameter {
+                parameter: "pages",
+                detail: "an entry must cover at least one page".to_string(),
+            });
+        }
+        if let Some(dup) = pages.iter().find(|p| self.page_index.contains_key(p)) {
+            return Err(MemError::InvalidParameter {
+                parameter: "pages",
+                detail: format!("page {dup} is already stored in the zpool"),
+            });
+        }
+        let entry = ZpoolEntry {
+            pages,
+            sector: ZpoolSector::new(self.next_sector),
+            original_bytes,
+            compressed_bytes,
+            chunk_size,
+            hotness,
+        };
+        let bytes = entry.blocks() * ZPOOL_BLOCK_SIZE;
+        if self.used + bytes > self.capacity {
+            return Err(MemError::ZpoolFull {
+                requested: bytes,
+                available: self.free_bytes(),
+            });
+        }
+        let handle = ZpoolHandle(self.next_handle);
+        self.next_handle += 1;
+        self.next_sector += entry.blocks() as u64;
+        self.used += bytes;
+        for page in &entry.pages {
+            self.page_index.insert(*page, handle);
+        }
+        self.entries.insert(handle, entry);
+        self.stores += 1;
+        Ok(handle)
+    }
+
+    /// Look up the entry behind `handle`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::StaleHandle`] if the entry was already removed.
+    pub fn entry(&self, handle: ZpoolHandle) -> Result<&ZpoolEntry, MemError> {
+        self.entries.get(&handle).ok_or(MemError::StaleHandle)
+    }
+
+    /// The handle of the entry holding `page`, if any.
+    #[must_use]
+    pub fn handle_for(&self, page: PageId) -> Option<ZpoolHandle> {
+        self.page_index.get(&page).copied()
+    }
+
+    /// Whether `page` is stored (as part of any entry) in the pool.
+    #[must_use]
+    pub fn contains(&self, page: PageId) -> bool {
+        self.page_index.contains_key(&page)
+    }
+
+    /// Remove the entry behind `handle`, returning its metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::StaleHandle`] if the entry was already removed.
+    pub fn remove(&mut self, handle: ZpoolHandle) -> Result<ZpoolEntry, MemError> {
+        let entry = self.entries.remove(&handle).ok_or(MemError::StaleHandle)?;
+        self.used -= entry.blocks() * ZPOOL_BLOCK_SIZE;
+        for page in &entry.pages {
+            self.page_index.remove(page);
+        }
+        self.removals += 1;
+        Ok(entry)
+    }
+
+    /// The entry whose sector immediately follows `sector`, if any.
+    ///
+    /// PreDecomp uses this to find the "next" compressed data after the one
+    /// being faulted in, because adjacent sectors were compressed together
+    /// and — per the paper's Insight 3 — are likely to be accessed together.
+    #[must_use]
+    pub fn next_by_sector(&self, sector: ZpoolSector) -> Option<(ZpoolHandle, &ZpoolEntry)> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.sector.value() > sector.value())
+            .min_by_key(|(_, e)| e.sector.value())
+            .map(|(h, e)| (*h, e))
+    }
+
+    /// Iterate over all entries (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (ZpoolHandle, &ZpoolEntry)> {
+        self.entries.iter().map(|(h, e)| (*h, e))
+    }
+
+    /// Aggregate usage statistics.
+    #[must_use]
+    pub fn stats(&self) -> ZpoolStats {
+        ZpoolStats {
+            entries: self.entries.len(),
+            original_bytes: self.entries.values().map(|e| e.original_bytes).sum(),
+            compressed_bytes: self.entries.values().map(|e| e.compressed_bytes).sum(),
+            stores: self.stores,
+            removals: self.removals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::{AppId, Pfn};
+
+    fn page(app: u32, pfn: u64) -> PageId {
+        PageId::new(AppId::new(app), Pfn::new(pfn))
+    }
+
+    fn store_one(pool: &mut Zpool, app: u32, pfn: u64, compressed: usize) -> ZpoolHandle {
+        pool.store(
+            vec![page(app, pfn)],
+            4096,
+            compressed,
+            ChunkSize::k4(),
+            Hotness::Cold,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn store_and_lookup_roundtrip() {
+        let mut pool = Zpool::new(1 << 20);
+        let handle = store_one(&mut pool, 1, 5, 1000);
+        let entry = pool.entry(handle).unwrap();
+        assert_eq!(entry.pages, vec![page(1, 5)]);
+        assert_eq!(entry.compressed_bytes, 1000);
+        assert_eq!(pool.handle_for(page(1, 5)), Some(handle));
+        assert!(pool.contains(page(1, 5)));
+    }
+
+    #[test]
+    fn sectors_are_allocated_sequentially() {
+        let mut pool = Zpool::new(1 << 20);
+        let h1 = store_one(&mut pool, 1, 1, 1000);
+        let h2 = store_one(&mut pool, 1, 2, 9000); // 3 blocks
+        let h3 = store_one(&mut pool, 1, 3, 500);
+        let s1 = pool.entry(h1).unwrap().sector.value();
+        let s2 = pool.entry(h2).unwrap().sector.value();
+        let s3 = pool.entry(h3).unwrap().sector.value();
+        assert_eq!(s1, 0);
+        assert_eq!(s2, 1);
+        assert_eq!(s3, 4); // 9000 bytes occupies 3 sectors
+    }
+
+    #[test]
+    fn usage_is_block_granular() {
+        let mut pool = Zpool::new(1 << 20);
+        store_one(&mut pool, 1, 1, 100);
+        assert_eq!(pool.used_bytes(), ZPOOL_BLOCK_SIZE);
+        store_one(&mut pool, 1, 2, 4097);
+        assert_eq!(pool.used_bytes(), 3 * ZPOOL_BLOCK_SIZE);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut pool = Zpool::new(2 * ZPOOL_BLOCK_SIZE);
+        store_one(&mut pool, 1, 1, 4096);
+        store_one(&mut pool, 1, 2, 4096);
+        let err = pool.store(
+            vec![page(1, 3)],
+            4096,
+            4096,
+            ChunkSize::k4(),
+            Hotness::Cold,
+        );
+        assert!(matches!(err, Err(MemError::ZpoolFull { .. })));
+        assert!(pool.would_overflow(1));
+    }
+
+    #[test]
+    fn duplicate_pages_are_rejected() {
+        let mut pool = Zpool::new(1 << 20);
+        store_one(&mut pool, 1, 1, 100);
+        let err = pool.store(
+            vec![page(1, 1)],
+            4096,
+            100,
+            ChunkSize::k4(),
+            Hotness::Hot,
+        );
+        assert!(matches!(err, Err(MemError::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn empty_page_list_is_rejected() {
+        let mut pool = Zpool::new(1 << 20);
+        assert!(pool
+            .store(vec![], 0, 0, ChunkSize::k4(), Hotness::Cold)
+            .is_err());
+    }
+
+    #[test]
+    fn remove_releases_space_and_index() {
+        let mut pool = Zpool::new(1 << 20);
+        let handle = store_one(&mut pool, 1, 1, 5000);
+        assert_eq!(pool.used_bytes(), 2 * ZPOOL_BLOCK_SIZE);
+        let entry = pool.remove(handle).unwrap();
+        assert_eq!(entry.pages.len(), 1);
+        assert_eq!(pool.used_bytes(), 0);
+        assert!(!pool.contains(page(1, 1)));
+        assert!(matches!(pool.remove(handle), Err(MemError::StaleHandle)));
+        assert!(matches!(pool.entry(handle), Err(MemError::StaleHandle)));
+    }
+
+    #[test]
+    fn multi_page_entries_index_every_page() {
+        let mut pool = Zpool::new(1 << 20);
+        let pages = vec![page(2, 10), page(2, 11), page(2, 12), page(2, 13)];
+        let handle = pool
+            .store(pages.clone(), 4 * 4096, 6000, ChunkSize::k16(), Hotness::Cold)
+            .unwrap();
+        for p in &pages {
+            assert_eq!(pool.handle_for(*p), Some(handle));
+        }
+        pool.remove(handle).unwrap();
+        for p in &pages {
+            assert_eq!(pool.handle_for(*p), None);
+        }
+    }
+
+    #[test]
+    fn next_by_sector_finds_the_neighbour() {
+        let mut pool = Zpool::new(1 << 20);
+        let h1 = store_one(&mut pool, 1, 1, 4096);
+        let h2 = store_one(&mut pool, 1, 2, 4096);
+        let h3 = store_one(&mut pool, 1, 3, 4096);
+        let s1 = pool.entry(h1).unwrap().sector;
+        let (next, _) = pool.next_by_sector(s1).unwrap();
+        assert_eq!(next, h2);
+        let s3 = pool.entry(h3).unwrap().sector;
+        assert!(pool.next_by_sector(s3).is_none());
+    }
+
+    #[test]
+    fn stats_track_lifetime_operations() {
+        let mut pool = Zpool::new(1 << 20);
+        let h1 = store_one(&mut pool, 1, 1, 2048);
+        store_one(&mut pool, 1, 2, 2048);
+        pool.remove(h1).unwrap();
+        let stats = pool.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.stores, 2);
+        assert_eq!(stats.removals, 1);
+        assert_eq!(stats.original_bytes, 4096);
+    }
+
+    #[test]
+    fn sector_distance_is_symmetric() {
+        assert_eq!(ZpoolSector::new(5).distance(ZpoolSector::new(9)), 4);
+        assert_eq!(ZpoolSector::new(9).distance(ZpoolSector::new(5)), 4);
+    }
+}

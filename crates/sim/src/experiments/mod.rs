@@ -1,0 +1,148 @@
+//! One module per group of paper experiments.
+//!
+//! Every experiment function takes an [`ExperimentOptions`] (seed, scale and
+//! a quick/full switch) and returns a [`Table`] with exactly the rows and
+//! series the paper reports. The `experiments` binary in `ariadne-bench`
+//! prints all of them; `EXPERIMENTS.md` records paper-reported versus
+//! measured values.
+
+pub mod baselines;
+pub mod characterization;
+pub mod evaluation;
+pub mod identification;
+
+use crate::report::Table;
+use ariadne_trace::AppName;
+
+/// Options shared by every experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentOptions {
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Workload / memory scale denominator (64 reproduces the figures,
+    /// larger values run faster).
+    pub scale: usize,
+    /// Quick mode: fewer applications and smaller samples, for CI and tests.
+    pub quick: bool,
+}
+
+impl ExperimentOptions {
+    /// The full-fidelity configuration used to regenerate the figures.
+    #[must_use]
+    pub fn full() -> Self {
+        ExperimentOptions {
+            seed: 0xA71A_D4E,
+            scale: 64,
+            quick: false,
+        }
+    }
+
+    /// A reduced configuration for tests and smoke runs.
+    #[must_use]
+    pub fn quick() -> Self {
+        ExperimentOptions {
+            seed: 0xA71A_D4E,
+            scale: 256,
+            quick: true,
+        }
+    }
+
+    /// The applications whose per-app results are reported (the paper plots
+    /// five of the ten for readability; quick mode uses two).
+    #[must_use]
+    pub fn reported_apps(&self) -> Vec<AppName> {
+        if self.quick {
+            vec![AppName::Youtube, AppName::BangDream]
+        } else {
+            AppName::REPORTED.to_vec()
+        }
+    }
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions::full()
+    }
+}
+
+/// Every experiment, in paper order: (identifier, human title, function).
+#[must_use]
+pub fn catalog() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("table1", "Table 1: anonymous data volume of five applications"),
+        ("fig2", "Figure 2: relaunch latency under DRAM / ZRAM / SWAP"),
+        ("fig3", "Figure 3: reclaim (kswapd) CPU usage under DRAM / ZRAM / SWAP"),
+        ("table2", "Table 2: energy under three swap schemes"),
+        ("fig4", "Figure 4: hot/warm/cold share per compression-order decile"),
+        ("fig5", "Figure 5: hot-data similarity and reuse across relaunches"),
+        ("fig6", "Figure 6: latency and ratio versus compression chunk size"),
+        ("table3", "Table 3: probability of consecutive zpool accesses"),
+        ("fig10", "Figure 10: application relaunch latency"),
+        ("fig11", "Figure 11: normalized compression/decompression CPU usage"),
+        ("fig12", "Figure 12: compression and decompression latency"),
+        ("fig13", "Figure 13: compression ratios"),
+        ("fig14", "Figure 14: coverage and accuracy of hot-data identification"),
+        ("fig15", "Figure 15: chunk-size sensitivity study"),
+    ]
+}
+
+/// Run one experiment by its identifier (e.g. `fig10`). Returns `None` for an
+/// unknown identifier.
+#[must_use]
+pub fn run_by_name(name: &str, opts: &ExperimentOptions) -> Option<Table> {
+    let table = match name {
+        "table1" => characterization::table1(opts),
+        "fig2" => baselines::fig2(opts),
+        "fig3" => baselines::fig3(opts),
+        "table2" => baselines::table2(opts),
+        "fig4" => characterization::fig4(opts),
+        "fig5" => characterization::fig5(opts),
+        "fig6" => characterization::fig6(opts),
+        "table3" => characterization::table3(opts),
+        "fig10" => evaluation::fig10(opts),
+        "fig11" => evaluation::fig11(opts),
+        "fig12" => evaluation::fig12(opts),
+        "fig13" => evaluation::fig13(opts),
+        "fig14" => identification::fig14(opts),
+        "fig15" => evaluation::fig15(opts),
+        _ => return None,
+    };
+    Some(table)
+}
+
+/// Run every experiment in paper order.
+#[must_use]
+pub fn run_all(opts: &ExperimentOptions) -> Vec<Table> {
+    catalog()
+        .iter()
+        .filter_map(|(name, _)| run_by_name(name, opts))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_every_table_and_figure_of_the_evaluation() {
+        let names: Vec<&str> = catalog().iter().map(|(n, _)| *n).collect();
+        for required in [
+            "table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig10",
+            "fig11", "fig12", "fig13", "fig14", "fig15",
+        ] {
+            assert!(names.contains(&required), "missing {required}");
+        }
+        assert_eq!(names.len(), 14);
+    }
+
+    #[test]
+    fn unknown_experiment_names_return_none() {
+        assert!(run_by_name("fig99", &ExperimentOptions::quick()).is_none());
+    }
+
+    #[test]
+    fn quick_options_reduce_the_reported_apps() {
+        assert_eq!(ExperimentOptions::quick().reported_apps().len(), 2);
+        assert_eq!(ExperimentOptions::full().reported_apps().len(), 5);
+    }
+}

@@ -1,0 +1,32 @@
+//! Whole-system mobile memory simulator and experiment harness.
+//!
+//! This crate drives the swap schemes (the baselines from `ariadne-zram` and
+//! Ariadne from `ariadne-core`) through the multi-application usage scenarios
+//! of the paper's evaluation and regenerates every table and figure:
+//!
+//! | Experiment | Module |
+//! |---|---|
+//! | Table 1 (anonymous data volume) | [`experiments::characterization`] |
+//! | Figure 2 / Figure 3 / Table 2 (baseline motivation) | [`experiments::baselines`] |
+//! | Figure 4 / Figure 5 / Figure 6 / Table 3 (insights) | [`experiments::characterization`] |
+//! | Figure 10–13, Figure 15 (Ariadne evaluation) | [`experiments::evaluation`] |
+//! | Figure 14 (identification quality) | [`experiments::identification`] |
+//!
+//! The building blocks are [`MobileSystem`] (the driver that launches,
+//! backgrounds and relaunches applications against a scheme), [`SchemeSpec`]
+//! (a factory for every evaluated scheme) and [`EnergyModel`] (the Table 2
+//! energy accounting).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod experiments;
+pub mod report;
+pub mod schemes;
+pub mod system;
+
+pub use energy::EnergyModel;
+pub use report::Table;
+pub use schemes::SchemeSpec;
+pub use system::{MobileSystem, RelaunchMeasurement, SimulationConfig};

@@ -1,0 +1,155 @@
+//! A factory for every swap scheme evaluated in the paper.
+
+use ariadne_core::{AriadneConfig, AriadneScheme, HotListMode, SizeConfig};
+use ariadne_zram::{DramOnlyScheme, FlashSwapScheme, MemoryConfig, SwapScheme, WritebackPolicy, ZramScheme};
+use std::fmt;
+
+/// Which scheme to instantiate for an experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchemeSpec {
+    /// Optimistic no-swap baseline (`DRAM`).
+    Dram,
+    /// Flash-backed uncompressed swap (`SWAP`).
+    Swap,
+    /// State-of-the-art compressed swap (`ZRAM`).
+    Zram,
+    /// ZRAM with writeback to flash when the zpool fills (`ZSWAP`).
+    Zswap,
+    /// Ariadne with the given chunk sizes and hot-list mode.
+    Ariadne {
+        /// Chunk-size triple.
+        sizes: SizeConfig,
+        /// EHL or AL evaluation mode.
+        mode: HotListMode,
+        /// Whether proactive decompression is enabled.
+        predecomp: bool,
+    },
+}
+
+impl SchemeSpec {
+    /// The Ariadne configurations reported in Figures 10 and 11.
+    #[must_use]
+    pub fn ariadne_evaluated() -> Vec<SchemeSpec> {
+        let mut specs = Vec::new();
+        for sizes in [SizeConfig::k1_k2_k16(), SizeConfig::b256_k2_k32()] {
+            for mode in [HotListMode::ExcludeHotList, HotListMode::AllLists] {
+                specs.push(SchemeSpec::Ariadne {
+                    sizes,
+                    mode,
+                    predecomp: true,
+                });
+            }
+        }
+        specs
+    }
+
+    /// Shorthand for an EHL Ariadne spec with pre-decompression enabled.
+    #[must_use]
+    pub fn ariadne_ehl(sizes: SizeConfig) -> SchemeSpec {
+        SchemeSpec::Ariadne {
+            sizes,
+            mode: HotListMode::ExcludeHotList,
+            predecomp: true,
+        }
+    }
+
+    /// Shorthand for an AL Ariadne spec with pre-decompression enabled.
+    #[must_use]
+    pub fn ariadne_al(sizes: SizeConfig) -> SchemeSpec {
+        SchemeSpec::Ariadne {
+            sizes,
+            mode: HotListMode::AllLists,
+            predecomp: true,
+        }
+    }
+
+    /// Instantiate the scheme over the given memory configuration.
+    #[must_use]
+    pub fn build(&self, memory: MemoryConfig) -> Box<dyn SwapScheme> {
+        match *self {
+            SchemeSpec::Dram => {
+                let mut config = memory;
+                config.dram_bytes = usize::MAX / 4;
+                config.watermarks = ariadne_mem::Watermarks::android_default(config.dram_bytes);
+                Box::new(DramOnlyScheme::new(config))
+            }
+            SchemeSpec::Swap => Box::new(FlashSwapScheme::new(memory)),
+            SchemeSpec::Zram => Box::new(ZramScheme::new(memory)),
+            SchemeSpec::Zswap => Box::new(ZramScheme::new(
+                memory.with_writeback(WritebackPolicy::WritebackToFlash),
+            )),
+            SchemeSpec::Ariadne {
+                sizes,
+                mode,
+                predecomp,
+            } => {
+                // Ariadne swaps compressed cold data to flash when the zpool
+                // fills (§4.1), i.e. it always behaves like ZSWAP for overflow.
+                let memory = memory.with_writeback(WritebackPolicy::WritebackToFlash);
+                let mut config = AriadneConfig::new(sizes, mode, memory);
+                config.predecomp_enabled = predecomp;
+                Box::new(AriadneScheme::new(config))
+            }
+        }
+    }
+
+    /// The label used in figures for this scheme.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            SchemeSpec::Dram => "DRAM".to_string(),
+            SchemeSpec::Swap => "SWAP".to_string(),
+            SchemeSpec::Zram => "ZRAM".to_string(),
+            SchemeSpec::Zswap => "ZSWAP".to_string(),
+            SchemeSpec::Ariadne { sizes, mode, .. } => format!("Ariadne-{mode}-{sizes}"),
+        }
+    }
+}
+
+impl fmt::Display for SchemeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_notation() {
+        assert_eq!(SchemeSpec::Zram.label(), "ZRAM");
+        assert_eq!(
+            SchemeSpec::ariadne_ehl(SizeConfig::k1_k2_k16()).label(),
+            "Ariadne-EHL-1K-2K-16K"
+        );
+        assert_eq!(
+            SchemeSpec::ariadne_al(SizeConfig::b256_k2_k32()).label(),
+            "Ariadne-AL-256B-2K-32K"
+        );
+    }
+
+    #[test]
+    fn every_spec_builds_a_scheme_with_a_matching_name() {
+        let memory = MemoryConfig::pixel7_scaled(512);
+        for spec in [
+            SchemeSpec::Dram,
+            SchemeSpec::Swap,
+            SchemeSpec::Zram,
+            SchemeSpec::Zswap,
+            SchemeSpec::ariadne_ehl(SizeConfig::k1_k2_k16()),
+        ] {
+            let scheme = spec.build(memory);
+            assert_eq!(scheme.name(), spec.label());
+        }
+    }
+
+    #[test]
+    fn evaluated_ariadne_list_covers_both_modes_and_sizes() {
+        let specs = SchemeSpec::ariadne_evaluated();
+        assert_eq!(specs.len(), 4);
+        let labels: Vec<String> = specs.iter().map(SchemeSpec::label).collect();
+        assert!(labels.contains(&"Ariadne-EHL-1K-2K-16K".to_string()));
+        assert!(labels.contains(&"Ariadne-AL-256B-2K-32K".to_string()));
+    }
+}

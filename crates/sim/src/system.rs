@@ -1,0 +1,380 @@
+//! The whole-system driver: launches, backgrounds and relaunches applications
+//! against a swap scheme, with kswapd-style background reclaim in between.
+
+use crate::schemes::SchemeSpec;
+use ariadne_compress::CostNanos;
+use ariadne_mem::{CpuBreakdown, PageLocation, ReclaimController, SimClock};
+use ariadne_trace::{
+    AppName, AppWorkload, Scenario, ScenarioEvent, WorkloadBuilder,
+};
+use ariadne_zram::{AccessKind, MemoryConfig, SchemeContext, SchemeStats, SwapScheme};
+use std::collections::{HashMap, HashSet};
+
+/// Global knobs of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimulationConfig {
+    /// Deterministic seed for workload generation and page contents.
+    pub seed: u64,
+    /// Scale denominator applied to both workload volumes and memory sizes.
+    /// 1 reproduces the full Pixel 7; the experiments default to 64.
+    pub scale: usize,
+    /// Number of relaunch traces generated per application.
+    pub relaunches: usize,
+}
+
+impl SimulationConfig {
+    /// The default experiment configuration (scale 64, five relaunches).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SimulationConfig {
+            seed,
+            scale: 64,
+            relaunches: 5,
+        }
+    }
+
+    /// Override the scale denominator.
+    #[must_use]
+    pub fn with_scale(mut self, scale: usize) -> Self {
+        self.scale = scale.max(1);
+        self
+    }
+
+    /// The memory configuration implied by the scale.
+    #[must_use]
+    pub fn memory(&self) -> MemoryConfig {
+        MemoryConfig::pixel7_scaled(self.scale)
+    }
+
+    /// Build the workloads for every application at this scale.
+    #[must_use]
+    pub fn workloads(&self) -> Vec<AppWorkload> {
+        WorkloadBuilder::new(self.seed)
+            .scale(self.scale)
+            .relaunches(self.relaunches)
+            .build_all()
+    }
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig::new(0xA71A_D4E)
+    }
+}
+
+/// One measured application relaunch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelaunchMeasurement {
+    /// Which application was relaunched.
+    pub app: AppName,
+    /// Total relaunch latency at simulation scale.
+    pub latency: CostNanos,
+    /// Number of pages touched on the relaunch critical path.
+    pub pages_accessed: usize,
+    /// How many of those pages were found in each location.
+    pub found_in: HashMap<PageLocation, usize>,
+}
+
+impl RelaunchMeasurement {
+    /// Relaunch latency extrapolated to the full-scale device, in
+    /// milliseconds. Both the number of hot pages and the amount of
+    /// compressed data scale linearly with the workload scale, so the
+    /// full-device latency is approximately the scaled latency times the
+    /// scale denominator.
+    #[must_use]
+    pub fn full_scale_millis(&self, scale: usize) -> f64 {
+        self.latency.as_millis_f64() * scale.max(1) as f64
+    }
+}
+
+/// The simulated mobile device: a swap scheme plus the application workloads
+/// driving it.
+pub struct MobileSystem {
+    config: SimulationConfig,
+    ctx: SchemeContext,
+    clock: SimClock,
+    scheme: Box<dyn SwapScheme>,
+    kswapd: ReclaimController,
+    workloads: HashMap<AppName, AppWorkload>,
+    launched: HashSet<AppName>,
+    next_relaunch: HashMap<AppName, usize>,
+    measurements: Vec<RelaunchMeasurement>,
+    baseline_cpu: CostNanos,
+}
+
+impl MobileSystem {
+    /// Build a system running `spec` under `config`.
+    #[must_use]
+    pub fn new(spec: SchemeSpec, config: SimulationConfig) -> Self {
+        let workload_list = config.workloads();
+        let ctx = SchemeContext::new(config.seed, &workload_list);
+        let scheme = spec.build(config.memory());
+        MobileSystem {
+            config,
+            ctx,
+            clock: SimClock::new(),
+            scheme,
+            kswapd: ReclaimController::new(),
+            workloads: workload_list.into_iter().map(|w| (w.name, w)).collect(),
+            launched: HashSet::new(),
+            next_relaunch: HashMap::new(),
+            measurements: Vec::new(),
+            baseline_cpu: CostNanos::zero(),
+        }
+    }
+
+    /// The scheme under test.
+    #[must_use]
+    pub fn scheme(&self) -> &dyn SwapScheme {
+        self.scheme.as_ref()
+    }
+
+    /// Mutable access to the scheme (used by experiments that need
+    /// scheme-specific probes, e.g. Ariadne's identification metrics).
+    pub fn scheme_mut(&mut self) -> &mut dyn SwapScheme {
+        self.scheme.as_mut()
+    }
+
+    /// The simulation configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// The simulated clock (time and CPU ledger).
+    #[must_use]
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The workload of `app`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `app` is not part of the workload set (all ten applications
+    /// always are).
+    #[must_use]
+    pub fn workload(&self, app: AppName) -> &AppWorkload {
+        &self.workloads[&app]
+    }
+
+    /// Relaunch measurements collected so far.
+    #[must_use]
+    pub fn measurements(&self) -> &[RelaunchMeasurement] {
+        &self.measurements
+    }
+
+    /// Scheme statistics (compression counts, CPU, flash traffic, ...).
+    #[must_use]
+    pub fn stats(&self) -> &SchemeStats {
+        self.scheme.stats()
+    }
+
+    /// CPU ledger of everything charged on this system's clock.
+    #[must_use]
+    pub fn cpu(&self) -> &CpuBreakdown {
+        self.clock.cpu()
+    }
+
+    /// CPU time of the workload itself (application execution, independent of
+    /// the swap scheme), used as the common baseline in energy accounting.
+    #[must_use]
+    pub fn baseline_cpu(&self) -> CostNanos {
+        self.baseline_cpu
+    }
+
+    /// Run a single scenario event.
+    pub fn run_event(&mut self, event: ScenarioEvent) {
+        match event {
+            ScenarioEvent::Launch(app) => self.launch(app),
+            ScenarioEvent::Background(app) => self.background(app),
+            ScenarioEvent::Relaunch {
+                app,
+                relaunch_index,
+            } => {
+                self.relaunch(app, relaunch_index);
+            }
+            ScenarioEvent::Idle { millis } => self.idle(millis),
+        }
+    }
+
+    /// Run a whole scenario.
+    pub fn run_scenario(&mut self, scenario: &Scenario) {
+        for event in &scenario.events {
+            self.run_event(*event);
+        }
+    }
+
+    /// Cold-launch `app`: create its anonymous pages and touch its launch
+    /// (hot) data set.
+    pub fn launch(&mut self, app: AppName) {
+        let workload = self.workloads[&app].clone();
+        self.scheme.on_foreground(workload.app);
+        for spec in &workload.pages {
+            self.scheme.register_page(spec.page, &mut self.clock, &self.ctx);
+        }
+        for &page in &workload.relaunches[0].hot_accesses {
+            self.scheme
+                .access(page, AccessKind::Launch, &mut self.clock, &self.ctx);
+        }
+        // Application execution itself costs CPU regardless of swap scheme
+        // (modelled as 1 ms of work per launch, scaled with the data volume).
+        self.baseline_cpu += CostNanos(1_000_000);
+        self.launched.insert(app);
+        self.next_relaunch.insert(app, 0);
+        self.kswapd_tick();
+    }
+
+    /// Send `app` to the background.
+    pub fn background(&mut self, app: AppName) {
+        let id = self.workloads[&app].app;
+        self.scheme.on_background(id);
+        self.kswapd_tick();
+    }
+
+    /// Hot-launch (relaunch) `app`, replaying its `relaunch_index`-th trace.
+    /// Returns the measurement (also recorded in [`MobileSystem::measurements`]).
+    pub fn relaunch(&mut self, app: AppName, relaunch_index: usize) -> RelaunchMeasurement {
+        if !self.launched.contains(&app) {
+            self.launch(app);
+        }
+        let workload = self.workloads[&app].clone();
+        let index = relaunch_index.min(workload.relaunches.len() - 1);
+        let trace = &workload.relaunches[index];
+
+        self.scheme.on_relaunch_start(workload.app);
+        let mut latency = CostNanos::zero();
+        let mut found_in: HashMap<PageLocation, usize> = HashMap::new();
+        for &page in &trace.hot_accesses {
+            let outcome = self
+                .scheme
+                .access(page, AccessKind::Relaunch, &mut self.clock, &self.ctx);
+            latency += outcome.latency;
+            *found_in.entry(outcome.found_in).or_insert(0) += 1;
+        }
+        self.scheme.on_relaunch_end(workload.app);
+
+        // Post-relaunch execution: warm accesses, not on the critical path.
+        for &page in &trace.execution_accesses {
+            self.scheme
+                .access(page, AccessKind::Execution, &mut self.clock, &self.ctx);
+        }
+        self.baseline_cpu += CostNanos(500_000);
+        self.next_relaunch.insert(app, index + 1);
+        self.kswapd_tick();
+
+        let measurement = RelaunchMeasurement {
+            app,
+            latency,
+            pages_accessed: trace.hot_accesses.len(),
+            found_in,
+        };
+        self.measurements.push(measurement.clone());
+        measurement
+    }
+
+    /// The user pauses; background reclaim gets a chance to run.
+    pub fn idle(&mut self, millis: u64) {
+        self.clock.advance(CostNanos(u128::from(millis) * 1_000_000));
+        self.kswapd_tick();
+    }
+
+    /// Run background (kswapd) reclaim until the high watermark is restored
+    /// or no further progress can be made.
+    fn kswapd_tick(&mut self) {
+        for _ in 0..64 {
+            let Some(request) = self.kswapd.background_request(self.scheme.dram()) else {
+                break;
+            };
+            let outcome = self.scheme.reclaim(request, &mut self.clock, &self.ctx);
+            if outcome.pages_reclaimed == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Average relaunch latency across all measurements, in full-scale
+    /// milliseconds.
+    #[must_use]
+    pub fn average_relaunch_millis(&self) -> f64 {
+        if self.measurements.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self
+            .measurements
+            .iter()
+            .map(|m| m.full_scale_millis(self.config.scale))
+            .sum();
+        total / self.measurements.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> SimulationConfig {
+        SimulationConfig::new(7).with_scale(512)
+    }
+
+    #[test]
+    fn relaunch_study_produces_a_measurement_per_relaunch() {
+        let mut system = MobileSystem::new(SchemeSpec::Zram, quick_config());
+        let scenario = Scenario::relaunch_study(AppName::Twitter);
+        system.run_scenario(&scenario);
+        assert_eq!(system.measurements().len(), 1);
+        let m = &system.measurements()[0];
+        assert_eq!(m.app, AppName::Twitter);
+        assert!(m.pages_accessed > 0);
+        assert!(m.latency > CostNanos::zero());
+    }
+
+    #[test]
+    fn dram_baseline_is_faster_than_zram_under_pressure() {
+        let scenario = Scenario::relaunch_study(AppName::Youtube);
+        let mut dram = MobileSystem::new(SchemeSpec::Dram, quick_config());
+        dram.run_scenario(&scenario);
+        let mut zram = MobileSystem::new(SchemeSpec::Zram, quick_config());
+        zram.run_scenario(&scenario);
+        assert!(
+            zram.average_relaunch_millis() > dram.average_relaunch_millis(),
+            "zram {} vs dram {}",
+            zram.average_relaunch_millis(),
+            dram.average_relaunch_millis()
+        );
+    }
+
+    #[test]
+    fn memory_pressure_triggers_compression_under_zram() {
+        let mut system = MobileSystem::new(SchemeSpec::Zram, quick_config());
+        system.run_scenario(&Scenario::relaunch_study(AppName::Firefox));
+        assert!(system.stats().compression_ops > 0, "no compression happened");
+        assert!(system.scheme().dram().peak_used_bytes() > 0);
+    }
+
+    #[test]
+    fn relaunching_an_unlaunched_app_launches_it_first() {
+        let mut system = MobileSystem::new(SchemeSpec::Dram, quick_config());
+        let measurement = system.relaunch(AppName::Edge, 0);
+        assert!(measurement.pages_accessed > 0);
+    }
+
+    #[test]
+    fn relaunch_index_is_clamped_to_available_traces() {
+        let mut system = MobileSystem::new(SchemeSpec::Dram, quick_config());
+        system.launch(AppName::TikTok);
+        let measurement = system.relaunch(AppName::TikTok, 99);
+        assert!(measurement.pages_accessed > 0);
+    }
+
+    #[test]
+    fn full_scale_extrapolation_multiplies_by_scale() {
+        let m = RelaunchMeasurement {
+            app: AppName::Twitter,
+            latency: CostNanos(2_000_000), // 2 ms at scale
+            pages_accessed: 10,
+            found_in: HashMap::new(),
+        };
+        assert!((m.full_scale_millis(64) - 128.0).abs() < 1e-9);
+    }
+}

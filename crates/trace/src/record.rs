@@ -1,0 +1,88 @@
+//! Flat trace records, mirroring the format described in §5 of the paper.
+//!
+//! "A trace is composed of the page frame number (PFN), ZRAM sector, source
+//! application number (UID), and page data that needs to be compressed,
+//! swapped-in or swapped-out." [`TraceRecord`] carries exactly those fields
+//! (page data by deterministic reference, not by value — the bytes can be
+//! regenerated from the [`crate::PageDataGenerator`]).
+
+use ariadne_mem::{PageId, Pfn};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The swap operation a trace record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceOp {
+    /// The page was selected for compression (swap-out).
+    SwapOut,
+    /// The page was faulted back in (swap-in / decompression).
+    SwapIn,
+}
+
+impl fmt::Display for TraceOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TraceOp::SwapOut => "swap-out",
+            TraceOp::SwapIn => "swap-in",
+        })
+    }
+}
+
+/// One record of a swap trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Source application (Android UID).
+    pub uid: u32,
+    /// Page frame number within the application.
+    pub pfn: Pfn,
+    /// ZRAM sector the compressed data was stored at (0 if not yet stored).
+    pub sector: u64,
+    /// The operation.
+    pub op: TraceOp,
+}
+
+impl TraceRecord {
+    /// Create a record for `page`.
+    #[must_use]
+    pub fn new(page: PageId, sector: u64, op: TraceOp) -> Self {
+        TraceRecord {
+            uid: page.app().value(),
+            pfn: page.pfn(),
+            sector,
+            op,
+        }
+    }
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} uid={} {} sector={}",
+            self.op, self.uid, self.pfn, self.sector
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ariadne_mem::AppId;
+
+    #[test]
+    fn record_captures_page_identity() {
+        let page = PageId::new(AppId::new(10_001), Pfn::new(42));
+        let record = TraceRecord::new(page, 7, TraceOp::SwapOut);
+        assert_eq!(record.uid, 10_001);
+        assert_eq!(record.pfn, Pfn::new(42));
+        assert_eq!(record.sector, 7);
+        assert_eq!(record.op, TraceOp::SwapOut);
+    }
+
+    #[test]
+    fn display_is_grep_friendly() {
+        let page = PageId::new(AppId::new(3), Pfn::new(5));
+        let text = TraceRecord::new(page, 9, TraceOp::SwapIn).to_string();
+        assert!(text.contains("swap-in") && text.contains("sector=9"));
+    }
+}

@@ -1,0 +1,166 @@
+//! The optimistic `DRAM` baseline: no swapping at all.
+//!
+//! Figures 2, 3 and 10 of the paper include a "DRAM" configuration in which
+//! main memory is assumed large enough to hold every application's anonymous
+//! data, so relaunches read everything straight from DRAM and the reclaim
+//! path never compresses or swaps anonymous pages. It is the lower bound the
+//! paper measures Ariadne against ("within 10 % of the optimistic DRAM
+//! configuration").
+
+use crate::scheme::{
+    AccessKind, AccessOutcome, MemoryConfig, ReclaimOutcome, SchemeContext, SchemeStats,
+    SwapScheme,
+};
+use ariadne_mem::{
+    AppId, CpuActivity, MainMemory, PageId, PageLocation, ReclaimRequest, SimClock,
+};
+
+/// The no-swap baseline.
+///
+/// ```
+/// use ariadne_zram::{DramOnlyScheme, MemoryConfig, SwapScheme};
+///
+/// let scheme = DramOnlyScheme::new(MemoryConfig::unlimited_dram(64));
+/// assert_eq!(scheme.name(), "DRAM");
+/// ```
+#[derive(Debug)]
+pub struct DramOnlyScheme {
+    dram: MainMemory,
+    stats: SchemeStats,
+}
+
+impl DramOnlyScheme {
+    /// Create the scheme. Normally used with [`MemoryConfig::unlimited_dram`].
+    #[must_use]
+    pub fn new(config: MemoryConfig) -> Self {
+        DramOnlyScheme {
+            dram: MainMemory::new(config.dram_bytes, config.watermarks),
+            stats: SchemeStats::default(),
+        }
+    }
+}
+
+impl SwapScheme for DramOnlyScheme {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> String {
+        "DRAM".to_string()
+    }
+
+    fn register_page(&mut self, page: PageId, clock: &mut SimClock, ctx: &SchemeContext) {
+        // With unlimited DRAM insertion cannot fail; if a finite capacity was
+        // configured we silently stop tracking overflowing pages, which keeps
+        // this baseline optimistic rather than erroring.
+        let _ = self.dram.insert(page);
+        clock.charge_cpu(CpuActivity::Other, ctx.timing.lru_ops(1));
+    }
+
+    fn access(
+        &mut self,
+        page: PageId,
+        _kind: AccessKind,
+        clock: &mut SimClock,
+        ctx: &SchemeContext,
+    ) -> AccessOutcome {
+        let _ = self.dram.insert(page);
+        let latency = ctx.timing.dram_access(1);
+        clock.advance(latency);
+        AccessOutcome {
+            latency,
+            found_in: PageLocation::Dram,
+        }
+    }
+
+    fn reclaim(
+        &mut self,
+        request: ReclaimRequest,
+        clock: &mut SimClock,
+        ctx: &SchemeContext,
+    ) -> ReclaimOutcome {
+        // Anonymous pages are never reclaimed. The kernel still spends a
+        // little CPU writing back file pages; model that as a scan over the
+        // requested pages.
+        let scan = ctx.timing.reclaim_scan(request.target_pages);
+        clock.charge_cpu(CpuActivity::ReclaimScan, scan);
+        self.stats.cpu.charge(CpuActivity::ReclaimScan, scan);
+        ReclaimOutcome::default()
+    }
+
+    fn on_foreground(&mut self, _app: AppId) {}
+
+    fn on_background(&mut self, _app: AppId) {}
+
+    fn location_of(&self, page: PageId) -> PageLocation {
+        if self.dram.contains(page) {
+            PageLocation::Dram
+        } else {
+            PageLocation::Absent
+        }
+    }
+
+    fn dram(&self) -> &MainMemory {
+        &self.dram
+    }
+
+    fn stats(&self) -> &SchemeStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ariadne_mem::ReclaimRequest;
+    use ariadne_trace::{AppName, WorkloadBuilder};
+
+    fn setup() -> (DramOnlyScheme, SchemeContext, SimClock, Vec<PageId>) {
+        let workloads = vec![WorkloadBuilder::new(1).scale(1024).build(AppName::Twitter)];
+        let ctx = SchemeContext::new(1, &workloads);
+        let pages: Vec<PageId> = workloads[0].pages.iter().map(|p| p.page).collect();
+        let scheme = DramOnlyScheme::new(MemoryConfig::unlimited_dram(1024));
+        (scheme, ctx, SimClock::new(), pages)
+    }
+
+    #[test]
+    fn accesses_are_always_dram_hits() {
+        let (mut scheme, ctx, mut clock, pages) = setup();
+        for &page in &pages {
+            scheme.register_page(page, &mut clock, &ctx);
+        }
+        let outcome = scheme.access(pages[0], AccessKind::Relaunch, &mut clock, &ctx);
+        assert_eq!(outcome.found_in, PageLocation::Dram);
+        assert_eq!(outcome.latency, ctx.timing.dram_access(1));
+    }
+
+    #[test]
+    fn reclaim_never_compresses_or_evicts() {
+        let (mut scheme, ctx, mut clock, pages) = setup();
+        for &page in &pages {
+            scheme.register_page(page, &mut clock, &ctx);
+        }
+        let before = scheme.dram().resident_pages();
+        let outcome = scheme.reclaim(
+            ReclaimRequest {
+                target_pages: 100,
+                reason: ariadne_mem::reclaim::ReclaimReason::LowWatermark,
+            },
+            &mut clock,
+            &ctx,
+        );
+        assert_eq!(outcome.pages_reclaimed, 0);
+        assert_eq!(scheme.dram().resident_pages(), before);
+        assert_eq!(scheme.stats().compression_ops, 0);
+    }
+
+    #[test]
+    fn unknown_pages_report_absent() {
+        let (scheme, _ctx, _clock, pages) = setup();
+        assert_eq!(scheme.location_of(pages[0]), PageLocation::Absent);
+    }
+}

@@ -1,0 +1,384 @@
+//! The [`SwapScheme`] abstraction shared by the baselines and by Ariadne.
+//!
+//! A swap scheme owns the memory hierarchy of the simulated device (DRAM,
+//! zpool, flash swap) and decides what happens on page registration, page
+//! access and memory reclaim. The whole-system simulator in `ariadne-sim`
+//! drives schemes exclusively through this trait, so the baseline-versus-
+//! Ariadne comparisons of the paper's evaluation are apples-to-apples.
+
+use ariadne_compress::{Algorithm, CostNanos, LatencyModel};
+use ariadne_mem::{
+    AppId, CpuBreakdown, FlashStats, MainMemory, MemTimingModel, PageId, PageLocation,
+    ReclaimRequest, SimClock, Watermarks, ZpoolStats, PAGE_SIZE,
+};
+use ariadne_trace::{AppProfile, AppWorkload, PageDataGenerator};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// What kind of activity triggered a page access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// First (cold) launch of the application.
+    Launch,
+    /// Hot launch — the access is on the relaunch critical path.
+    Relaunch,
+    /// Ordinary execution after the application is in the foreground.
+    Execution,
+}
+
+/// The result of a single page access through a scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessOutcome {
+    /// User-visible latency of the access (what accumulates into relaunch
+    /// latency when the access happens during a relaunch).
+    pub latency: CostNanos,
+    /// Where the page was found before the access.
+    pub found_in: PageLocation,
+}
+
+/// The result of a reclaim pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReclaimOutcome {
+    /// Pages removed from DRAM.
+    pub pages_reclaimed: usize,
+    /// Bytes of DRAM freed.
+    pub bytes_freed: usize,
+}
+
+/// How a scheme behaves when its zpool runs out of space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WritebackPolicy {
+    /// Drop the least recently stored compressed entries (the data is lost;
+    /// a later access to it behaves like a cold start for those pages).
+    /// This models plain ZRAM, where vendors disable writeback.
+    DropOldest,
+    /// Write compressed entries to the flash swap area (ZSWAP behaviour).
+    WritebackToFlash,
+}
+
+/// Sizing and algorithm configuration shared by every scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// DRAM capacity in bytes available to anonymous pages.
+    pub dram_bytes: usize,
+    /// zpool capacity in bytes (the paper's parameter `S`, 3 GB full scale).
+    pub zpool_bytes: usize,
+    /// Flash swap area capacity in bytes.
+    pub flash_swap_bytes: usize,
+    /// Reclaim watermarks.
+    pub watermarks: Watermarks,
+    /// Compression algorithm (LZO is the Pixel 7 default).
+    pub algorithm: Algorithm,
+    /// Behaviour when the zpool is full.
+    pub writeback: WritebackPolicy,
+}
+
+impl MemoryConfig {
+    /// A Pixel-7-like configuration (12 GB DRAM, 3 GB zpool, 8 GB swap),
+    /// scaled down by `scale` so simulations stay fast. `scale` = 1
+    /// reproduces the full device.
+    #[must_use]
+    pub fn pixel7_scaled(scale: usize) -> Self {
+        let scale = scale.max(1);
+        // Of the 12 GB of DRAM, roughly 3 GB is available to application
+        // anonymous data once the system, file cache and GPU take their
+        // share; that is the budget that creates memory pressure with ten
+        // live applications (whose anonymous data totals ~4.7 GB, Table 1).
+        let dram = 3 * 1024 * 1024 * 1024 / scale;
+        MemoryConfig {
+            dram_bytes: dram,
+            zpool_bytes: 3 * 1024 * 1024 * 1024 / scale,
+            flash_swap_bytes: 8 * 1024 * 1024 * 1024 / scale,
+            watermarks: Watermarks::android_default(dram),
+            algorithm: Algorithm::Lzo,
+            writeback: WritebackPolicy::DropOldest,
+        }
+    }
+
+    /// Same as [`MemoryConfig::pixel7_scaled`] but with an effectively
+    /// unlimited DRAM, for the optimistic `DRAM` baseline.
+    #[must_use]
+    pub fn unlimited_dram(scale: usize) -> Self {
+        let mut config = MemoryConfig::pixel7_scaled(scale);
+        config.dram_bytes = usize::MAX / 4;
+        config.watermarks = Watermarks::android_default(config.dram_bytes);
+        config
+    }
+
+    /// Override the compression algorithm.
+    #[must_use]
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Override the writeback policy.
+    #[must_use]
+    pub fn with_writeback(mut self, writeback: WritebackPolicy) -> Self {
+        self.writeback = writeback;
+        self
+    }
+}
+
+/// Read-only context handed to schemes: page contents, application profiles
+/// and the latency models.
+#[derive(Debug, Clone)]
+pub struct SchemeContext {
+    data: PageDataGenerator,
+    profiles: HashMap<AppId, AppProfile>,
+    /// Memory-hierarchy latency constants.
+    pub timing: MemTimingModel,
+    /// Compression-latency cost model.
+    pub latency: LatencyModel,
+}
+
+impl SchemeContext {
+    /// Build a context for the given workloads.
+    #[must_use]
+    pub fn new(seed: u64, workloads: &[AppWorkload]) -> Self {
+        SchemeContext {
+            data: PageDataGenerator::new(seed),
+            profiles: workloads.iter().map(|w| (w.app, w.profile)).collect(),
+            timing: MemTimingModel::pixel7(),
+            latency: LatencyModel::pixel7(),
+        }
+    }
+
+    /// The synthetic contents of `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page belongs to an application that was not part of the
+    /// workloads this context was built from.
+    #[must_use]
+    pub fn page_bytes(&self, page: PageId) -> Vec<u8> {
+        let profile = self
+            .profiles
+            .get(&page.app())
+            .unwrap_or_else(|| panic!("no profile registered for {}", page.app()));
+        self.data.page_bytes(profile, page)
+    }
+
+    /// Concatenated contents of several pages (what a multi-page compression
+    /// chunk operates on).
+    #[must_use]
+    pub fn pages_bytes(&self, pages: &[PageId]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(pages.len() * PAGE_SIZE);
+        for page in pages {
+            out.extend(self.page_bytes(*page));
+        }
+        out
+    }
+
+    /// The profile of `app`, if it is part of the workload set.
+    #[must_use]
+    pub fn profile(&self, app: AppId) -> Option<&AppProfile> {
+        self.profiles.get(&app)
+    }
+}
+
+/// Lifetime statistics a scheme reports to the experiment harness.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SchemeStats {
+    /// Number of compression operations performed.
+    pub compression_ops: usize,
+    /// Number of decompression operations performed.
+    pub decompression_ops: usize,
+    /// Pages compressed (swap-out side).
+    pub pages_compressed: usize,
+    /// Pages decompressed (swap-in side).
+    pub pages_decompressed: usize,
+    /// Original bytes passed to the compressor.
+    pub bytes_before_compression: usize,
+    /// Bytes produced by the compressor.
+    pub bytes_after_compression: usize,
+    /// Simulated time spent compressing.
+    pub compression_time: CostNanos,
+    /// Simulated time spent decompressing.
+    pub decompression_time: CostNanos,
+    /// CPU ledger of the scheme's own work.
+    pub cpu: CpuBreakdown,
+    /// Flash swap traffic.
+    pub flash: FlashStats,
+    /// zpool usage.
+    pub zpool: ZpoolStats,
+    /// Pages served from the pre-decompression buffer (Ariadne only).
+    pub predecomp_hits: usize,
+    /// Pages pre-decompressed but never used before eviction (Ariadne only).
+    pub predecomp_wasted: usize,
+    /// Pages whose data was dropped (zpool overflow without writeback) and
+    /// had to be recreated on access.
+    pub dropped_pages: usize,
+    /// Order in which pages were first compressed (the Figure 4 analysis
+    /// sorts compressed data by compression time).
+    pub compression_log: Vec<PageId>,
+    /// zpool sectors touched by swap-ins, in access order (the Table 3
+    /// locality analysis runs over this sequence).
+    pub swapin_sector_trace: Vec<u64>,
+}
+
+impl SchemeStats {
+    /// Aggregate compression ratio achieved so far (1.0 when nothing was
+    /// compressed).
+    #[must_use]
+    pub fn compression_ratio(&self) -> f64 {
+        if self.bytes_after_compression == 0 {
+            1.0
+        } else {
+            self.bytes_before_compression as f64 / self.bytes_after_compression as f64
+        }
+    }
+
+    /// CPU time attributable to compression plus decompression — the
+    /// quantity normalised in the paper's Figure 11.
+    #[must_use]
+    pub fn compression_cpu(&self) -> CostNanos {
+        self.compression_time + self.decompression_time
+    }
+}
+
+impl fmt::Display for SchemeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "comp_ops={} decomp_ops={} ratio={:.2} comp={:.2}ms decomp={:.2}ms flash_writes={}",
+            self.compression_ops,
+            self.decompression_ops,
+            self.compression_ratio(),
+            self.compression_time.as_millis_f64(),
+            self.decompression_time.as_millis_f64(),
+            self.flash.writes
+        )
+    }
+}
+
+/// A memory-swap policy: the baseline schemes and Ariadne all implement this.
+pub trait SwapScheme {
+    /// Upcast to [`std::any::Any`] so experiments can reach scheme-specific
+    /// probes (e.g. Ariadne's identification metrics) behind `dyn SwapScheme`.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable variant of [`SwapScheme::as_any`].
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
+    /// Human-readable name (used in reports, e.g. `ZRAM`, `Ariadne-EHL-1K-2K-16K`).
+    fn name(&self) -> String;
+
+    /// Register a freshly allocated anonymous page and make it resident.
+    /// May trigger direct reclaim internally if DRAM is full.
+    fn register_page(&mut self, page: PageId, clock: &mut SimClock, ctx: &SchemeContext);
+
+    /// Access `page` (faulting it in if it is not resident). Returns where
+    /// the page was found and the user-visible latency.
+    fn access(
+        &mut self,
+        page: PageId,
+        kind: AccessKind,
+        clock: &mut SimClock,
+        ctx: &SchemeContext,
+    ) -> AccessOutcome;
+
+    /// Background reclaim (kswapd): evict at least `request.target_pages`
+    /// pages from DRAM according to the scheme's policy.
+    fn reclaim(
+        &mut self,
+        request: ReclaimRequest,
+        clock: &mut SimClock,
+        ctx: &SchemeContext,
+    ) -> ReclaimOutcome;
+
+    /// The application moved to the foreground.
+    fn on_foreground(&mut self, app: AppId);
+
+    /// The application moved to the background.
+    fn on_background(&mut self, app: AppId);
+
+    /// A relaunch of `app` is about to start (Ariadne rotates its hot list
+    /// here; baselines ignore it).
+    fn on_relaunch_start(&mut self, _app: AppId) {}
+
+    /// The relaunch of `app` finished.
+    fn on_relaunch_end(&mut self, _app: AppId) {}
+
+    /// Where `page` currently lives.
+    fn location_of(&self, page: PageId) -> PageLocation;
+
+    /// The scheme's DRAM model (for watermark checks by the driver).
+    fn dram(&self) -> &MainMemory;
+
+    /// Lifetime statistics.
+    fn stats(&self) -> &SchemeStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ariadne_trace::{AppName, WorkloadBuilder};
+
+    #[test]
+    fn pixel7_scaled_config_preserves_ratios() {
+        let full = MemoryConfig::pixel7_scaled(1);
+        let scaled = MemoryConfig::pixel7_scaled(64);
+        assert_eq!(full.dram_bytes / scaled.dram_bytes, 64);
+        assert_eq!(full.zpool_bytes / scaled.zpool_bytes, 64);
+        assert_eq!(scaled.algorithm, Algorithm::Lzo);
+    }
+
+    #[test]
+    fn unlimited_dram_is_effectively_infinite() {
+        let config = MemoryConfig::unlimited_dram(64);
+        assert!(config.dram_bytes > (1usize << 60));
+    }
+
+    #[test]
+    fn config_builders_override_fields() {
+        let config = MemoryConfig::pixel7_scaled(64)
+            .with_algorithm(Algorithm::Lz4)
+            .with_writeback(WritebackPolicy::WritebackToFlash);
+        assert_eq!(config.algorithm, Algorithm::Lz4);
+        assert_eq!(config.writeback, WritebackPolicy::WritebackToFlash);
+    }
+
+    #[test]
+    fn context_produces_page_bytes_for_registered_apps() {
+        let workloads = vec![WorkloadBuilder::new(1).scale(1024).build(AppName::Twitter)];
+        let ctx = SchemeContext::new(1, &workloads);
+        let page = workloads[0].pages[0].page;
+        assert_eq!(ctx.page_bytes(page).len(), PAGE_SIZE);
+        assert_eq!(ctx.pages_bytes(&[page, page]).len(), 2 * PAGE_SIZE);
+        assert!(ctx.profile(page.app()).is_some());
+        assert!(ctx.profile(AppId::new(1)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no profile registered")]
+    fn context_panics_for_unknown_apps() {
+        let ctx = SchemeContext::new(1, &[]);
+        let _ = ctx.page_bytes(PageId::new(AppId::new(5), ariadne_mem::Pfn::new(0)));
+    }
+
+    #[test]
+    fn stats_ratio_handles_the_empty_case() {
+        let stats = SchemeStats::default();
+        assert!((stats.compression_ratio() - 1.0).abs() < 1e-12);
+        let stats = SchemeStats {
+            bytes_before_compression: 8192,
+            bytes_after_compression: 2048,
+            ..SchemeStats::default()
+        };
+        assert!((stats.compression_ratio() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_display_mentions_the_key_numbers() {
+        let stats = SchemeStats {
+            compression_ops: 3,
+            bytes_before_compression: 100,
+            bytes_after_compression: 50,
+            ..SchemeStats::default()
+        };
+        let text = stats.to_string();
+        assert!(text.contains("comp_ops=3") && text.contains("2.00"));
+    }
+}

@@ -1,0 +1,365 @@
+//! The flash-backed `SWAP` baseline.
+//!
+//! Before compressed swap existed, Android (like any Linux system) could
+//! reclaim anonymous pages by writing them, uncompressed, to a swap area on
+//! the flash device and reading them back on demand. The paper evaluates
+//! this scheme as the `SWAP` configuration: it keeps kswapd CPU usage low
+//! (the CPU mostly waits for I/O) but makes relaunches slow (every miss pays
+//! a flash read) and wears out the flash.
+
+use crate::scheme::{
+    AccessKind, AccessOutcome, MemoryConfig, ReclaimOutcome, SchemeContext, SchemeStats,
+    SwapScheme,
+};
+use ariadne_compress::CostNanos;
+use ariadne_mem::{
+    AppId, CpuActivity, FlashDevice, LruList, MainMemory, PageId, PageLocation, ReclaimRequest,
+    SimClock, PAGE_SIZE,
+};
+
+/// The uncompressed flash-swap baseline.
+///
+/// ```
+/// use ariadne_zram::{FlashSwapScheme, MemoryConfig, SwapScheme};
+///
+/// let scheme = FlashSwapScheme::new(MemoryConfig::pixel7_scaled(256));
+/// assert_eq!(scheme.name(), "SWAP");
+/// ```
+#[derive(Debug)]
+pub struct FlashSwapScheme {
+    dram: MainMemory,
+    flash: FlashDevice,
+    lru: LruList<PageId>,
+    foreground: Option<AppId>,
+    stats: SchemeStats,
+}
+
+impl FlashSwapScheme {
+    /// Create the scheme from a memory configuration.
+    #[must_use]
+    pub fn new(config: MemoryConfig) -> Self {
+        FlashSwapScheme {
+            dram: MainMemory::new(config.dram_bytes, config.watermarks),
+            flash: FlashDevice::new(config.flash_swap_bytes),
+            lru: LruList::new(),
+            foreground: None,
+            stats: SchemeStats::default(),
+        }
+    }
+
+    /// Evict `target_pages` LRU victims to flash. Returns (pages evicted,
+    /// user-visible latency of the synchronous part).
+    fn evict_to_flash(
+        &mut self,
+        target_pages: usize,
+        synchronous: bool,
+        clock: &mut SimClock,
+        ctx: &SchemeContext,
+    ) -> (usize, CostNanos) {
+        let mut evicted = 0usize;
+        let mut visible_latency = CostNanos::zero();
+        // Prefer victims that do not belong to the foreground application.
+        let mut victims: Vec<PageId> = Vec::with_capacity(target_pages);
+        let mut skipped: Vec<PageId> = Vec::new();
+        while victims.len() < target_pages {
+            match self.lru.pop_lru() {
+                None => break,
+                Some(page) => {
+                    if Some(page.app()) == self.foreground && !self.lru.is_empty() {
+                        skipped.push(page);
+                    } else {
+                        victims.push(page);
+                    }
+                }
+            }
+        }
+        for page in skipped {
+            self.lru.insert_lru(page);
+        }
+
+        for page in victims {
+            if self.flash.write(vec![page], PAGE_SIZE, PAGE_SIZE, false).is_err() {
+                // Swap area full: keep the page resident.
+                self.lru.insert_lru(page);
+                break;
+            }
+            self.dram.remove(page);
+            evicted += 1;
+
+            let scan = ctx.timing.reclaim_scan(1);
+            let io_cpu = ctx.timing.lru_ops(2);
+            let write_latency = ctx.timing.flash_write(PAGE_SIZE);
+            clock.charge_cpu(CpuActivity::ReclaimScan, scan);
+            clock.charge_cpu(CpuActivity::SwapIo, io_cpu);
+            self.stats.cpu.charge(CpuActivity::ReclaimScan, scan);
+            self.stats.cpu.charge(CpuActivity::SwapIo, io_cpu);
+            if synchronous {
+                // Direct reclaim: the faulting thread waits for the write.
+                visible_latency += write_latency;
+                clock.advance(write_latency);
+            }
+        }
+        self.stats.flash = self.flash.stats();
+        (evicted, visible_latency)
+    }
+
+    /// Ensure there is room for one more resident page, via direct reclaim if
+    /// necessary. Returns the user-visible latency incurred.
+    fn make_room(&mut self, clock: &mut SimClock, ctx: &SchemeContext) -> CostNanos {
+        let mut latency = CostNanos::zero();
+        while self.dram.free_bytes() < PAGE_SIZE {
+            let (evicted, lat) = self.evict_to_flash(1, true, clock, ctx);
+            latency += lat;
+            if evicted == 0 {
+                break;
+            }
+        }
+        latency
+    }
+}
+
+impl SwapScheme for FlashSwapScheme {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> String {
+        "SWAP".to_string()
+    }
+
+    fn register_page(&mut self, page: PageId, clock: &mut SimClock, ctx: &SchemeContext) {
+        if self.dram.contains(page) {
+            self.lru.touch(page);
+            return;
+        }
+        let _ = self.make_room(clock, ctx);
+        if self.dram.insert(page).is_ok() {
+            self.lru.touch(page);
+            clock.charge_cpu(CpuActivity::Other, ctx.timing.lru_ops(1));
+        }
+    }
+
+    fn access(
+        &mut self,
+        page: PageId,
+        _kind: AccessKind,
+        clock: &mut SimClock,
+        ctx: &SchemeContext,
+    ) -> AccessOutcome {
+        if self.dram.contains(page) {
+            self.lru.touch(page);
+            let latency = ctx.timing.dram_access(1);
+            clock.advance(latency);
+            return AccessOutcome {
+                latency,
+                found_in: PageLocation::Dram,
+            };
+        }
+
+        let found_in = if self.flash.contains(page) {
+            PageLocation::Flash
+        } else {
+            PageLocation::Absent
+        };
+        let mut latency = ctx.timing.page_fault();
+        latency += self.make_room(clock, ctx);
+
+        if let Some(slot) = self.flash.slot_for(page) {
+            let (_, stored, _, _) = self.flash.read(slot).expect("slot was just looked up");
+            let read_latency = ctx.timing.flash_read(stored);
+            latency += read_latency;
+            let io_cpu = ctx.timing.lru_ops(2);
+            clock.charge_cpu(CpuActivity::SwapIo, io_cpu);
+            self.stats.cpu.charge(CpuActivity::SwapIo, io_cpu);
+            self.flash.discard(slot).expect("slot exists");
+            self.stats.flash = self.flash.stats();
+            self.stats.swapin_sector_trace.push(slot.value());
+        } else {
+            // Never swapped (or dropped): model a minor fault that maps a
+            // fresh zero page.
+            latency += ctx.timing.dram_copy(1);
+            self.stats.dropped_pages += 1;
+        }
+
+        let _ = self.dram.insert(page);
+        self.lru.touch(page);
+        latency += ctx.timing.dram_access(1);
+        clock.advance(latency);
+        AccessOutcome { latency, found_in }
+    }
+
+    fn reclaim(
+        &mut self,
+        request: ReclaimRequest,
+        clock: &mut SimClock,
+        ctx: &SchemeContext,
+    ) -> ReclaimOutcome {
+        let (evicted, _) = self.evict_to_flash(request.target_pages, false, clock, ctx);
+        ReclaimOutcome {
+            pages_reclaimed: evicted,
+            bytes_freed: evicted * PAGE_SIZE,
+        }
+    }
+
+    fn on_foreground(&mut self, app: AppId) {
+        self.foreground = Some(app);
+    }
+
+    fn on_background(&mut self, app: AppId) {
+        if self.foreground == Some(app) {
+            self.foreground = None;
+        }
+    }
+
+    fn location_of(&self, page: PageId) -> PageLocation {
+        if self.dram.contains(page) {
+            PageLocation::Dram
+        } else if self.flash.contains(page) {
+            PageLocation::Flash
+        } else {
+            PageLocation::Absent
+        }
+    }
+
+    fn dram(&self) -> &MainMemory {
+        &self.dram
+    }
+
+    fn stats(&self) -> &SchemeStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ariadne_mem::reclaim::ReclaimReason;
+    use ariadne_mem::Watermarks;
+    use ariadne_trace::{AppName, WorkloadBuilder};
+
+    fn tiny_config(dram_pages: usize) -> MemoryConfig {
+        let dram = dram_pages * PAGE_SIZE;
+        MemoryConfig {
+            dram_bytes: dram,
+            zpool_bytes: 64 * PAGE_SIZE,
+            flash_swap_bytes: 1024 * PAGE_SIZE,
+            watermarks: Watermarks::new(dram / 8, dram / 4).unwrap(),
+            ..MemoryConfig::pixel7_scaled(1024)
+        }
+    }
+
+    fn setup(dram_pages: usize) -> (FlashSwapScheme, SchemeContext, SimClock, Vec<PageId>) {
+        let workloads = vec![WorkloadBuilder::new(1).scale(1024).build(AppName::Twitter)];
+        let ctx = SchemeContext::new(1, &workloads);
+        let pages: Vec<PageId> = workloads[0].pages.iter().map(|p| p.page).collect();
+        (
+            FlashSwapScheme::new(tiny_config(dram_pages)),
+            ctx,
+            SimClock::new(),
+            pages,
+        )
+    }
+
+    #[test]
+    fn resident_accesses_cost_a_dram_access() {
+        let (mut scheme, ctx, mut clock, pages) = setup(4096);
+        scheme.register_page(pages[0], &mut clock, &ctx);
+        let outcome = scheme.access(pages[0], AccessKind::Execution, &mut clock, &ctx);
+        assert_eq!(outcome.found_in, PageLocation::Dram);
+        assert_eq!(outcome.latency, ctx.timing.dram_access(1));
+    }
+
+    #[test]
+    fn background_reclaim_moves_lru_pages_to_flash() {
+        let (mut scheme, ctx, mut clock, pages) = setup(4096);
+        for &page in pages.iter().take(50) {
+            scheme.register_page(page, &mut clock, &ctx);
+        }
+        let outcome = scheme.reclaim(
+            ReclaimRequest {
+                target_pages: 10,
+                reason: ReclaimReason::LowWatermark,
+            },
+            &mut clock,
+            &ctx,
+        );
+        assert_eq!(outcome.pages_reclaimed, 10);
+        assert_eq!(scheme.stats().flash.writes, 10);
+        // The 10 least recently registered pages were evicted.
+        assert_eq!(scheme.location_of(pages[0]), PageLocation::Flash);
+        assert_eq!(scheme.location_of(pages[20]), PageLocation::Dram);
+    }
+
+    #[test]
+    fn faulting_a_swapped_page_pays_flash_read_latency() {
+        let (mut scheme, ctx, mut clock, pages) = setup(4096);
+        for &page in pages.iter().take(20) {
+            scheme.register_page(page, &mut clock, &ctx);
+        }
+        scheme.reclaim(
+            ReclaimRequest {
+                target_pages: 5,
+                reason: ReclaimReason::LowWatermark,
+            },
+            &mut clock,
+            &ctx,
+        );
+        let outcome = scheme.access(pages[0], AccessKind::Relaunch, &mut clock, &ctx);
+        assert_eq!(outcome.found_in, PageLocation::Flash);
+        assert!(outcome.latency >= ctx.timing.flash_read(PAGE_SIZE));
+        assert_eq!(scheme.location_of(pages[0]), PageLocation::Dram);
+        assert_eq!(scheme.stats().swapin_sector_trace.len(), 1);
+    }
+
+    #[test]
+    fn direct_reclaim_happens_when_dram_is_full() {
+        let (mut scheme, ctx, mut clock, pages) = setup(8);
+        for &page in pages.iter().take(16) {
+            scheme.register_page(page, &mut clock, &ctx);
+        }
+        // Only 8 pages fit; the rest forced direct reclaim to flash.
+        assert_eq!(scheme.dram().resident_pages(), 8);
+        assert!(scheme.stats().flash.writes >= 8);
+    }
+
+    #[test]
+    fn foreground_apps_pages_are_protected_from_eviction() {
+        let workloads = vec![
+            WorkloadBuilder::new(1).scale(1024).build(AppName::Twitter),
+            WorkloadBuilder::new(1).scale(1024).build(AppName::Youtube),
+        ];
+        let ctx = SchemeContext::new(1, &workloads);
+        let mut clock = SimClock::new();
+        let mut scheme = FlashSwapScheme::new(tiny_config(4096));
+        let twitter = workloads[0].pages[0].page;
+        let youtube: Vec<PageId> = workloads[1].pages.iter().map(|p| p.page).take(20).collect();
+        scheme.register_page(twitter, &mut clock, &ctx);
+        for &p in &youtube {
+            scheme.register_page(p, &mut clock, &ctx);
+        }
+        scheme.on_foreground(twitter.app());
+        scheme.reclaim(
+            ReclaimRequest {
+                target_pages: 5,
+                reason: ReclaimReason::LowWatermark,
+            },
+            &mut clock,
+            &ctx,
+        );
+        // Twitter's page was the global LRU victim but is foreground-protected.
+        assert_eq!(scheme.location_of(twitter), PageLocation::Dram);
+    }
+
+    #[test]
+    fn absent_pages_fault_without_flash_io() {
+        let (mut scheme, ctx, mut clock, pages) = setup(64);
+        let outcome = scheme.access(pages[0], AccessKind::Execution, &mut clock, &ctx);
+        assert_eq!(outcome.found_in, PageLocation::Absent);
+        assert_eq!(scheme.stats().flash.reads, 0);
+        assert_eq!(scheme.stats().dropped_pages, 1);
+    }
+}

@@ -1,0 +1,532 @@
+//! The state-of-the-art `ZRAM` baseline.
+//!
+//! This is the scheme modern Android ships (§2.2 of the paper): when memory
+//! pressure builds, kswapd takes the least-recently-used anonymous pages,
+//! compresses them one 4 KiB page at a time with the kernel's default
+//! compressor and stores the result in the zpool. A page fault on compressed
+//! data decompresses it on demand — possibly after first compressing *other*
+//! pages to make room, which is exactly the on-demand-compression cost the
+//! paper identifies as a major source of relaunch latency. When the zpool is
+//! full the scheme either drops the oldest compressed data (plain ZRAM, the
+//! vendor default) or writes it back to flash (ZSWAP).
+
+use crate::scheme::{
+    AccessKind, AccessOutcome, MemoryConfig, ReclaimOutcome, SchemeContext, SchemeStats,
+    SwapScheme, WritebackPolicy,
+};
+use ariadne_compress::{Algorithm, ChunkSize, ChunkedCodec, CostNanos};
+use ariadne_mem::{
+    AppId, CpuActivity, FlashDevice, Hotness, LruList, MainMemory, PageId, PageLocation,
+    ReclaimRequest, SimClock, Zpool, ZpoolHandle, PAGE_SIZE,
+};
+
+/// The baseline compressed-swap scheme (single-page compression, LRU victim
+/// selection, on-demand decompression).
+///
+/// ```
+/// use ariadne_zram::{MemoryConfig, SwapScheme, ZramScheme};
+///
+/// let scheme = ZramScheme::new(MemoryConfig::pixel7_scaled(256));
+/// assert_eq!(scheme.name(), "ZRAM");
+/// ```
+#[derive(Debug)]
+pub struct ZramScheme {
+    config: MemoryConfig,
+    dram: MainMemory,
+    zpool: Zpool,
+    flash: FlashDevice,
+    lru: LruList<PageId>,
+    codec: ChunkedCodec,
+    foreground: Option<AppId>,
+    stats: SchemeStats,
+}
+
+impl ZramScheme {
+    /// Create the scheme from a memory configuration.
+    #[must_use]
+    pub fn new(config: MemoryConfig) -> Self {
+        ZramScheme {
+            dram: MainMemory::new(config.dram_bytes, config.watermarks),
+            zpool: Zpool::new(config.zpool_bytes),
+            flash: FlashDevice::new(config.flash_swap_bytes),
+            lru: LruList::new(),
+            codec: ChunkedCodec::new(config.algorithm, ChunkSize::k4()),
+            foreground: None,
+            stats: SchemeStats::default(),
+            config,
+        }
+    }
+
+    /// The compression algorithm in use.
+    #[must_use]
+    pub fn algorithm(&self) -> Algorithm {
+        self.config.algorithm
+    }
+
+    /// Compress one victim page into the zpool. Returns the compression
+    /// latency (charged to the caller as CPU; also user-visible if the caller
+    /// is a direct reclaim).
+    fn compress_page(
+        &mut self,
+        page: PageId,
+        clock: &mut SimClock,
+        ctx: &SchemeContext,
+    ) -> CostNanos {
+        let bytes = ctx.page_bytes(page);
+        let image = self
+            .codec
+            .compress(&bytes)
+            .expect("page compression cannot fail");
+        let compressed_len = image.compressed_len();
+        let cost = ctx
+            .latency
+            .compression_cost(self.config.algorithm, ChunkSize::k4(), bytes.len());
+
+        self.make_zpool_room(compressed_len, clock, ctx);
+        if self
+            .zpool
+            .store(vec![page], bytes.len(), compressed_len, ChunkSize::k4(), Hotness::Cold)
+            .is_err()
+        {
+            // Even after writeback the pool cannot take the entry (tiny test
+            // configurations); drop the data instead.
+            self.stats.dropped_pages += 1;
+        }
+        self.dram.remove(page);
+
+        self.stats.compression_ops += 1;
+        self.stats.pages_compressed += 1;
+        self.stats.bytes_before_compression += bytes.len();
+        self.stats.bytes_after_compression += compressed_len;
+        self.stats.compression_time += cost;
+        self.stats.compression_log.push(page);
+        self.stats.cpu.charge(CpuActivity::Compression, cost);
+        clock.charge_cpu(CpuActivity::Compression, cost);
+        self.stats.zpool = self.zpool.stats();
+        cost
+    }
+
+    /// Free zpool space for `incoming_bytes` according to the writeback
+    /// policy.
+    fn make_zpool_room(&mut self, incoming_bytes: usize, clock: &mut SimClock, ctx: &SchemeContext) {
+        while self.zpool.would_overflow(incoming_bytes) && !self.zpool.is_empty() {
+            // Oldest entry = smallest sector number.
+            let victim = self
+                .zpool
+                .iter()
+                .min_by_key(|(_, e)| e.sector.value())
+                .map(|(h, _)| h);
+            let Some(handle) = victim else { break };
+            let entry = self.zpool.remove(handle).expect("victim handle is live");
+            match self.config.writeback {
+                WritebackPolicy::DropOldest => {
+                    self.stats.dropped_pages += entry.pages.len();
+                }
+                WritebackPolicy::WritebackToFlash => {
+                    let io_cpu = ctx.timing.lru_ops(2);
+                    clock.charge_cpu(CpuActivity::SwapIo, io_cpu);
+                    self.stats.cpu.charge(CpuActivity::SwapIo, io_cpu);
+                    if self
+                        .flash
+                        .write(
+                            entry.pages.clone(),
+                            entry.original_bytes,
+                            entry.compressed_bytes,
+                            true,
+                        )
+                        .is_err()
+                    {
+                        self.stats.dropped_pages += entry.pages.len();
+                    }
+                    self.stats.flash = self.flash.stats();
+                }
+            }
+        }
+    }
+
+    /// Pick up to `count` LRU victims, protecting the foreground app when
+    /// other victims exist.
+    fn pick_victims(&mut self, count: usize) -> Vec<PageId> {
+        let mut victims = Vec::with_capacity(count);
+        let mut skipped = Vec::new();
+        while victims.len() < count {
+            match self.lru.pop_lru() {
+                None => break,
+                Some(page) => {
+                    if Some(page.app()) == self.foreground && !self.lru.is_empty() {
+                        skipped.push(page);
+                    } else {
+                        victims.push(page);
+                    }
+                }
+            }
+        }
+        for page in skipped {
+            self.lru.insert_lru(page);
+        }
+        victims
+    }
+
+    /// Ensure one more page fits in DRAM, compressing victims synchronously
+    /// if needed. Returns the user-visible latency.
+    fn make_room(&mut self, clock: &mut SimClock, ctx: &SchemeContext) -> CostNanos {
+        let mut latency = CostNanos::zero();
+        while self.dram.free_bytes() < PAGE_SIZE {
+            let victims = self.pick_victims(1);
+            if victims.is_empty() {
+                break;
+            }
+            for page in victims {
+                let cost = self.compress_page(page, clock, ctx);
+                latency += cost;
+                clock.advance(cost);
+            }
+        }
+        latency
+    }
+
+    /// Decompress the entry holding `page` back into DRAM. Returns the
+    /// latency and the zpool sector it came from.
+    fn decompress_entry(
+        &mut self,
+        handle: ZpoolHandle,
+        clock: &mut SimClock,
+        ctx: &SchemeContext,
+    ) -> CostNanos {
+        let entry = self.zpool.remove(handle).expect("entry is live");
+        let cost = ctx.latency.decompression_cost(
+            self.config.algorithm,
+            entry.chunk_size,
+            entry.original_bytes,
+        );
+        self.stats.decompression_ops += 1;
+        self.stats.pages_decompressed += entry.pages.len();
+        self.stats.decompression_time += cost;
+        self.stats.cpu.charge(CpuActivity::Decompression, cost);
+        clock.charge_cpu(CpuActivity::Decompression, cost);
+        self.stats.swapin_sector_trace.push(entry.sector.value());
+        self.stats.zpool = self.zpool.stats();
+        cost
+    }
+}
+
+impl SwapScheme for ZramScheme {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> String {
+        match self.config.writeback {
+            WritebackPolicy::DropOldest => "ZRAM".to_string(),
+            WritebackPolicy::WritebackToFlash => "ZSWAP".to_string(),
+        }
+    }
+
+    fn register_page(&mut self, page: PageId, clock: &mut SimClock, ctx: &SchemeContext) {
+        if self.dram.contains(page) {
+            self.lru.touch(page);
+            return;
+        }
+        let _ = self.make_room(clock, ctx);
+        if self.dram.insert(page).is_ok() {
+            self.lru.touch(page);
+            clock.charge_cpu(CpuActivity::Other, ctx.timing.lru_ops(1));
+        }
+    }
+
+    fn access(
+        &mut self,
+        page: PageId,
+        _kind: AccessKind,
+        clock: &mut SimClock,
+        ctx: &SchemeContext,
+    ) -> AccessOutcome {
+        if self.dram.contains(page) {
+            self.lru.touch(page);
+            let latency = ctx.timing.dram_access(1);
+            clock.advance(latency);
+            return AccessOutcome {
+                latency,
+                found_in: PageLocation::Dram,
+            };
+        }
+
+        let mut latency = ctx.timing.page_fault();
+        latency += self.make_room(clock, ctx);
+        let found_in;
+
+        if let Some(handle) = self.zpool.handle_for(page) {
+            found_in = PageLocation::Zpool;
+            let cost = self.decompress_entry(handle, clock, ctx);
+            latency += cost;
+        } else if let Some(slot) = self.flash.slot_for(page) {
+            found_in = PageLocation::Flash;
+            let (pages, stored, original, compressed) =
+                self.flash.read(slot).expect("slot was just looked up");
+            let read_latency = ctx.timing.flash_read(stored);
+            latency += read_latency;
+            let io_cpu = ctx.timing.lru_ops(2);
+            clock.charge_cpu(CpuActivity::SwapIo, io_cpu);
+            self.stats.cpu.charge(CpuActivity::SwapIo, io_cpu);
+            if compressed {
+                let cost = ctx.latency.decompression_cost(
+                    self.config.algorithm,
+                    ChunkSize::k4(),
+                    original,
+                );
+                latency += cost;
+                self.stats.decompression_ops += 1;
+                self.stats.pages_decompressed += pages.len();
+                self.stats.decompression_time += cost;
+                self.stats.cpu.charge(CpuActivity::Decompression, cost);
+                clock.charge_cpu(CpuActivity::Decompression, cost);
+            }
+            self.flash.discard(slot).expect("slot exists");
+            self.stats.swapin_sector_trace.push(slot.value());
+            self.stats.flash = self.flash.stats();
+        } else {
+            found_in = PageLocation::Absent;
+            latency += ctx.timing.dram_copy(1);
+            self.stats.dropped_pages += 1;
+        }
+
+        let _ = self.dram.insert(page);
+        self.lru.touch(page);
+        latency += ctx.timing.dram_access(1);
+        clock.advance(latency);
+        AccessOutcome { latency, found_in }
+    }
+
+    fn reclaim(
+        &mut self,
+        request: ReclaimRequest,
+        clock: &mut SimClock,
+        ctx: &SchemeContext,
+    ) -> ReclaimOutcome {
+        let victims = self.pick_victims(request.target_pages);
+        let scan = ctx.timing.reclaim_scan(victims.len().max(1));
+        clock.charge_cpu(CpuActivity::ReclaimScan, scan);
+        self.stats.cpu.charge(CpuActivity::ReclaimScan, scan);
+        let mut reclaimed = 0usize;
+        for page in victims {
+            self.compress_page(page, clock, ctx);
+            reclaimed += 1;
+        }
+        ReclaimOutcome {
+            pages_reclaimed: reclaimed,
+            bytes_freed: reclaimed * PAGE_SIZE,
+        }
+    }
+
+    fn on_foreground(&mut self, app: AppId) {
+        self.foreground = Some(app);
+    }
+
+    fn on_background(&mut self, app: AppId) {
+        if self.foreground == Some(app) {
+            self.foreground = None;
+        }
+    }
+
+    fn location_of(&self, page: PageId) -> PageLocation {
+        if self.dram.contains(page) {
+            PageLocation::Dram
+        } else if self.zpool.contains(page) {
+            PageLocation::Zpool
+        } else if self.flash.contains(page) {
+            PageLocation::Flash
+        } else {
+            PageLocation::Absent
+        }
+    }
+
+    fn dram(&self) -> &MainMemory {
+        &self.dram
+    }
+
+    fn stats(&self) -> &SchemeStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ariadne_mem::reclaim::ReclaimReason;
+    use ariadne_mem::Watermarks;
+    use ariadne_trace::{AppName, WorkloadBuilder};
+
+    fn tiny_config(dram_pages: usize, zpool_pages: usize) -> MemoryConfig {
+        let dram = dram_pages * PAGE_SIZE;
+        MemoryConfig {
+            dram_bytes: dram,
+            zpool_bytes: zpool_pages * PAGE_SIZE,
+            flash_swap_bytes: 4096 * PAGE_SIZE,
+            watermarks: Watermarks::new(dram / 8, dram / 4).unwrap(),
+            ..MemoryConfig::pixel7_scaled(1024)
+        }
+    }
+
+    fn setup(
+        dram_pages: usize,
+        zpool_pages: usize,
+    ) -> (ZramScheme, SchemeContext, SimClock, Vec<PageId>) {
+        let workloads = vec![WorkloadBuilder::new(1).scale(1024).build(AppName::Twitter)];
+        let ctx = SchemeContext::new(1, &workloads);
+        let pages: Vec<PageId> = workloads[0].pages.iter().map(|p| p.page).collect();
+        (
+            ZramScheme::new(tiny_config(dram_pages, zpool_pages)),
+            ctx,
+            SimClock::new(),
+            pages,
+        )
+    }
+
+    fn reclaim_request(pages: usize) -> ReclaimRequest {
+        ReclaimRequest {
+            target_pages: pages,
+            reason: ReclaimReason::LowWatermark,
+        }
+    }
+
+    #[test]
+    fn reclaim_compresses_lru_victims_into_the_zpool() {
+        let (mut scheme, ctx, mut clock, pages) = setup(4096, 1024);
+        for &page in pages.iter().take(40) {
+            scheme.register_page(page, &mut clock, &ctx);
+        }
+        let outcome = scheme.reclaim(reclaim_request(10), &mut clock, &ctx);
+        assert_eq!(outcome.pages_reclaimed, 10);
+        assert_eq!(scheme.stats().compression_ops, 10);
+        assert_eq!(scheme.location_of(pages[0]), PageLocation::Zpool);
+        assert_eq!(scheme.location_of(pages[30]), PageLocation::Dram);
+        // Real compression produced a plausible ratio.
+        let ratio = scheme.stats().compression_ratio();
+        assert!(ratio > 1.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn faulting_a_compressed_page_pays_decompression_latency() {
+        let (mut scheme, ctx, mut clock, pages) = setup(4096, 1024);
+        for &page in pages.iter().take(40) {
+            scheme.register_page(page, &mut clock, &ctx);
+        }
+        scheme.reclaim(reclaim_request(10), &mut clock, &ctx);
+        let outcome = scheme.access(pages[0], AccessKind::Relaunch, &mut clock, &ctx);
+        assert_eq!(outcome.found_in, PageLocation::Zpool);
+        let decomp = ctx
+            .latency
+            .decompression_cost(Algorithm::Lzo, ChunkSize::k4(), PAGE_SIZE);
+        assert!(outcome.latency >= decomp);
+        assert_eq!(scheme.location_of(pages[0]), PageLocation::Dram);
+        assert_eq!(scheme.stats().decompression_ops, 1);
+        assert_eq!(scheme.stats().swapin_sector_trace.len(), 1);
+    }
+
+    #[test]
+    fn direct_reclaim_adds_compression_to_the_critical_path() {
+        // DRAM fits only 8 pages: every further registration must compress.
+        let (mut scheme, ctx, mut clock, pages) = setup(8, 1024);
+        for &page in pages.iter().take(8) {
+            scheme.register_page(page, &mut clock, &ctx);
+        }
+        assert_eq!(scheme.stats().compression_ops, 0);
+        scheme.register_page(pages[8], &mut clock, &ctx);
+        assert!(scheme.stats().compression_ops >= 1);
+        assert_eq!(scheme.dram().resident_pages(), 8);
+
+        // A fault on a compressed page while DRAM is full pays for both the
+        // on-demand compression of a victim and its own decompression.
+        let compressed_page = pages[0];
+        assert_eq!(scheme.location_of(compressed_page), PageLocation::Zpool);
+        let outcome = scheme.access(compressed_page, AccessKind::Relaunch, &mut clock, &ctx);
+        let decomp_only = ctx
+            .latency
+            .decompression_cost(Algorithm::Lzo, ChunkSize::k4(), PAGE_SIZE);
+        assert!(
+            outcome.latency.as_nanos() > decomp_only.as_nanos(),
+            "fault should also pay on-demand compression"
+        );
+    }
+
+    #[test]
+    fn zpool_overflow_drops_oldest_entries_by_default() {
+        let (mut scheme, ctx, mut clock, pages) = setup(4096, 4);
+        for &page in pages.iter().take(64) {
+            scheme.register_page(page, &mut clock, &ctx);
+        }
+        scheme.reclaim(reclaim_request(32), &mut clock, &ctx);
+        // Far more than 4 pages were compressed, so old entries were dropped.
+        assert!(scheme.stats().dropped_pages > 0);
+        assert!(scheme.stats().flash.writes == 0);
+        // The freshly compressed data is still in the pool.
+        let last_victim = scheme.stats().compression_log.last().copied().unwrap();
+        assert_eq!(scheme.location_of(last_victim), PageLocation::Zpool);
+    }
+
+    #[test]
+    fn zswap_writeback_moves_overflow_to_flash() {
+        let workloads = vec![WorkloadBuilder::new(1).scale(1024).build(AppName::Twitter)];
+        let ctx = SchemeContext::new(1, &workloads);
+        let mut clock = SimClock::new();
+        let pages: Vec<PageId> = workloads[0].pages.iter().map(|p| p.page).collect();
+        let config = tiny_config(4096, 4).with_writeback(WritebackPolicy::WritebackToFlash);
+        let mut scheme = ZramScheme::new(config);
+        for &page in pages.iter().take(64) {
+            scheme.register_page(page, &mut clock, &ctx);
+        }
+        scheme.reclaim(reclaim_request(32), &mut clock, &ctx);
+        assert!(scheme.stats().flash.writes > 0);
+        assert_eq!(scheme.name(), "ZSWAP");
+        // A page written back to flash is still reachable.
+        let written_back = pages
+            .iter()
+            .take(32)
+            .find(|&&p| scheme.location_of(p) == PageLocation::Flash)
+            .copied()
+            .expect("some page was written back");
+        let outcome = scheme.access(written_back, AccessKind::Relaunch, &mut clock, &ctx);
+        assert_eq!(outcome.found_in, PageLocation::Flash);
+        assert!(outcome.latency >= ctx.timing.flash_read(1));
+    }
+
+    #[test]
+    fn compression_log_preserves_lru_order() {
+        let (mut scheme, ctx, mut clock, pages) = setup(4096, 1024);
+        for &page in pages.iter().take(20) {
+            scheme.register_page(page, &mut clock, &ctx);
+        }
+        // Touch the first five again so they become MRU.
+        for &page in pages.iter().take(5) {
+            scheme.access(page, AccessKind::Execution, &mut clock, &ctx);
+        }
+        scheme.reclaim(reclaim_request(5), &mut clock, &ctx);
+        let log = &scheme.stats().compression_log;
+        assert_eq!(log.len(), 5);
+        // Victims are the least recently used pages (5..10), not the touched ones.
+        assert_eq!(log[0], pages[5]);
+        assert!(!log.contains(&pages[0]));
+    }
+
+    #[test]
+    fn cpu_ledger_records_compression_and_decompression() {
+        let (mut scheme, ctx, mut clock, pages) = setup(4096, 1024);
+        for &page in pages.iter().take(20) {
+            scheme.register_page(page, &mut clock, &ctx);
+        }
+        scheme.reclaim(reclaim_request(10), &mut clock, &ctx);
+        scheme.access(pages[0], AccessKind::Relaunch, &mut clock, &ctx);
+        let cpu = &scheme.stats().cpu;
+        assert!(cpu.total_for(CpuActivity::Compression) > CostNanos::zero());
+        assert!(cpu.total_for(CpuActivity::Decompression) > CostNanos::zero());
+        assert!(cpu.total_for(CpuActivity::ReclaimScan) > CostNanos::zero());
+        assert_eq!(
+            clock.cpu().total_for(CpuActivity::Compression),
+            cpu.total_for(CpuActivity::Compression)
+        );
+    }
+}

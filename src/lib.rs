@@ -1,0 +1,50 @@
+//! Ariadne reproduction — facade crate.
+//!
+//! This crate re-exports the whole workspace behind a single dependency so
+//! downstream users (and the bundled examples and integration tests) can
+//! write `use ariadne::...` and reach every layer:
+//!
+//! * [`compress`] — LZ4-style / LZO-style / BDI codecs, chunked framing and
+//!   the chunk-size latency model;
+//! * [`mem`] — the simulated memory hierarchy (DRAM, LRU lists, zpool, flash
+//!   swap, clock, CPU accounting, reclaim control);
+//! * [`trace`] — calibrated synthetic workloads for the ten applications the
+//!   paper evaluates;
+//! * [`zram`] — the `SwapScheme` abstraction and the DRAM / SWAP / ZRAM
+//!   baselines;
+//! * [`core`] — Ariadne itself (HotnessOrg, AdaptiveComp, PreDecomp);
+//! * [`sim`] — the whole-system simulator and the experiment harness that
+//!   regenerates every table and figure of the paper.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ariadne::sim::{MobileSystem, SchemeSpec, SimulationConfig};
+//! use ariadne::trace::{AppName, Scenario};
+//!
+//! let config = SimulationConfig::new(42).with_scale(512);
+//! let mut system = MobileSystem::new(SchemeSpec::Zram, config);
+//! system.run_scenario(&Scenario::relaunch_study(AppName::Twitter));
+//! assert_eq!(system.measurements().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ariadne_compress as compress;
+pub use ariadne_core as core;
+pub use ariadne_mem as mem;
+pub use ariadne_sim as sim;
+pub use ariadne_trace as trace;
+pub use ariadne_zram as zram;
+
+/// The workspace version (all crates are released in lockstep).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_exposed() {
+        assert!(!super::VERSION.is_empty());
+    }
+}
