@@ -22,7 +22,13 @@ fn ariadne_benchmarks(c: &mut Criterion) {
         },
     ];
     for spec in specs {
-        let label = if matches!(spec, SchemeSpec::Ariadne { predecomp: false, .. }) {
+        let label = if matches!(
+            spec,
+            SchemeSpec::Ariadne {
+                predecomp: false,
+                ..
+            }
+        ) {
             format!("{}-no-predecomp", spec.label())
         } else {
             spec.label()

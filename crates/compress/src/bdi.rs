@@ -173,28 +173,26 @@ impl Bdi {
                 Ok(input.split_at(n))
             }
         };
-        let decode_base_delta = |payload: &[u8],
-                                 base_size: usize,
-                                 delta_size: usize,
-                                 out: &mut Vec<u8>| {
-            let mut base = [0u8; 8];
-            base[..base_size].copy_from_slice(&payload[..base_size]);
-            let base = u64::from_le_bytes(base) as i64;
-            let count = SEGMENT / base_size;
-            for i in 0..count {
-                let start = base_size + i * delta_size;
-                let mut d = [0u8; 8];
-                d[..delta_size].copy_from_slice(&payload[start..start + delta_size]);
-                // Sign-extend the delta.
-                let delta = match delta_size {
-                    1 => i64::from(d[0] as i8),
-                    2 => i64::from(i16::from_le_bytes([d[0], d[1]])),
-                    _ => i64::from(i32::from_le_bytes([d[0], d[1], d[2], d[3]])),
-                };
-                let value = (base.wrapping_add(delta)) as u64;
-                out.extend_from_slice(&value.to_le_bytes()[..base_size]);
-            }
-        };
+        let decode_base_delta =
+            |payload: &[u8], base_size: usize, delta_size: usize, out: &mut Vec<u8>| {
+                let mut base = [0u8; 8];
+                base[..base_size].copy_from_slice(&payload[..base_size]);
+                let base = u64::from_le_bytes(base) as i64;
+                let count = SEGMENT / base_size;
+                for i in 0..count {
+                    let start = base_size + i * delta_size;
+                    let mut d = [0u8; 8];
+                    d[..delta_size].copy_from_slice(&payload[start..start + delta_size]);
+                    // Sign-extend the delta.
+                    let delta = match delta_size {
+                        1 => i64::from(d[0] as i8),
+                        2 => i64::from(i16::from_le_bytes([d[0], d[1]])),
+                        _ => i64::from(i32::from_le_bytes([d[0], d[1], d[2], d[3]])),
+                    };
+                    let value = (base.wrapping_add(delta)) as u64;
+                    out.extend_from_slice(&value.to_le_bytes()[..base_size]);
+                }
+            };
 
         match encoding {
             Encoding::Zeros => {
@@ -375,6 +373,8 @@ mod tests {
     fn truncated_payload_is_rejected() {
         let data = vec![1u8; 64];
         let packed = Bdi::new().compress(&data).unwrap();
-        assert!(Bdi::new().decompress(&packed[..packed.len() - 1], 64).is_err());
+        assert!(Bdi::new()
+            .decompress(&packed[..packed.len() - 1], 64)
+            .is_err());
     }
 }

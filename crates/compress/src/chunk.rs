@@ -104,10 +104,12 @@ impl ChunkSize {
     /// Every chunk size swept in Figure 6 of the paper, smallest first.
     #[must_use]
     pub fn figure6_sweep() -> Vec<ChunkSize> {
-        [128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072]
-            .iter()
-            .map(|&b| ChunkSize(b))
-            .collect()
+        [
+            128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072,
+        ]
+        .iter()
+        .map(|&b| ChunkSize(b))
+        .collect()
     }
 }
 
@@ -404,7 +406,10 @@ mod tests {
         for index in 0..image.chunk_count() {
             let start = index * 1024;
             let end = (start + 1024).min(data.len());
-            assert_eq!(codec.decompress_chunk(&image, index).unwrap(), &data[start..end]);
+            assert_eq!(
+                codec.decompress_chunk(&image, index).unwrap(),
+                &data[start..end]
+            );
         }
     }
 
@@ -438,9 +443,7 @@ mod tests {
             .collect();
         let codec = ChunkedCodec::new(Algorithm::Lz4, ChunkSize::new(128).unwrap());
         let image = codec.compress(&data).unwrap();
-        assert!(image
-            .chunks()
-            .any(|c| c.storage() == ChunkStorage::Raw));
+        assert!(image.chunks().any(|c| c.storage() == ChunkStorage::Raw));
         // Raw storage bounds the image size by the original size.
         assert!(image.compressed_len() <= data.len());
         assert_eq!(codec.decompress(&image).unwrap(), data);
@@ -451,7 +454,13 @@ mod tests {
         let codec = ChunkedCodec::new(Algorithm::Lz4, ChunkSize::k4());
         let image = codec.compress(&[1u8; 4096]).unwrap();
         let err = codec.decompress_chunk(&image, 5).unwrap_err();
-        assert!(matches!(err, CompressError::ChunkOutOfRange { index: 5, available: 1 }));
+        assert!(matches!(
+            err,
+            CompressError::ChunkOutOfRange {
+                index: 5,
+                available: 1
+            }
+        ));
     }
 
     #[test]

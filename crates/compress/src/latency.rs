@@ -301,7 +301,11 @@ mod tests {
         let model = LatencyModel::pixel7();
         let costs: Vec<u128> = ChunkSize::figure6_sweep()
             .into_iter()
-            .map(|c| model.compression_cost(Algorithm::Lzo, c, 1 << 22).as_nanos())
+            .map(|c| {
+                model
+                    .compression_cost(Algorithm::Lzo, c, 1 << 22)
+                    .as_nanos()
+            })
             .collect();
         assert!(costs.windows(2).all(|w| w[0] <= w[1]), "{costs:?}");
     }

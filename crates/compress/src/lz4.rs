@@ -66,12 +66,7 @@ impl Lz4 {
         out.push(len as u8);
     }
 
-    fn emit_sequence(
-        out: &mut Vec<u8>,
-        literals: &[u8],
-        match_len: Option<usize>,
-        offset: u16,
-    ) {
+    fn emit_sequence(out: &mut Vec<u8>, literals: &[u8], match_len: Option<usize>, offset: u16) {
         let lit_len = literals.len();
         let ml_field = match match_len {
             Some(ml) => {
@@ -264,7 +259,11 @@ mod tests {
     fn constant_page_compresses_well() {
         let data = vec![0xABu8; 4096];
         let packed = Lz4::new().compress(&data).unwrap();
-        assert!(packed.len() < 100, "constant page should shrink, got {}", packed.len());
+        assert!(
+            packed.len() < 100,
+            "constant page should shrink, got {}",
+            packed.len()
+        );
         assert_eq!(Lz4::new().decompress(&packed, 4096).unwrap(), data);
     }
 

@@ -112,7 +112,7 @@ impl Lzo {
     }
 
     fn emit_match(out: &mut Vec<u8>, mut len: usize, dist: usize) {
-        debug_assert!(dist >= 1 && dist <= MAX_DISTANCE);
+        debug_assert!((1..=MAX_DISTANCE).contains(&dist));
         while len >= MIN_MATCH {
             let take = len.min(MAX_MATCH_TOKEN);
             // Never leave a remainder shorter than MIN_MATCH.

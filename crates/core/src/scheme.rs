@@ -155,7 +155,9 @@ impl AriadneScheme {
         self.stats.bytes_before_compression += bytes.len();
         self.stats.bytes_after_compression += compressed_len;
         self.stats.compression_time += cost;
-        self.stats.compression_log.extend(group.pages.iter().copied());
+        self.stats
+            .compression_log
+            .extend(group.pages.iter().copied());
         self.stats.cpu.charge(CpuActivity::Compression, cost);
         clock.charge_cpu(CpuActivity::Compression, cost);
         self.stats.zpool = self.zpool.stats();
@@ -237,7 +239,9 @@ impl AriadneScheme {
         self.stats.cpu.charge(CpuActivity::ReclaimScan, scan);
         let list_cpu = ctx.timing.lru_ops(victims.len());
         clock.charge_cpu(CpuActivity::ListMaintenance, list_cpu);
-        self.stats.cpu.charge(CpuActivity::ListMaintenance, list_cpu);
+        self.stats
+            .cpu
+            .charge(CpuActivity::ListMaintenance, list_cpu);
 
         let reclaimed = victims.len();
         let mut latency = CostNanos::zero();
@@ -356,9 +360,9 @@ impl AriadneScheme {
         let Some(meta) = self.buffer_meta.remove(&page) else {
             return;
         };
-        let cost =
-            ctx.latency
-                .compression_cost(self.algorithm(), meta.chunk_size, PAGE_SIZE);
+        let cost = ctx
+            .latency
+            .compression_cost(self.algorithm(), meta.chunk_size, PAGE_SIZE);
         self.stats.compression_ops += 1;
         self.stats.pages_compressed += 1;
         self.stats.bytes_before_compression += PAGE_SIZE;
@@ -424,7 +428,9 @@ impl SwapScheme for AriadneScheme {
             self.org.insert(page, Hotness::Cold);
             let list_cpu = ctx.timing.lru_ops(1);
             clock.charge_cpu(CpuActivity::ListMaintenance, list_cpu);
-            self.stats.cpu.charge(CpuActivity::ListMaintenance, list_cpu);
+            self.stats
+                .cpu
+                .charge(CpuActivity::ListMaintenance, list_cpu);
         }
     }
 
@@ -606,9 +612,7 @@ mod tests {
         }
     }
 
-    fn setup(
-        config: AriadneConfig,
-    ) -> (AriadneScheme, SchemeContext, SimClock, Vec<PageId>) {
+    fn setup(config: AriadneConfig) -> (AriadneScheme, SchemeContext, SimClock, Vec<PageId>) {
         let workloads = vec![WorkloadBuilder::new(1).scale(1024).build(AppName::Twitter)];
         let ctx = SchemeContext::new(1, &workloads);
         let pages: Vec<PageId> = workloads[0].pages.iter().map(|p| p.page).collect();
@@ -676,12 +680,7 @@ mod tests {
         let outcome = scheme.reclaim(request(2), &mut clock, &ctx);
         assert_eq!(outcome.pages_reclaimed, 2);
         // Small chunk size was used for the hot victims.
-        let entry_sizes: Vec<usize> = scheme
-            .stats()
-            .compression_log
-            .iter()
-            .map(|_| 1)
-            .collect();
+        let entry_sizes: Vec<usize> = scheme.stats().compression_log.iter().map(|_| 1).collect();
         assert_eq!(entry_sizes.len(), 2);
     }
 

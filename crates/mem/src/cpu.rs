@@ -91,10 +91,7 @@ impl CpuBreakdown {
     /// Total CPU time across all activities.
     #[must_use]
     pub fn total(&self) -> CostNanos {
-        CpuActivity::ALL
-            .iter()
-            .map(|&a| self.total_for(a))
-            .sum()
+        CpuActivity::ALL.iter().map(|&a| self.total_for(a)).sum()
     }
 
     /// CPU time of the compression + decompression procedures — the quantity

@@ -14,9 +14,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of a slot in the flash swap area.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct SwapSlot(u64);
 
 impl SwapSlot {

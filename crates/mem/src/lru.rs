@@ -337,7 +337,10 @@ mod tests {
         assert_eq!(lru.peek_mru(), Some(&0));
         assert_eq!(lru.peek_lru(), Some(&1));
         assert_eq!(lru.iter().copied().collect::<Vec<_>>(), vec![0, 4, 3, 2, 1]);
-        assert_eq!(lru.iter_lru().copied().collect::<Vec<_>>(), vec![1, 2, 3, 4, 0]);
+        assert_eq!(
+            lru.iter_lru().copied().collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 0]
+        );
     }
 
     #[test]
@@ -413,10 +416,7 @@ mod tests {
         let a: LruList<u32> = (0..10).collect();
         let mut b = LruList::new();
         b.extend(0..10);
-        assert_eq!(
-            a.iter().collect::<Vec<_>>(),
-            b.iter().collect::<Vec<_>>()
-        );
+        assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
     }
 
     #[test]

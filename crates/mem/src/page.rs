@@ -109,9 +109,7 @@ impl fmt::Display for PageId {
 ///   latency.
 /// * `Warm` — potentially used during execution after the relaunch.
 /// * `Cold` — usually never used again.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Hotness {
     /// Used during application relaunch.
     Hot,

@@ -18,9 +18,7 @@ use std::fmt;
 pub const ZPOOL_BLOCK_SIZE: usize = 4096;
 
 /// Handle to an entry stored in the zpool.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ZpoolHandle(u64);
 
 impl ZpoolHandle {
@@ -370,13 +368,7 @@ mod tests {
         let mut pool = Zpool::new(2 * ZPOOL_BLOCK_SIZE);
         store_one(&mut pool, 1, 1, 4096);
         store_one(&mut pool, 1, 2, 4096);
-        let err = pool.store(
-            vec![page(1, 3)],
-            4096,
-            4096,
-            ChunkSize::k4(),
-            Hotness::Cold,
-        );
+        let err = pool.store(vec![page(1, 3)], 4096, 4096, ChunkSize::k4(), Hotness::Cold);
         assert!(matches!(err, Err(MemError::ZpoolFull { .. })));
         assert!(pool.would_overflow(1));
     }
@@ -385,13 +377,7 @@ mod tests {
     fn duplicate_pages_are_rejected() {
         let mut pool = Zpool::new(1 << 20);
         store_one(&mut pool, 1, 1, 100);
-        let err = pool.store(
-            vec![page(1, 1)],
-            4096,
-            100,
-            ChunkSize::k4(),
-            Hotness::Hot,
-        );
+        let err = pool.store(vec![page(1, 1)], 4096, 100, ChunkSize::k4(), Hotness::Hot);
         assert!(matches!(err, Err(MemError::InvalidParameter { .. })));
     }
 
@@ -421,7 +407,13 @@ mod tests {
         let mut pool = Zpool::new(1 << 20);
         let pages = vec![page(2, 10), page(2, 11), page(2, 12), page(2, 13)];
         let handle = pool
-            .store(pages.clone(), 4 * 4096, 6000, ChunkSize::k16(), Hotness::Cold)
+            .store(
+                pages.clone(),
+                4 * 4096,
+                6000,
+                ChunkSize::k16(),
+                Hotness::Cold,
+            )
             .unwrap();
         for p in &pages {
             assert_eq!(pool.handle_for(*p), Some(handle));

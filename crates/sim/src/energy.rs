@@ -119,8 +119,7 @@ mod tests {
             reads: 500,
             bytes_read: 4096 * 500,
         };
-        let with_flash =
-            model.energy_joules(60.0, 0.5, &CpuBreakdown::new(), &flash, 64);
+        let with_flash = model.energy_joules(60.0, 0.5, &CpuBreakdown::new(), &flash, 64);
         let without =
             model.energy_joules(60.0, 0.5, &CpuBreakdown::new(), &FlashStats::default(), 64);
         assert!(with_flash > without);

@@ -48,8 +48,7 @@ pub fn fig3(opts: &ExperimentOptions) -> Table {
     for spec in BASELINE_SCHEMES {
         let mut system = MobileSystem::new(spec, config);
         system.run_scenario(&scenario);
-        let cpu_seconds =
-            system.cpu().reclaim_related().as_secs_f64() * opts.scale as f64;
+        let cpu_seconds = system.cpu().reclaim_related().as_secs_f64() * opts.scale as f64;
         results.push((spec.label(), cpu_seconds));
     }
     let swap_cpu = results

@@ -20,7 +20,9 @@ pub fn table1(opts: &ExperimentOptions) -> Table {
         "Table 1: anonymous data volume (MB)",
         &["app", "10s", "5min"],
     );
-    let early = WorkloadBuilder::new(opts.seed).scale(opts.scale).early_volume();
+    let early = WorkloadBuilder::new(opts.seed)
+        .scale(opts.scale)
+        .early_volume();
     let steady = WorkloadBuilder::new(opts.seed).scale(opts.scale);
     for app in AppName::REPORTED {
         let mb = |pages: usize| (pages * PAGE_SIZE * opts.scale) as f64 / (1024.0 * 1024.0);

@@ -51,10 +51,8 @@ pub fn fig14(opts: &ExperimentOptions) -> Table {
     let config = SimulationConfig::new(opts.seed).with_scale(opts.scale);
     let rounds = if opts.quick { 3 } else { 4 };
     for app in opts.reported_apps() {
-        let mut system = MobileSystem::new(
-            SchemeSpec::ariadne_ehl(SizeConfig::k1_k2_k16()),
-            config,
-        );
+        let mut system =
+            MobileSystem::new(SchemeSpec::ariadne_ehl(SizeConfig::k1_k2_k16()), config);
         system.run_scenario(&repeated_relaunch_scenario(app, rounds));
         let target_id = system.workload(app).app;
         let ariadne = system
@@ -72,10 +70,10 @@ pub fn fig14(opts: &ExperimentOptions) -> Table {
             table.push_row(vec![app.to_string(), "n/a".to_string(), "n/a".to_string()]);
             continue;
         }
-        let coverage = target_samples.iter().map(|m| m.coverage).sum::<f64>()
-            / target_samples.len() as f64;
-        let accuracy = target_samples.iter().map(|m| m.accuracy).sum::<f64>()
-            / target_samples.len() as f64;
+        let coverage =
+            target_samples.iter().map(|m| m.coverage).sum::<f64>() / target_samples.len() as f64;
+        let accuracy =
+            target_samples.iter().map(|m| m.accuracy).sum::<f64>() / target_samples.len() as f64;
         table.push_row(vec![
             app.to_string(),
             fmt_unit(coverage * 100.0, "%"),
@@ -108,7 +106,15 @@ mod tests {
         let target_relaunches = scenario
             .events
             .iter()
-            .filter(|e| matches!(e, ScenarioEvent::Relaunch { app: AppName::Twitter, .. }))
+            .filter(|e| {
+                matches!(
+                    e,
+                    ScenarioEvent::Relaunch {
+                        app: AppName::Twitter,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(target_relaunches, 3);
     }

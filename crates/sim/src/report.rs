@@ -53,7 +53,10 @@ impl Table {
     /// Find the row whose first cell equals `key`.
     #[must_use]
     pub fn row_by_key(&self, key: &str) -> Option<&[String]> {
-        self.rows.iter().find(|r| r.first().map(String::as_str) == Some(key)).map(Vec::as_slice)
+        self.rows
+            .iter()
+            .find(|r| r.first().map(String::as_str) == Some(key))
+            .map(Vec::as_slice)
     }
 
     /// Parse the cell at (`row`, `column`) as a float (ignores a trailing

@@ -1,7 +1,9 @@
 //! A factory for every swap scheme evaluated in the paper.
 
 use ariadne_core::{AriadneConfig, AriadneScheme, HotListMode, SizeConfig};
-use ariadne_zram::{DramOnlyScheme, FlashSwapScheme, MemoryConfig, SwapScheme, WritebackPolicy, ZramScheme};
+use ariadne_zram::{
+    DramOnlyScheme, FlashSwapScheme, MemoryConfig, SwapScheme, WritebackPolicy, ZramScheme,
+};
 use std::fmt;
 
 /// Which scheme to instantiate for an experiment.

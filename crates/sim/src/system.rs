@@ -4,9 +4,7 @@
 use crate::schemes::SchemeSpec;
 use ariadne_compress::CostNanos;
 use ariadne_mem::{CpuBreakdown, PageLocation, ReclaimController, SimClock};
-use ariadne_trace::{
-    AppName, AppWorkload, Scenario, ScenarioEvent, WorkloadBuilder,
-};
+use ariadne_trace::{AppName, AppWorkload, Scenario, ScenarioEvent, WorkloadBuilder};
 use ariadne_zram::{AccessKind, MemoryConfig, SchemeContext, SchemeStats, SwapScheme};
 use std::collections::{HashMap, HashSet};
 
@@ -58,7 +56,7 @@ impl SimulationConfig {
 
 impl Default for SimulationConfig {
     fn default() -> Self {
-        SimulationConfig::new(0xA71A_D4E)
+        SimulationConfig::new(0x0A71_AD4E)
     }
 }
 
@@ -211,7 +209,8 @@ impl MobileSystem {
         let workload = self.workloads[&app].clone();
         self.scheme.on_foreground(workload.app);
         for spec in &workload.pages {
-            self.scheme.register_page(spec.page, &mut self.clock, &self.ctx);
+            self.scheme
+                .register_page(spec.page, &mut self.clock, &self.ctx);
         }
         for &page in &workload.relaunches[0].hot_accesses {
             self.scheme
@@ -246,9 +245,9 @@ impl MobileSystem {
         let mut latency = CostNanos::zero();
         let mut found_in: HashMap<PageLocation, usize> = HashMap::new();
         for &page in &trace.hot_accesses {
-            let outcome = self
-                .scheme
-                .access(page, AccessKind::Relaunch, &mut self.clock, &self.ctx);
+            let outcome =
+                self.scheme
+                    .access(page, AccessKind::Relaunch, &mut self.clock, &self.ctx);
             latency += outcome.latency;
             *found_in.entry(outcome.found_in).or_insert(0) += 1;
         }
@@ -275,7 +274,8 @@ impl MobileSystem {
 
     /// The user pauses; background reclaim gets a chance to run.
     pub fn idle(&mut self, millis: u64) {
-        self.clock.advance(CostNanos(u128::from(millis) * 1_000_000));
+        self.clock
+            .advance(CostNanos(u128::from(millis) * 1_000_000));
         self.kswapd_tick();
     }
 
@@ -348,7 +348,10 @@ mod tests {
     fn memory_pressure_triggers_compression_under_zram() {
         let mut system = MobileSystem::new(SchemeSpec::Zram, quick_config());
         system.run_scenario(&Scenario::relaunch_study(AppName::Firefox));
-        assert!(system.stats().compression_ops > 0, "no compression happened");
+        assert!(
+            system.stats().compression_ops > 0,
+            "no compression happened"
+        );
         assert!(system.scheme().dram().peak_used_bytes() > 0);
     }
 

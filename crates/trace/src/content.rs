@@ -183,8 +183,14 @@ impl PageDataGenerator {
             }
             ContentClass::Text => {
                 const WORDS: [&[u8]; 8] = [
-                    b"activity", b"resource", b"android.", b"layout__", b"string__",
-                    b"view____", b"binding_", b"content_",
+                    b"activity",
+                    b"resource",
+                    b"android.",
+                    b"layout__",
+                    b"string__",
+                    b"view____",
+                    b"binding_",
+                    b"content_",
                 ];
                 let mut written = 0usize;
                 let mut idx = template as usize;
@@ -334,7 +340,11 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for pfn in 0..32u64 {
             for region in 0..PAGE_SIZE / REGION_SIZE {
-                seen.insert(generator.region_class(&profile, page(AppName::GoogleMaps, pfn), region));
+                seen.insert(generator.region_class(
+                    &profile,
+                    page(AppName::GoogleMaps, pfn),
+                    region,
+                ));
             }
         }
         assert!(seen.len() >= 4, "only {} content classes seen", seen.len());

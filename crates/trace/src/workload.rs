@@ -325,8 +325,7 @@ impl WorkloadBuilder {
             let next: Vec<PageId> = shuffled[..keep.min(shuffled.len())].to_vec();
             let dropped: Vec<PageId> = shuffled[keep.min(shuffled.len())..].to_vec();
             let drop_keep_prob = if profile.hot_similarity < 1.0 {
-                ((profile.reuse_fraction - profile.hot_similarity)
-                    / (1.0 - profile.hot_similarity))
+                ((profile.reuse_fraction - profile.hot_similarity) / (1.0 - profile.hot_similarity))
                     .clamp(0.0, 1.0)
             } else {
                 1.0
@@ -377,7 +376,7 @@ impl WorkloadBuilder {
 
 impl Default for WorkloadBuilder {
     fn default() -> Self {
-        WorkloadBuilder::new(0xA71A_D4E)
+        WorkloadBuilder::new(0x0A71_AD4E)
     }
 }
 
@@ -606,10 +605,16 @@ mod tests {
         let study = Scenario::relaunch_study(AppName::Youtube);
         assert_eq!(study.relaunch_count(), 1);
         assert_eq!(study.events.len(), 2 + 9 * 2 + 1);
-        assert!(matches!(study.events[0], ScenarioEvent::Launch(AppName::Youtube)));
+        assert!(matches!(
+            study.events[0],
+            ScenarioEvent::Launch(AppName::Youtube)
+        ));
         assert!(matches!(
             *study.events.last().unwrap(),
-            ScenarioEvent::Relaunch { app: AppName::Youtube, .. }
+            ScenarioEvent::Relaunch {
+                app: AppName::Youtube,
+                ..
+            }
         ));
 
         let light = Scenario::light_switching(2);

@@ -8,12 +8,9 @@
 //! configuration").
 
 use crate::scheme::{
-    AccessKind, AccessOutcome, MemoryConfig, ReclaimOutcome, SchemeContext, SchemeStats,
-    SwapScheme,
+    AccessKind, AccessOutcome, MemoryConfig, ReclaimOutcome, SchemeContext, SchemeStats, SwapScheme,
 };
-use ariadne_mem::{
-    AppId, CpuActivity, MainMemory, PageId, PageLocation, ReclaimRequest, SimClock,
-};
+use ariadne_mem::{AppId, CpuActivity, MainMemory, PageId, PageLocation, ReclaimRequest, SimClock};
 
 /// The no-swap baseline.
 ///

@@ -8,8 +8,7 @@
 //! a flash read) and wears out the flash.
 
 use crate::scheme::{
-    AccessKind, AccessOutcome, MemoryConfig, ReclaimOutcome, SchemeContext, SchemeStats,
-    SwapScheme,
+    AccessKind, AccessOutcome, MemoryConfig, ReclaimOutcome, SchemeContext, SchemeStats, SwapScheme,
 };
 use ariadne_compress::CostNanos;
 use ariadne_mem::{
@@ -78,7 +77,11 @@ impl FlashSwapScheme {
         }
 
         for page in victims {
-            if self.flash.write(vec![page], PAGE_SIZE, PAGE_SIZE, false).is_err() {
+            if self
+                .flash
+                .write(vec![page], PAGE_SIZE, PAGE_SIZE, false)
+                .is_err()
+            {
                 // Swap area full: keep the page resident.
                 self.lru.insert_lru(page);
                 break;

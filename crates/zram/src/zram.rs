@@ -78,14 +78,20 @@ impl ZramScheme {
             .compress(&bytes)
             .expect("page compression cannot fail");
         let compressed_len = image.compressed_len();
-        let cost = ctx
-            .latency
-            .compression_cost(self.config.algorithm, ChunkSize::k4(), bytes.len());
+        let cost =
+            ctx.latency
+                .compression_cost(self.config.algorithm, ChunkSize::k4(), bytes.len());
 
         self.make_zpool_room(compressed_len, clock, ctx);
         if self
             .zpool
-            .store(vec![page], bytes.len(), compressed_len, ChunkSize::k4(), Hotness::Cold)
+            .store(
+                vec![page],
+                bytes.len(),
+                compressed_len,
+                ChunkSize::k4(),
+                Hotness::Cold,
+            )
             .is_err()
         {
             // Even after writeback the pool cannot take the entry (tiny test
@@ -108,7 +114,12 @@ impl ZramScheme {
 
     /// Free zpool space for `incoming_bytes` according to the writeback
     /// policy.
-    fn make_zpool_room(&mut self, incoming_bytes: usize, clock: &mut SimClock, ctx: &SchemeContext) {
+    fn make_zpool_room(
+        &mut self,
+        incoming_bytes: usize,
+        clock: &mut SimClock,
+        ctx: &SchemeContext,
+    ) {
         while self.zpool.would_overflow(incoming_bytes) && !self.zpool.is_empty() {
             // Oldest entry = smallest sector number.
             let victim = self
@@ -444,9 +455,9 @@ mod tests {
         let compressed_page = pages[0];
         assert_eq!(scheme.location_of(compressed_page), PageLocation::Zpool);
         let outcome = scheme.access(compressed_page, AccessKind::Relaunch, &mut clock, &ctx);
-        let decomp_only = ctx
-            .latency
-            .decompression_cost(Algorithm::Lzo, ChunkSize::k4(), PAGE_SIZE);
+        let decomp_only =
+            ctx.latency
+                .decompression_cost(Algorithm::Lzo, ChunkSize::k4(), PAGE_SIZE);
         assert!(
             outcome.latency.as_nanos() > decomp_only.as_nanos(),
             "fault should also pay on-demand compression"

@@ -54,9 +54,8 @@ fn main() {
             .iter()
             .filter(|m| m.app == AppName::BangDream)
         {
-            let from = |location: PageLocation| {
-                measurement.found_in.get(&location).copied().unwrap_or(0)
-            };
+            let from =
+                |location: PageLocation| measurement.found_in.get(&location).copied().unwrap_or(0);
             println!(
                 "  relaunch: {:>8.1} ms   (dram {:>5}, zpool {:>5}, flash {:>4}, prefetched {:>4})",
                 measurement.full_scale_millis(config.scale),

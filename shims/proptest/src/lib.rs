@@ -1,0 +1,465 @@
+//! Offline stand-in for `proptest` (see `shims/README.md`).
+//!
+//! Supports the subset the workspace's property tests use: the [`Strategy`]
+//! trait with `prop_map`/`boxed`, [`arbitrary`] via `any::<T>()`, range and
+//! tuple strategies, `collection::vec`, `prop_oneof!`, and the `proptest!`
+//! test macro with `ProptestConfig::with_cases`. Unlike the real crate it
+//! does **not** shrink failing inputs — a failing case panics with the
+//! standard assertion message plus the case number, which together with the
+//! deterministic per-test seed is enough to reproduce.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod strategy {
+    //! The [`Strategy`] abstraction: composable random-value generators.
+
+    use super::TestRng;
+
+    /// A composable generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (needed by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, T> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(pub(crate) Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Uniform choice between several boxed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.usize_below(self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+);)*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A);
+        (A, B);
+        (A, B, C);
+        (A, B, C, D);
+        (A, B, C, D, E);
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()`: canonical strategies for primitive types.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Types with a canonical strategy, mirroring `proptest::arbitrary::Arbitrary`.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy for this type.
+        type Strategy: Strategy<Value = Self>;
+
+        /// Returns the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Strategy generating the full range of a primitive type.
+    pub struct FullRange<T>(std::marker::PhantomData<T>);
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty => $method:ident),*) => {$(
+            impl Strategy for FullRange<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.$method() as $t
+                }
+            }
+
+            impl Arbitrary for $t {
+                type Strategy = FullRange<$t>;
+
+                fn arbitrary() -> Self::Strategy {
+                    FullRange(std::marker::PhantomData)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int! {
+        u8 => next_u64,
+        u16 => next_u64,
+        u32 => next_u64,
+        u64 => next_u64,
+        usize => next_u64,
+        i8 => next_u64,
+        i16 => next_u64,
+        i32 => next_u64,
+        i64 => next_u64,
+        isize => next_u64
+    }
+
+    impl Strategy for FullRange<bool> {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = FullRange<bool>;
+
+        fn arbitrary() -> Self::Strategy {
+            FullRange(std::marker::PhantomData)
+        }
+    }
+
+    macro_rules! impl_arbitrary_tuple {
+        ($(($($name:ident),+);)*) => {$(
+            impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+                type Strategy = ($($name::Strategy,)+);
+
+                fn arbitrary() -> Self::Strategy {
+                    ($($name::arbitrary(),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_tuple! {
+        (A, B);
+        (A, B, C);
+        (A, B, C, D);
+    }
+
+    /// Returns the canonical strategy for `T` (mirrors `proptest::prelude::any`).
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Inclusive-exclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                start: r.start,
+                end: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                start: n,
+                end: n + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a [`SizeRange`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Builds a `Vec` strategy (mirrors `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.start + rng.usize_below(self.size.end - self.size.start);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-runner configuration (`ProptestConfig`).
+
+    /// Subset of `proptest::test_runner::Config` the workspace uses.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+/// Deterministic RNG driving all strategies (SplitMix64 via the rand shim).
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Builds the RNG for one property, seeded from the test's name so runs
+    /// are reproducible and distinct tests draw distinct streams.
+    pub fn for_test(name: &str) -> Self {
+        let mut seed = 0x00A1_AD0E_5EED_u64;
+        for byte in name.bytes() {
+            seed = seed
+                .wrapping_mul(0x100_0000_01B3)
+                .wrapping_add(u64::from(byte));
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        use rand::RngCore;
+        self.inner.next_u64()
+    }
+
+    /// Uniform value in `0..bound` (`bound` > 0).
+    pub fn usize_below(&mut self, bound: usize) -> usize {
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform value in a half-open range.
+    pub fn range<T: rand::SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        self.inner.gen_range(range)
+    }
+}
+
+/// Uniform choice between strategies; all arms are boxed to a common type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Property assertion: like `assert!` inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property assertion: like `assert_eq!` inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Property assertion: like `assert_ne!` inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the `#![proptest_config(...)]` header and any number of
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@expand ($config) $($rest)*);
+    };
+    (
+        $(#[test] fn $name:ident ( $($args:tt)* ) $body:block)*
+    ) => {
+        $crate::proptest!(@expand ($crate::test_runner::Config::default())
+            $(#[test] fn $name ( $($args)* ) $body)*);
+    };
+    (@expand ($config:expr)
+        $(#[test] fn $name:ident ( $($pat:pat in $strategy:expr),* $(,)? ) $body:block)*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::strategy::Strategy as _;
+                let config: $crate::test_runner::Config = $config;
+                let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let ($($pat,)*) = (
+                        $($crate::strategy::Strategy::generate(&($strategy), &mut rng),)*
+                    );
+                    let run = || -> () { $body };
+                    let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run));
+                    if let Err(payload) = outcome {
+                        eprintln!(
+                            "proptest case {case}/{} failed for `{}`",
+                            config.cases,
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn union_draws_from_every_arm() {
+        let strategy = prop_oneof![0usize..1, 1usize..2, 2usize..3];
+        let mut rng = crate::TestRng::for_test("union_draws_from_every_arm");
+        let mut seen = [false; 3];
+        for _ in 0..256 {
+            seen[strategy.generate(&mut rng)] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn vec_respects_size_range() {
+        let strategy = crate::collection::vec(any::<u8>(), 3..7);
+        let mut rng = crate::TestRng::for_test("vec_respects_size_range");
+        for _ in 0..128 {
+            let v = strategy.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn generated_pairs_are_in_range(pair in (0usize..10, any::<bool>())) {
+            prop_assert!(pair.0 < 10);
+        }
+
+        #[test]
+        fn mapped_strategies_apply(n in (0usize..5).prop_map(|x| x * 2)) {
+            prop_assert_eq!(n % 2, 0);
+            prop_assert!(n < 10);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde` (see `shims/README.md`).
+//!
+//! Provides the `Serialize` / `Deserialize` trait names and the derive
+//! macros under the paths the real crate uses. The traits are markers with a
+//! blanket impl, so bounds like `T: Serialize` are always satisfiable; the
+//! derives expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

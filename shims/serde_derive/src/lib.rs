@@ -1,0 +1,20 @@
+//! No-op stand-in for `serde_derive` (offline build, see `shims/README.md`).
+//!
+//! The derives expand to nothing: the workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as forward-compatible annotations and
+//! never serializes through them, so an empty expansion keeps every type
+//! compiling without pulling in the real code generator.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`; accepts (and ignores) `#[serde(...)]` attrs.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`; accepts (and ignores) `#[serde(...)]` attrs.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -14,6 +14,20 @@ fn quick_config() -> SimulationConfig {
 }
 
 #[test]
+fn facade_reexports_every_layer() {
+    // Name one item through each re-exported module path so a broken
+    // `pub use` in the facade fails this test rather than only downstream
+    // builds. The paths mirror the crate map in README.md.
+    let _codec: ariadne::compress::Algorithm = ariadne::compress::Algorithm::Lz4;
+    let _page = ariadne::mem::PageId::new(ariadne::mem::AppId::new(1), ariadne::mem::Pfn::new(0));
+    let _app: ariadne::trace::AppName = ariadne::trace::AppName::Twitter;
+    let _memory = ariadne::zram::MemoryConfig::pixel7_scaled(1024);
+    let _sizes = ariadne::core::SizeConfig::k1_k2_k16();
+    let _spec: ariadne::sim::SchemeSpec = ariadne::sim::SchemeSpec::Zram;
+    assert!(!ariadne::VERSION.is_empty());
+}
+
+#[test]
 fn headline_result_ariadne_relaunches_faster_than_zram() {
     let scenario = Scenario::relaunch_study(AppName::Youtube);
 
