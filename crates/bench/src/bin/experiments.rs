@@ -1,19 +1,37 @@
 //! Regenerates every table and figure of the Ariadne paper's evaluation.
 //!
 //! ```text
-//! experiments [--quick] [--scale N] [--seed N] [EXPERIMENT ...]
+//! experiments [--quick] [--scale N] [--seed N] [--json] [--serial] [--list] [EXPERIMENT ...]
 //! ```
 //!
-//! With no experiment names, all fourteen experiments run in paper order.
-//! `--quick` uses fewer applications and a larger scale factor (useful for a
-//! fast smoke run); `--scale` overrides the workload/memory scale denominator
-//! (64 is the default and what `EXPERIMENTS.md` records).
+//! With no experiment names, all fifteen experiments run in paper order.
+//! Independent experiments run in parallel (one OS thread each, merged in a
+//! fixed order, so output is byte-identical to `--serial`). `--quick` uses
+//! fewer applications and a larger scale factor (useful for a fast smoke
+//! run); `--scale` overrides the workload/memory scale denominator (64 is
+//! the default and what `EXPERIMENTS.md` records); `--json` emits one
+//! machine-readable JSON document instead of plain-text tables (for
+//! BENCH_*.json trajectory tracking); `--list` prints the catalog (honouring
+//! `--json`).
 
-use ariadne_sim::experiments::{catalog, run_by_name, ExperimentOptions};
+use ariadne_sim::experiments::{catalog, runner, ExperimentOptions};
+use ariadne_sim::report::json_string;
 use std::process::ExitCode;
 
-fn parse_args() -> Result<(ExperimentOptions, Vec<String>), String> {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct OutputOptions {
+    json: bool,
+    serial: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<(ExperimentOptions, OutputOptions, Vec<String>), String> {
     let mut opts = ExperimentOptions::full();
+    let mut output = OutputOptions {
+        json: false,
+        serial: false,
+        list: false,
+    };
     let mut names = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -36,15 +54,13 @@ fn parse_args() -> Result<(ExperimentOptions, Vec<String>), String> {
                     .parse::<u64>()
                     .map_err(|_| format!("invalid seed `{value}`"))?;
             }
-            "--list" => {
-                for (name, title) in catalog() {
-                    println!("{name:8} {title}");
-                }
-                std::process::exit(0);
-            }
+            "--json" => output.json = true,
+            "--serial" => output.serial = true,
+            "--list" => output.list = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--quick] [--scale N] [--seed N] [--list] [EXPERIMENT ...]"
+                    "usage: experiments [--quick] [--scale N] [--seed N] [--json] [--serial] \
+                     [--list] [EXPERIMENT ...]"
                 );
                 std::process::exit(0);
             }
@@ -52,11 +68,31 @@ fn parse_args() -> Result<(ExperimentOptions, Vec<String>), String> {
             name => names.push(name.to_string()),
         }
     }
-    Ok((opts, names))
+    Ok((opts, output, names))
+}
+
+fn print_list(json: bool) {
+    if json {
+        let entries: Vec<String> = catalog()
+            .iter()
+            .map(|(name, title)| {
+                format!(
+                    "{{\"name\":{},\"title\":{}}}",
+                    json_string(name),
+                    json_string(title)
+                )
+            })
+            .collect();
+        println!("{{\"experiments\":[{}]}}", entries.join(","));
+    } else {
+        for (name, title) in catalog() {
+            println!("{name:8} {title}");
+        }
+    }
 }
 
 fn main() -> ExitCode {
-    let (opts, names) = match parse_args() {
+    let (opts, output, names) = match parse_args() {
         Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("error: {message}");
@@ -64,29 +100,71 @@ fn main() -> ExitCode {
         }
     };
 
+    if output.list {
+        print_list(output.json);
+        return ExitCode::SUCCESS;
+    }
+
     let selected: Vec<String> = if names.is_empty() {
         catalog().iter().map(|(n, _)| (*n).to_string()).collect()
     } else {
         names
     };
 
-    println!(
-        "# Ariadne experiment harness (seed={}, scale=1/{}, mode={})",
-        opts.seed,
-        opts.scale,
-        if opts.quick { "quick" } else { "full" }
-    );
-    println!();
+    let results: Vec<(String, Option<ariadne_sim::Table>)> = if output.serial {
+        selected
+            .iter()
+            .map(|name| {
+                (
+                    name.clone(),
+                    ariadne_sim::experiments::run_by_name(name, &opts),
+                )
+            })
+            .collect()
+    } else {
+        runner::run_named_parallel(&selected, &opts)
+    };
 
     let mut failures = 0usize;
-    for name in &selected {
-        match run_by_name(name, &opts) {
-            Some(table) => {
-                println!("{table}");
+    if output.json {
+        let mut tables = Vec::new();
+        for (name, table) in &results {
+            match table {
+                Some(table) => tables.push(format!(
+                    "{{\"name\":{},\"table\":{}}}",
+                    json_string(name),
+                    table.to_json()
+                )),
+                None => {
+                    eprintln!("error: unknown experiment `{name}` (use --list)");
+                    failures += 1;
+                }
             }
-            None => {
-                eprintln!("error: unknown experiment `{name}` (use --list)");
-                failures += 1;
+        }
+        println!(
+            "{{\"seed\":{},\"scale\":{},\"mode\":{},\"experiments\":[{}]}}",
+            opts.seed,
+            opts.scale,
+            json_string(if opts.quick { "quick" } else { "full" }),
+            tables.join(",")
+        );
+    } else {
+        // The header must not mention parallel/serial: stdout is documented
+        // to be byte-identical between the two modes.
+        println!(
+            "# Ariadne experiment harness (seed={}, scale=1/{}, mode={})",
+            opts.seed,
+            opts.scale,
+            if opts.quick { "quick" } else { "full" },
+        );
+        println!();
+        for (name, table) in &results {
+            match table {
+                Some(table) => println!("{table}"),
+                None => {
+                    eprintln!("error: unknown experiment `{name}` (use --list)");
+                    failures += 1;
+                }
             }
         }
     }

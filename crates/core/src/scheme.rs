@@ -24,8 +24,8 @@ use ariadne_mem::{
     SimClock, Zpool, ZpoolHandle, PAGE_SIZE,
 };
 use ariadne_zram::{
-    AccessKind, AccessOutcome, ReclaimOutcome, SchemeContext, SchemeStats, SwapScheme,
-    WritebackPolicy,
+    swap_scheme_identity, AccessKind, AccessOutcome, ReclaimOutcome, SchemeContext, SchemeStats,
+    SwapScheme, WritebackPolicy,
 };
 use std::collections::HashMap;
 
@@ -387,6 +387,32 @@ impl AriadneScheme {
         self.stats.zpool = self.zpool.stats();
     }
 
+    /// Whether a zpool entry qualifies for a deferred pre-decompression
+    /// refill: hot-labelled, single-page (the buffer holds individual pages).
+    /// Shared by `deferred_pages` and `hot_refill_candidates` so the
+    /// reported work and the performed work can never diverge.
+    fn is_hot_refill_candidate(entry: &ariadne_mem::ZpoolEntry) -> bool {
+        entry.hotness == Hotness::Hot && entry.pages.len() == 1
+    }
+
+    /// Up to `limit` hot-labelled single-page zpool entries, oldest (lowest
+    /// sector) first — the candidates for a deferred pre-decompression
+    /// refill, collected in one pass over the pool.
+    fn hot_refill_candidates(&self, limit: usize) -> Vec<ZpoolHandle> {
+        let mut candidates: Vec<(u64, ZpoolHandle)> = self
+            .zpool
+            .iter()
+            .filter(|(_, e)| Self::is_hot_refill_candidate(e))
+            .map(|(h, e)| (e.sector.value(), h))
+            .collect();
+        candidates.sort_unstable_by_key(|(sector, _)| *sector);
+        candidates
+            .into_iter()
+            .take(limit)
+            .map(|(_, handle)| handle)
+            .collect()
+    }
+
     /// Update hotness organization and identification tracking for an access.
     fn note_access(&mut self, page: PageId, kind: AccessKind) {
         match kind {
@@ -405,13 +431,7 @@ impl AriadneScheme {
 }
 
 impl SwapScheme for AriadneScheme {
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
-    }
+    swap_scheme_identity!();
 
     fn name(&self) -> String {
         self.config.scheme_name()
@@ -567,6 +587,75 @@ impl SwapScheme for AriadneScheme {
 
     fn on_relaunch_end(&mut self, app: AppId) {
         self.tracker.on_relaunch_end(app);
+    }
+
+    fn deferred_pages(&self) -> usize {
+        // Deferred work for Ariadne is refilling the pre-decompression
+        // buffer with compressed *hot* data, so the next relaunch finds it
+        // already uncompressed (the asynchronous generalization of the
+        // one-sector look-ahead of §4.3).
+        if !self.config.predecomp_enabled {
+            return 0;
+        }
+        let room = self.buffer.capacity().saturating_sub(self.buffer.len());
+        if room == 0 {
+            return 0;
+        }
+        // One bounded pass: stop counting once `room` candidates are found
+        // (the engine only needs to know how much work fits in the buffer).
+        self.zpool
+            .iter()
+            .filter(|(_, e)| Self::is_hot_refill_candidate(e))
+            .take(room)
+            .count()
+    }
+
+    fn drain_deferred(
+        &mut self,
+        budget: usize,
+        clock: &mut SimClock,
+        ctx: &SchemeContext,
+    ) -> usize {
+        if !self.config.predecomp_enabled {
+            return 0;
+        }
+        let room = self.buffer.capacity().saturating_sub(self.buffer.len());
+        let candidates = self.hot_refill_candidates(budget.min(room));
+        let mut refilled = 0usize;
+        for handle in candidates {
+            if self.buffer.len() >= self.buffer.capacity() {
+                break;
+            }
+            let entry = self.zpool.remove(handle).expect("candidate handle is live");
+            let cost = ctx.latency.decompression_cost(
+                self.algorithm(),
+                entry.chunk_size,
+                entry.original_bytes,
+            );
+            // Background CPU work: charged to the ledger, never user-visible.
+            self.stats.decompression_ops += 1;
+            self.stats.pages_decompressed += 1;
+            self.stats.decompression_time += cost;
+            self.stats.cpu.charge(CpuActivity::Decompression, cost);
+            clock.charge_cpu(CpuActivity::Decompression, cost);
+
+            let page = entry.pages[0];
+            self.buffer_meta.insert(
+                page,
+                BufferedPageMeta {
+                    compressed_bytes: entry.compressed_bytes,
+                    chunk_size: entry.chunk_size,
+                    hotness: entry.hotness,
+                },
+            );
+            if let Some(evicted) = self.buffer.insert(page) {
+                self.recompress_buffered(evicted, clock, ctx);
+                self.stats.predecomp_wasted = self.buffer.wasted();
+            }
+            refilled += 1;
+        }
+        self.stats.zpool = self.zpool.stats();
+        refilled
     }
 
     fn location_of(&self, page: PageId) -> PageLocation {
@@ -818,6 +907,49 @@ mod tests {
         let outcome = scheme.access(written_back, AccessKind::Relaunch, &mut clock, &ctx);
         assert_eq!(outcome.found_in, PageLocation::Flash);
         assert_eq!(scheme.location_of(written_back), PageLocation::Dram);
+    }
+
+    #[test]
+    fn drain_refills_the_predecomp_buffer_with_hot_data() {
+        let sizes = SizeConfig::new(ChunkSize::k1(), ChunkSize::k2(), ChunkSize::k16());
+        let config = AriadneConfig::new(sizes, HotListMode::AllLists, tiny_memory(4096, 1024))
+            .with_predecomp_buffer(4);
+        let (mut scheme, ctx, mut clock, pages) = setup(config);
+        for &page in pages.iter().take(40) {
+            scheme.register_page(page, &mut clock, &ctx);
+        }
+        for &page in pages.iter().take(10) {
+            scheme.access(page, AccessKind::Launch, &mut clock, &ctx);
+        }
+        // Compress everything, hot data included (AL mode allows it).
+        scheme.reclaim(request(40), &mut clock, &ctx);
+        let deferred = scheme.deferred_pages();
+        assert!(deferred > 0, "hot compressed entries should be drainable");
+
+        let drained = scheme.drain_deferred(4, &mut clock, &ctx);
+        assert!(drained > 0 && drained <= 4);
+        // A drained page is served from the buffer with no fault latency.
+        let buffered = pages
+            .iter()
+            .take(10)
+            .find(|&&p| scheme.location_of(p) == PageLocation::PreDecompBuffer)
+            .copied()
+            .expect("a hot page was pre-decompressed into the buffer");
+        let outcome = scheme.access(buffered, AccessKind::Relaunch, &mut clock, &ctx);
+        assert_eq!(outcome.found_in, PageLocation::PreDecompBuffer);
+    }
+
+    #[test]
+    fn drain_is_disabled_without_predecomp() {
+        let config = AriadneConfig::al_1k_2k_16k(tiny_memory(4096, 1024)).without_predecomp();
+        let (mut scheme, ctx, mut clock, pages) = setup(config);
+        for &page in pages.iter().take(20) {
+            scheme.register_page(page, &mut clock, &ctx);
+            scheme.access(page, AccessKind::Launch, &mut clock, &ctx);
+        }
+        scheme.reclaim(request(20), &mut clock, &ctx);
+        assert_eq!(scheme.deferred_pages(), 0);
+        assert_eq!(scheme.drain_deferred(8, &mut clock, &ctx), 0);
     }
 
     #[test]

@@ -51,6 +51,6 @@ pub use error::MemError;
 pub use flash::{FlashDevice, FlashStats, SwapSlot};
 pub use lru::LruList;
 pub use page::{AppId, Hotness, PageId, PageLocation, Pfn, PAGE_SIZE};
-pub use reclaim::{ReclaimController, ReclaimRequest};
+pub use reclaim::{ReclaimController, ReclaimReason, ReclaimRequest};
 pub use timing::{MemTimingModel, SimClock, SimInstant};
 pub use zpool::{Zpool, ZpoolEntry, ZpoolHandle, ZpoolSector, ZpoolStats};

@@ -31,6 +31,13 @@ impl SimInstant {
         SimInstant(0)
     }
 
+    /// The instant `nanos` nanoseconds after the simulation epoch (used by
+    /// the event engine to compare scheduled event times against the clock).
+    #[must_use]
+    pub fn from_nanos(nanos: u128) -> Self {
+        SimInstant(nanos)
+    }
+
     /// Nanoseconds since the simulation epoch.
     #[must_use]
     pub fn as_nanos(self) -> u128 {
@@ -87,6 +94,16 @@ impl SimClock {
     /// burn CPU, such as waiting for flash I/O to complete).
     pub fn advance(&mut self, duration: CostNanos) {
         self.now = SimInstant(self.now.0 + duration.as_nanos());
+    }
+
+    /// Fast-forward the clock to `instant` if it lies in the future; a past
+    /// instant leaves the clock untouched (simulated time never rewinds).
+    /// The discrete-event engine uses this when it pops an event scheduled
+    /// later than everything the current handler has charged so far.
+    pub fn fast_forward_to(&mut self, instant: SimInstant) {
+        if instant > self.now {
+            self.now = instant;
+        }
     }
 
     /// Advance simulated time by `duration` *and* charge the same amount of

@@ -8,8 +8,10 @@
 
 pub mod baselines;
 pub mod characterization;
+pub mod concurrent;
 pub mod evaluation;
 pub mod identification;
+pub mod runner;
 
 use crate::report::Table;
 use ariadne_trace::AppName;
@@ -110,6 +112,10 @@ pub fn catalog() -> Vec<(&'static str, &'static str)> {
             "Figure 14: coverage and accuracy of hot-data identification",
         ),
         ("fig15", "Figure 15: chunk-size sensitivity study"),
+        (
+            "multiapp",
+            "Multi-app storm: concurrent relaunches under pressure",
+        ),
     ]
 }
 
@@ -132,17 +138,30 @@ pub fn run_by_name(name: &str, opts: &ExperimentOptions) -> Option<Table> {
         "fig13" => evaluation::fig13(opts),
         "fig14" => identification::fig14(opts),
         "fig15" => evaluation::fig15(opts),
+        "multiapp" => concurrent::multiapp(opts),
         _ => return None,
     };
     Some(table)
 }
 
-/// Run every experiment in paper order.
+/// Run every experiment in paper order, serially.
 #[must_use]
 pub fn run_all(opts: &ExperimentOptions) -> Vec<Table> {
     catalog()
         .iter()
         .filter_map(|(name, _)| run_by_name(name, opts))
+        .collect()
+}
+
+/// Run every experiment in paper order using all host cores (one OS thread
+/// per experiment; results merge in catalog order, byte-identical to
+/// [`run_all`]).
+#[must_use]
+pub fn run_all_parallel(opts: &ExperimentOptions) -> Vec<Table> {
+    let names: Vec<String> = catalog().iter().map(|(n, _)| (*n).to_string()).collect();
+    runner::run_named_parallel(&names, opts)
+        .into_iter()
+        .filter_map(|(_, table)| table)
         .collect()
 }
 
@@ -155,11 +174,11 @@ mod tests {
         let names: Vec<&str> = catalog().iter().map(|(n, _)| *n).collect();
         for required in [
             "table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig10", "fig11",
-            "fig12", "fig13", "fig14", "fig15",
+            "fig12", "fig13", "fig14", "fig15", "multiapp",
         ] {
             assert!(names.contains(&required), "missing {required}");
         }
-        assert_eq!(names.len(), 14);
+        assert_eq!(names.len(), 15);
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! The deterministic parallel experiment runner.
+//!
+//! Experiment cells — a [`SchemeSpec`] × scenario pair, or a whole named
+//! experiment table — are independent simulations: each constructs its own
+//! [`MobileSystem`] from a seeded [`SimulationConfig`], so no state is
+//! shared between cells. The runner exploits that by spawning **one OS
+//! thread per cell** (there is no work stealing and no shared queue to
+//! introduce scheduling nondeterminism) and then joining the threads **in
+//! spawn order**, which merges results into a fixed order regardless of
+//! which thread finished first. Output is therefore byte-identical to the
+//! serial path for the same `(seed, scale)` — the determinism regression
+//! test in `tests/determinism.rs` pins exactly that.
+
+use super::ExperimentOptions;
+use crate::report::Table;
+use crate::schemes::SchemeSpec;
+use crate::system::{MobileSystem, SimulationConfig};
+use ariadne_mem::CpuActivity;
+use ariadne_trace::TimedScenario;
+
+/// Run `run` over every cell on its own OS thread and merge the results in
+/// input order. Panics in a cell propagate to the caller.
+pub fn run_cells<I, O, F>(cells: Vec<I>, run: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    std::thread::scope(|scope| {
+        let run = &run;
+        let handles: Vec<_> = cells
+            .into_iter()
+            .map(|cell| scope.spawn(move || run(cell)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("experiment cell panicked"))
+            .collect()
+    })
+}
+
+/// One cell of a scheme × scenario grid.
+#[derive(Debug, Clone)]
+pub struct GridCell {
+    /// The scheme to instantiate.
+    pub spec: SchemeSpec,
+    /// The timed scenario to drive it with.
+    pub scenario: TimedScenario,
+}
+
+/// The summarized outcome of one grid cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridOutcome {
+    /// The scheme label (e.g. `ZRAM`, `Ariadne-EHL-1K-2K-16K`).
+    pub scheme: String,
+    /// The scenario name.
+    pub scenario: String,
+    /// Average relaunch latency in full-scale milliseconds.
+    pub average_relaunch_millis: f64,
+    /// Number of relaunches measured.
+    pub relaunches: usize,
+    /// Compression operations performed.
+    pub compression_ops: usize,
+    /// Decompression operations performed.
+    pub decompression_ops: usize,
+    /// Pages whose data was dropped (lost) along the way.
+    pub dropped_pages: usize,
+    /// Pre-decompression buffer hits (Ariadne only).
+    pub predecomp_hits: usize,
+    /// Pressure spikes absorbed.
+    pub pressure_spikes: usize,
+    /// Reclaim-related CPU in full-scale milliseconds.
+    pub reclaim_cpu_millis: f64,
+    /// Events dispatched by the engine.
+    pub events: usize,
+}
+
+/// Run every grid cell on its own thread (one [`MobileSystem`] each) and
+/// return the outcomes in cell order.
+#[must_use]
+pub fn run_grid(config: SimulationConfig, cells: Vec<GridCell>) -> Vec<GridOutcome> {
+    run_cells(cells, |cell| {
+        let mut system = MobileSystem::new(cell.spec, config);
+        system.run_timed(&cell.scenario);
+        let stats = system.stats();
+        let reclaim_cpu = system.cpu().total_for(CpuActivity::ReclaimScan)
+            + system.cpu().total_for(CpuActivity::Compression);
+        GridOutcome {
+            scheme: cell.spec.label(),
+            scenario: cell.scenario.name.clone(),
+            average_relaunch_millis: system.average_relaunch_millis(),
+            relaunches: system.measurements().len(),
+            compression_ops: stats.compression_ops,
+            decompression_ops: stats.decompression_ops,
+            dropped_pages: stats.dropped_pages,
+            predecomp_hits: stats.predecomp_hits,
+            pressure_spikes: system.pressure_spikes(),
+            reclaim_cpu_millis: reclaim_cpu.as_millis_f64() * config.scale as f64,
+            events: system.events_processed(),
+        }
+    })
+}
+
+/// Run the named experiments in parallel — one thread per experiment —
+/// returning `(name, table)` pairs in the order the names were given.
+/// Unknown names yield `None`, exactly like [`super::run_by_name`].
+#[must_use]
+pub fn run_named_parallel(
+    names: &[String],
+    opts: &ExperimentOptions,
+) -> Vec<(String, Option<Table>)> {
+    let cells: Vec<String> = names.to_vec();
+    run_cells(cells, |name| {
+        let table = super::run_by_name(&name, opts);
+        (name, table)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_cells_merges_in_input_order() {
+        // Cells deliberately finish out of order (larger inputs spin more).
+        let inputs: Vec<u64> = vec![400, 1, 200, 3];
+        let outputs = run_cells(inputs.clone(), |n| {
+            let mut acc = 0u64;
+            for i in 0..n * 1000 {
+                acc = acc.wrapping_add(i);
+            }
+            (n, acc & 1, acc | 1) // value depends on n only
+        });
+        let order: Vec<u64> = outputs.iter().map(|(n, _, _)| *n).collect();
+        assert_eq!(order, inputs);
+    }
+
+    #[test]
+    fn grid_outcomes_preserve_cell_order_and_labels() {
+        let config = SimulationConfig::new(7).with_scale(1024);
+        let scenario = TimedScenario::concurrent_relaunch_storm();
+        let cells = vec![
+            GridCell {
+                spec: SchemeSpec::Dram,
+                scenario: scenario.clone(),
+            },
+            GridCell {
+                spec: SchemeSpec::Zram,
+                scenario: scenario.clone(),
+            },
+        ];
+        let outcomes = run_grid(config, cells);
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].scheme, "DRAM");
+        assert_eq!(outcomes[1].scheme, "ZRAM");
+        assert_eq!(outcomes[0].scenario, "concurrent-relaunch-storm");
+        assert!(outcomes[0].relaunches > 0);
+        // ZRAM pays compression where DRAM does not.
+        assert_eq!(outcomes[0].compression_ops, 0);
+        assert!(outcomes[1].compression_ops > 0);
+    }
+
+    #[test]
+    fn parallel_named_runs_match_the_serial_path() {
+        let opts = ExperimentOptions::quick();
+        let names = vec!["table1".to_string(), "nonsense".to_string()];
+        let parallel = run_named_parallel(&names, &opts);
+        assert_eq!(parallel.len(), 2);
+        assert_eq!(parallel[0].0, "table1");
+        let serial = super::super::run_by_name("table1", &opts).unwrap();
+        assert_eq!(parallel[0].1.as_ref().unwrap().to_json(), serial.to_json());
+        assert!(parallel[1].1.is_none());
+    }
+}

@@ -11,22 +11,27 @@
 //! | Figure 4 / Figure 5 / Figure 6 / Table 3 (insights) | [`experiments::characterization`] |
 //! | Figure 10–13, Figure 15 (Ariadne evaluation) | [`experiments::evaluation`] |
 //! | Figure 14 (identification quality) | [`experiments::identification`] |
+//! | Multi-app concurrent storm | [`experiments::concurrent`] |
 //!
-//! The building blocks are [`MobileSystem`] (the driver that launches,
-//! backgrounds and relaunches applications against a scheme), [`SchemeSpec`]
-//! (a factory for every evaluated scheme) and [`EnergyModel`] (the Table 2
-//! energy accounting).
+//! The building blocks are [`MobileSystem`] (a deterministic discrete-event
+//! driver — see [`engine`] — that launches, backgrounds and relaunches
+//! applications against a scheme), [`SchemeSpec`] (a factory for every
+//! evaluated scheme), [`EnergyModel`] (the Table 2 energy accounting) and
+//! [`experiments::runner`] (the parallel experiment runner that regenerates
+//! all tables using every host core with byte-identical output).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod energy;
+pub mod engine;
 pub mod experiments;
 pub mod report;
 pub mod schemes;
 pub mod system;
 
 pub use energy::EnergyModel;
+pub use engine::{EngineEvent, EventQueue};
 pub use report::Table;
 pub use schemes::SchemeSpec;
 pub use system::{MobileSystem, RelaunchMeasurement, SimulationConfig};

@@ -71,9 +71,48 @@ impl Table {
         trimmed.parse().ok()
     }
 
+    /// The column headers.
+    #[must_use]
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
     /// Iterate over the rows.
     pub fn rows(&self) -> impl Iterator<Item = &Vec<String>> {
         self.rows.iter()
+    }
+
+    /// Render the table as a self-contained JSON object
+    /// (`{"title": ..., "headers": [...], "rows": [[...]]}`). The output is
+    /// deterministic: key order is fixed and cells appear in table order,
+    /// so byte-comparing two renderings is a valid equality check.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"title\":");
+        push_json_string(&mut out, &self.title);
+        out.push_str(",\"headers\":[");
+        for (i, header) in self.headers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, header);
+        }
+        out.push_str("],\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (j, cell) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                push_json_string(&mut out, cell);
+            }
+            out.push(']');
+        }
+        out.push_str("]}");
+        out
     }
 
     fn widths(&self) -> Vec<usize> {
@@ -119,6 +158,36 @@ pub fn fmt_unit(value: f64, unit: &str) -> String {
     format!("{value:.2}{unit}")
 }
 
+/// Render `value` as a JSON string literal (quoted and escaped) — the one
+/// escaping routine shared by [`Table::to_json`] and the `experiments`
+/// binary's JSON envelope.
+#[must_use]
+pub fn json_string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    push_json_string(&mut out, value);
+    out
+}
+
+/// Append `value` to `out` as a JSON string literal, escaping quotes,
+/// backslashes and control characters.
+pub(crate) fn push_json_string(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,5 +231,19 @@ mod tests {
     #[test]
     fn fmt_unit_formats_two_decimals() {
         assert_eq!(fmt_unit(1.2345, "ms"), "1.23ms");
+    }
+
+    #[test]
+    fn to_json_is_deterministic_and_escaped() {
+        let mut table = Table::new("Fig \"X\"\n", &["app", "ms"]);
+        table.push_row(vec!["a\\b".into(), "1.00ms".into()]);
+        let json = table.to_json();
+        assert_eq!(
+            json,
+            "{\"title\":\"Fig \\\"X\\\"\\n\",\"headers\":[\"app\",\"ms\"],\
+             \"rows\":[[\"a\\\\b\",\"1.00ms\"]]}"
+        );
+        assert_eq!(json, table.to_json());
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
     }
 }

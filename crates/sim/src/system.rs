@@ -1,12 +1,32 @@
-//! The whole-system driver: launches, backgrounds and relaunches applications
-//! against a swap scheme, with kswapd-style background reclaim in between.
+//! The whole-system driver: a discrete-event engine that launches,
+//! backgrounds and relaunches applications against a swap scheme.
+//!
+//! Scenario events — from the legacy [`Scenario`] lists or from the timed
+//! [`TimedScenario`] DSL — are pushed into a deterministic
+//! [`EventQueue`] and are popped in
+//! `(time, class, seq)` order. kswapd-style background reclaim and deferred
+//! scheme work (ZSWAP writeback flushes, Ariadne pre-decompression refills)
+//! are scheduled as events of their own rather than inlined calls, so
+//! concurrent multi-app timelines can interleave relaunches with background
+//! pressure. Legacy scenarios convert via [`Scenario::timeline`] into a
+//! strictly ordered stream that replays with semantics (and numbers)
+//! identical to the old synchronous loop.
 
+use crate::engine::{EngineEvent, EventQueue};
 use crate::schemes::SchemeSpec;
 use ariadne_compress::CostNanos;
-use ariadne_mem::{CpuBreakdown, PageLocation, ReclaimController, SimClock};
-use ariadne_trace::{AppName, AppWorkload, Scenario, ScenarioEvent, WorkloadBuilder};
-use ariadne_zram::{AccessKind, MemoryConfig, SchemeContext, SchemeStats, SwapScheme};
+use ariadne_mem::{CpuBreakdown, PageLocation, ReclaimController, SimClock, SimInstant, PAGE_SIZE};
+use ariadne_trace::{
+    AppName, AppWorkload, Scenario, ScenarioEvent, TimedScenario, WorkloadBuilder,
+};
+use ariadne_zram::{
+    AccessKind, AccessOutcome, MemoryConfig, MemoryPressure, PressureLevel, SchemeContext,
+    SchemeStats, SwapScheme,
+};
 use std::collections::{HashMap, HashSet};
+
+/// Simulated nanoseconds between successive deferred-work drain ticks.
+const DRAIN_TICK_NANOS: u128 = 1_000_000;
 
 /// Global knobs of a simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,7 +106,7 @@ impl RelaunchMeasurement {
 }
 
 /// The simulated mobile device: a swap scheme plus the application workloads
-/// driving it.
+/// driving it, wrapped around a deterministic discrete-event queue.
 pub struct MobileSystem {
     config: SimulationConfig,
     ctx: SchemeContext,
@@ -98,6 +118,13 @@ pub struct MobileSystem {
     next_relaunch: HashMap<AppName, usize>,
     measurements: Vec<RelaunchMeasurement>,
     baseline_cpu: CostNanos,
+    queue: EventQueue,
+    drains_enabled: bool,
+    kswapd_pending: bool,
+    drain_pending: bool,
+    current_at_nanos: u128,
+    events_processed: usize,
+    pressure_spikes: usize,
 }
 
 impl MobileSystem {
@@ -118,6 +145,13 @@ impl MobileSystem {
             next_relaunch: HashMap::new(),
             measurements: Vec::new(),
             baseline_cpu: CostNanos::zero(),
+            queue: EventQueue::new(),
+            drains_enabled: false,
+            kswapd_pending: false,
+            drain_pending: false,
+            current_at_nanos: 0,
+            events_processed: 0,
+            pressure_spikes: 0,
         }
     }
 
@@ -181,7 +215,147 @@ impl MobileSystem {
         self.baseline_cpu
     }
 
-    /// Run a single scenario event.
+    /// Applications that have been launched so far, in name order.
+    #[must_use]
+    pub fn launched_apps(&self) -> Vec<AppName> {
+        let mut apps: Vec<AppName> = self.launched.iter().copied().collect();
+        apps.sort_by_key(|a| a.uid());
+        apps
+    }
+
+    /// Number of events the engine has dispatched.
+    #[must_use]
+    pub fn events_processed(&self) -> usize {
+        self.events_processed
+    }
+
+    /// Number of memory-pressure spikes absorbed.
+    #[must_use]
+    pub fn pressure_spikes(&self) -> usize {
+        self.pressure_spikes
+    }
+
+    /// Number of events still pending in the queue.
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Access a single page through the scheme on this system's clock (a
+    /// probe used by invariant tests and scheme-specific experiments).
+    pub fn touch(&mut self, page: ariadne_mem::PageId, kind: AccessKind) -> AccessOutcome {
+        self.scheme.access(page, kind, &mut self.clock, &self.ctx)
+    }
+
+    // ------------------------------------------------------------------
+    // Event engine
+    // ------------------------------------------------------------------
+
+    /// Push every event of a timed scenario into the queue without running
+    /// it (pair with [`MobileSystem::step`] for stepwise execution).
+    pub fn enqueue(&mut self, scenario: &TimedScenario) {
+        self.drains_enabled = scenario.background_drains;
+        for timed in &scenario.events {
+            self.queue
+                .push(timed.at_nanos, EngineEvent::App(timed.event));
+        }
+    }
+
+    /// Run a timed scenario to completion through the event engine.
+    pub fn run_timed(&mut self, scenario: &TimedScenario) {
+        self.enqueue(scenario);
+        while self.step().is_some() {}
+    }
+
+    /// Run a whole legacy scenario. The conversion through
+    /// [`Scenario::timeline`] preserves the flat list's total order, so this
+    /// reproduces the synchronous driver's numbers exactly.
+    pub fn run_scenario(&mut self, scenario: &Scenario) {
+        self.run_timed(&scenario.timeline());
+    }
+
+    /// Pop and dispatch the next pending event. Returns the dispatched event,
+    /// or `None` if the queue is empty.
+    pub fn step(&mut self) -> Option<EngineEvent> {
+        let scheduled = self.queue.pop()?;
+        self.current_at_nanos = scheduled.at_nanos;
+        self.clock
+            .fast_forward_to(SimInstant::from_nanos(scheduled.at_nanos));
+        self.events_processed += 1;
+        match scheduled.event {
+            EngineEvent::App(event) => {
+                self.dispatch_app_event(event);
+                self.schedule_kswapd();
+                self.schedule_drain();
+            }
+            EngineEvent::KswapdWake => {
+                self.kswapd_pending = false;
+                self.kswapd_run();
+                // Reclaim itself creates deferred work (e.g. a kswapd pass
+                // pushes the zswap pool above its flush threshold), so drains
+                // must be (re)scheduled here too, not only after app events.
+                self.schedule_drain();
+            }
+            EngineEvent::DrainTick => {
+                self.drain_pending = false;
+                let budget = self.ctx.drain_batch_pages;
+                let done = self
+                    .scheme
+                    .drain_deferred(budget, &mut self.clock, &self.ctx);
+                if done > 0 && self.scheme.deferred_pages() > 0 {
+                    self.drain_pending = true;
+                    self.queue.push(
+                        self.current_at_nanos + DRAIN_TICK_NANOS,
+                        EngineEvent::DrainTick,
+                    );
+                }
+            }
+        }
+        Some(scheduled.event)
+    }
+
+    fn dispatch_app_event(&mut self, event: ScenarioEvent) {
+        match event {
+            ScenarioEvent::Launch(app) => self.do_launch(app),
+            ScenarioEvent::Background(app) => self.do_background(app),
+            ScenarioEvent::Relaunch {
+                app,
+                relaunch_index,
+            } => {
+                self.do_relaunch(app, relaunch_index);
+            }
+            ScenarioEvent::Idle { millis } => self.do_idle(millis),
+            ScenarioEvent::Pressure { dram_percent } => self.do_pressure(dram_percent),
+        }
+    }
+
+    /// Schedule a kswapd wake-up at the current event's instant unless one is
+    /// already pending. The wake's class makes it run after every
+    /// app-lifecycle event scheduled at the same instant.
+    fn schedule_kswapd(&mut self) {
+        if !self.kswapd_pending {
+            self.kswapd_pending = true;
+            self.queue
+                .push(self.current_at_nanos, EngineEvent::KswapdWake);
+        }
+    }
+
+    /// Schedule a deferred-work drain tick if the scenario allows drains and
+    /// the scheme reports pending work.
+    fn schedule_drain(&mut self) {
+        if self.drains_enabled && !self.drain_pending && self.scheme.deferred_pages() > 0 {
+            self.drain_pending = true;
+            self.queue
+                .push(self.current_at_nanos, EngineEvent::DrainTick);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Legacy imperative API (each call runs synchronously, including the
+    // kswapd pass that follows every app-lifecycle transition)
+    // ------------------------------------------------------------------
+
+    /// Run a single scenario event synchronously.
     pub fn run_event(&mut self, event: ScenarioEvent) {
         match event {
             ScenarioEvent::Launch(app) => self.launch(app),
@@ -193,19 +367,45 @@ impl MobileSystem {
                 self.relaunch(app, relaunch_index);
             }
             ScenarioEvent::Idle { millis } => self.idle(millis),
-        }
-    }
-
-    /// Run a whole scenario.
-    pub fn run_scenario(&mut self, scenario: &Scenario) {
-        for event in &scenario.events {
-            self.run_event(*event);
+            ScenarioEvent::Pressure { dram_percent } => {
+                self.do_pressure(dram_percent);
+                self.kswapd_run();
+            }
         }
     }
 
     /// Cold-launch `app`: create its anonymous pages and touch its launch
     /// (hot) data set.
     pub fn launch(&mut self, app: AppName) {
+        self.do_launch(app);
+        self.kswapd_run();
+    }
+
+    /// Send `app` to the background.
+    pub fn background(&mut self, app: AppName) {
+        self.do_background(app);
+        self.kswapd_run();
+    }
+
+    /// Hot-launch (relaunch) `app`, replaying its `relaunch_index`-th trace.
+    /// Returns the measurement (also recorded in [`MobileSystem::measurements`]).
+    pub fn relaunch(&mut self, app: AppName, relaunch_index: usize) -> RelaunchMeasurement {
+        let measurement = self.do_relaunch(app, relaunch_index);
+        self.kswapd_run();
+        measurement
+    }
+
+    /// The user pauses; background reclaim gets a chance to run.
+    pub fn idle(&mut self, millis: u64) {
+        self.do_idle(millis);
+        self.kswapd_run();
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn do_launch(&mut self, app: AppName) {
         let workload = self.workloads[&app].clone();
         self.scheme.on_foreground(workload.app);
         for spec in &workload.pages {
@@ -221,21 +421,19 @@ impl MobileSystem {
         self.baseline_cpu += CostNanos(1_000_000);
         self.launched.insert(app);
         self.next_relaunch.insert(app, 0);
-        self.kswapd_tick();
     }
 
-    /// Send `app` to the background.
-    pub fn background(&mut self, app: AppName) {
+    fn do_background(&mut self, app: AppName) {
         let id = self.workloads[&app].app;
         self.scheme.on_background(id);
-        self.kswapd_tick();
     }
 
-    /// Hot-launch (relaunch) `app`, replaying its `relaunch_index`-th trace.
-    /// Returns the measurement (also recorded in [`MobileSystem::measurements`]).
-    pub fn relaunch(&mut self, app: AppName, relaunch_index: usize) -> RelaunchMeasurement {
+    fn do_relaunch(&mut self, app: AppName, relaunch_index: usize) -> RelaunchMeasurement {
         if !self.launched.contains(&app) {
-            self.launch(app);
+            // Mirror the old driver exactly: an implicit cold launch runs its
+            // own kswapd pass before the relaunch replay begins.
+            self.do_launch(app);
+            self.kswapd_run();
         }
         let workload = self.workloads[&app].clone();
         let index = relaunch_index.min(workload.relaunches.len() - 1);
@@ -260,7 +458,6 @@ impl MobileSystem {
         }
         self.baseline_cpu += CostNanos(500_000);
         self.next_relaunch.insert(app, index + 1);
-        self.kswapd_tick();
 
         let measurement = RelaunchMeasurement {
             app,
@@ -272,16 +469,38 @@ impl MobileSystem {
         measurement
     }
 
-    /// The user pauses; background reclaim gets a chance to run.
-    pub fn idle(&mut self, millis: u64) {
+    fn do_idle(&mut self, millis: u64) {
         self.clock
             .advance(CostNanos(u128::from(millis) * 1_000_000));
-        self.kswapd_tick();
+    }
+
+    /// A memory-pressure spike: the platform demands `dram_percent` of the
+    /// currently resident anonymous bytes back.
+    fn do_pressure(&mut self, dram_percent: u8) {
+        let percent = usize::from(dram_percent.min(100));
+        let target_bytes = self.scheme.dram().used_bytes() / 100 * percent;
+        let target_pages = target_bytes.div_ceil(PAGE_SIZE);
+        self.pressure_spikes += 1;
+        if target_pages == 0 {
+            return;
+        }
+        let level = if percent >= 50 {
+            PressureLevel::Critical
+        } else {
+            PressureLevel::Medium
+        };
+        let pressure = MemoryPressure {
+            target_pages,
+            level,
+        };
+        let _ = self
+            .scheme
+            .on_pressure(pressure, &mut self.clock, &self.ctx);
     }
 
     /// Run background (kswapd) reclaim until the high watermark is restored
     /// or no further progress can be made.
-    fn kswapd_tick(&mut self) {
+    fn kswapd_run(&mut self) {
         for _ in 0..64 {
             let Some(request) = self.kswapd.background_request(self.scheme.dram()) else {
                 break;
@@ -379,5 +598,74 @@ mod tests {
             found_in: HashMap::new(),
         };
         assert!((m.full_scale_millis(64) - 128.0).abs() < 1e-9);
+    }
+
+    /// The semantics-preservation contract of the refactor: replaying a
+    /// legacy scenario through the event engine produces exactly the numbers
+    /// the old synchronous loop produced (here reproduced by the imperative
+    /// `run_event` path).
+    #[test]
+    fn event_engine_reproduces_the_synchronous_replay_exactly() {
+        for scenario in [
+            Scenario::relaunch_study(AppName::Youtube),
+            Scenario::light_switching(1),
+        ] {
+            let mut engine = MobileSystem::new(SchemeSpec::Zram, quick_config());
+            engine.run_scenario(&scenario);
+
+            let mut sync = MobileSystem::new(SchemeSpec::Zram, quick_config());
+            for event in &scenario.events {
+                sync.run_event(*event);
+            }
+
+            assert_eq!(engine.measurements(), sync.measurements());
+            assert_eq!(engine.stats(), sync.stats());
+            assert_eq!(engine.cpu(), sync.cpu());
+        }
+    }
+
+    #[test]
+    fn stepwise_execution_matches_run_timed() {
+        let scenario = TimedScenario::concurrent_relaunch_storm();
+        let mut stepped = MobileSystem::new(SchemeSpec::Zswap, quick_config());
+        stepped.enqueue(&scenario);
+        let mut dispatched = 0usize;
+        while stepped.step().is_some() {
+            dispatched += 1;
+        }
+        assert_eq!(dispatched, stepped.events_processed());
+        assert!(dispatched >= scenario.events.len());
+
+        let mut whole = MobileSystem::new(SchemeSpec::Zswap, quick_config());
+        whole.run_timed(&scenario);
+        assert_eq!(stepped.measurements(), whole.measurements());
+        assert_eq!(stepped.stats(), whole.stats());
+    }
+
+    #[test]
+    fn pressure_spikes_reclaim_resident_memory() {
+        let mut system = MobileSystem::new(SchemeSpec::Zram, quick_config());
+        system.launch(AppName::Twitter);
+        let before = system.scheme().dram().used_bytes();
+        assert!(before > 0);
+        system.run_event(ScenarioEvent::Pressure { dram_percent: 30 });
+        assert_eq!(system.pressure_spikes(), 1);
+        assert!(
+            system.scheme().dram().used_bytes() < before,
+            "a 30 % pressure spike should shrink residency"
+        );
+        assert!(system.stats().compression_ops > 0);
+    }
+
+    #[test]
+    fn concurrent_storm_interleaves_multiple_apps() {
+        let scenario = TimedScenario::concurrent_relaunch_storm();
+        assert!(scenario.has_overlap());
+        let mut system = MobileSystem::new(SchemeSpec::Zram, quick_config());
+        system.run_timed(&scenario);
+        assert!(system.launched_apps().len() >= 3);
+        assert_eq!(system.measurements().len(), scenario.relaunch_count());
+        assert!(system.pressure_spikes() >= 2);
+        assert!(system.clock().now() >= SimInstant::from_nanos(0));
     }
 }

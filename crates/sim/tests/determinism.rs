@@ -1,0 +1,70 @@
+//! Determinism regression tests for the event engine and the parallel
+//! experiment runner: two runs with identical `(seed, scale)` must produce
+//! byte-identical experiment output, and the parallel runner must merge to
+//! exactly the serial result.
+
+use ariadne_core::SizeConfig;
+use ariadne_sim::experiments::{run_by_name, runner, ExperimentOptions};
+use ariadne_sim::{MobileSystem, SchemeSpec, SimulationConfig};
+use ariadne_trace::TimedScenario;
+
+/// A small but representative selection: a baseline figure, a
+/// characterization table and the new multi-app concurrent experiment.
+const NAMES: [&str; 3] = ["fig2", "table1", "multiapp"];
+
+#[test]
+fn identical_seed_and_scale_produce_byte_identical_tables() {
+    let opts = ExperimentOptions::quick();
+    for name in NAMES {
+        let first = run_by_name(name, &opts).unwrap();
+        let second = run_by_name(name, &opts).unwrap();
+        assert_eq!(
+            first.to_json(),
+            second.to_json(),
+            "{name} differs between identical runs"
+        );
+        assert_eq!(first.to_string(), second.to_string());
+    }
+}
+
+#[test]
+fn parallel_runner_output_is_byte_identical_to_serial() {
+    let opts = ExperimentOptions::quick();
+    let names: Vec<String> = NAMES.iter().map(|n| (*n).to_string()).collect();
+    let parallel = runner::run_named_parallel(&names, &opts);
+    assert_eq!(parallel.len(), NAMES.len());
+    for (name, table) in parallel {
+        let parallel_table = table.expect("known experiment");
+        let serial_table = run_by_name(&name, &opts).expect("known experiment");
+        assert_eq!(
+            parallel_table.to_json(),
+            serial_table.to_json(),
+            "{name}: parallel and serial output diverge"
+        );
+        assert_eq!(parallel_table.to_string(), serial_table.to_string());
+    }
+}
+
+#[test]
+fn event_engine_replays_are_deterministic_across_schemes() {
+    let config = SimulationConfig::new(0xD5).with_scale(512);
+    let scenario = TimedScenario::concurrent_relaunch_storm();
+    for spec in [
+        SchemeSpec::Zram,
+        SchemeSpec::Zswap,
+        SchemeSpec::ariadne_ehl(SizeConfig::k1_k2_k16()),
+    ] {
+        let mut first = MobileSystem::new(spec, config);
+        first.run_timed(&scenario);
+        let mut second = MobileSystem::new(spec, config);
+        second.run_timed(&scenario);
+        assert_eq!(
+            first.measurements(),
+            second.measurements(),
+            "{spec}: measurements diverge"
+        );
+        assert_eq!(first.stats(), second.stats(), "{spec}: stats diverge");
+        assert_eq!(first.cpu(), second.cpu(), "{spec}: CPU ledgers diverge");
+        assert_eq!(first.events_processed(), second.events_processed());
+    }
+}

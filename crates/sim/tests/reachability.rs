@@ -1,0 +1,90 @@
+//! Cross-scheme reachability invariant: while multi-app scenarios
+//! interleave relaunches with background pressure events, every page that
+//! was registered with a scheme must remain *readable* — an access always
+//! completes and leaves the page resident. For schemes that never discard
+//! data (DRAM, SWAP, ZSWAP, Ariadne) the page's bytes must also never be
+//! silently lost mid-run (no `Absent` location); plain ZRAM is allowed to
+//! drop oldest entries by design.
+
+use ariadne_core::SizeConfig;
+use ariadne_mem::{PageId, PageLocation};
+use ariadne_sim::{MobileSystem, SchemeSpec, SimulationConfig};
+use ariadne_trace::TimedScenario;
+use ariadne_zram::AccessKind;
+
+fn config() -> SimulationConfig {
+    SimulationConfig::new(11).with_scale(512)
+}
+
+/// Pages of every launched app, collected up front so the borrow of the
+/// system ends before we start touching pages.
+fn registered_pages(system: &MobileSystem) -> Vec<PageId> {
+    system
+        .launched_apps()
+        .into_iter()
+        .flat_map(|app| {
+            system
+                .workload(app)
+                .pages
+                .iter()
+                .map(|p| p.page)
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+fn all_specs() -> Vec<(SchemeSpec, bool)> {
+    // (spec, data_loss_allowed)
+    vec![
+        (SchemeSpec::Dram, false),
+        (SchemeSpec::Swap, false),
+        (SchemeSpec::Zram, true),
+        (SchemeSpec::Zswap, false),
+        (SchemeSpec::ariadne_ehl(SizeConfig::k1_k2_k16()), false),
+    ]
+}
+
+#[test]
+fn every_registered_page_stays_readable_through_the_storm() {
+    let scenario = TimedScenario::concurrent_relaunch_storm();
+    assert!(scenario.has_overlap(), "the storm must interleave apps");
+    for (spec, data_loss_allowed) in all_specs() {
+        let mut system = MobileSystem::new(spec, config());
+        system.enqueue(&scenario);
+
+        // Step the engine event by event; every 16 events, check that no
+        // loss-free scheme has silently lost a registered page mid-flight.
+        let mut steps = 0usize;
+        while system.step().is_some() {
+            steps += 1;
+            if steps % 16 == 0 && !data_loss_allowed {
+                for page in registered_pages(&system) {
+                    assert_ne!(
+                        system.scheme().location_of(page),
+                        PageLocation::Absent,
+                        "{spec}: page {page:?} lost after {steps} events"
+                    );
+                }
+            }
+        }
+        assert!(system.launched_apps().len() >= 3);
+        assert!(system.pressure_spikes() >= 2);
+
+        // Final sweep: every registered page is readable and ends resident.
+        let mut lost = 0usize;
+        for page in registered_pages(&system) {
+            let outcome = system.touch(page, AccessKind::Execution);
+            if outcome.found_in == PageLocation::Absent {
+                lost += 1;
+            }
+            assert_eq!(
+                system.scheme().location_of(page),
+                PageLocation::Dram,
+                "{spec}: page {page:?} not resident after access"
+            );
+        }
+        if !data_loss_allowed {
+            assert_eq!(lost, 0, "{spec}: {lost} registered pages were lost");
+        }
+    }
+}

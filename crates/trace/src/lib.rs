@@ -21,6 +21,10 @@
 //! pages, ground-truth hotness labels and relaunch access traces) and
 //! [`PageDataGenerator`] (deterministically synthesises the *bytes* of any
 //! page so compression ratios are real without storing gigabytes).
+//! [`ScenarioBuilder`] composes timestamped multi-application scenarios —
+//! launch storms, background churn, relaunch-under-pressure — into the
+//! [`TimedScenario`] event streams the discrete-event engine in
+//! `ariadne-sim` consumes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,12 +33,14 @@ pub mod content;
 pub mod locality;
 pub mod profiles;
 pub mod record;
+pub mod scenario;
 pub mod workload;
 
 pub use content::{ContentClass, PageDataGenerator};
 pub use locality::{measure_consecutive_probability, RunLengthSampler};
 pub use profiles::{AppName, AppProfile};
 pub use record::TraceRecord;
+pub use scenario::{ScenarioBuilder, TimedEvent, TimedScenario};
 pub use workload::{
     AppWorkload, PageSpec, RelaunchTrace, Scenario, ScenarioEvent, ScenarioKind, WorkloadBuilder,
 };

@@ -1,0 +1,519 @@
+//! The timed scenario DSL.
+//!
+//! The legacy [`Scenario`] type is a flat, strictly ordered list of events:
+//! the driver replays them one at a time, so two applications can never be
+//! mid-flight at once. This module adds the composable, *timestamped* layer
+//! the discrete-event engine consumes:
+//!
+//! * [`TimedEvent`] — a [`ScenarioEvent`] stamped with the simulated instant
+//!   at which it is injected;
+//! * [`TimedScenario`] — a named stream of timed events, sorted by time with
+//!   ties broken by insertion order (the engine's determinism contract);
+//! * [`ScenarioBuilder`] — a cursor-based builder with combinators for the
+//!   concurrent usage patterns the paper's setting implies: launch storms,
+//!   background-app churn, relaunch-under-pressure and memory-pressure
+//!   spikes.
+//!
+//! Every legacy [`Scenario`] converts losslessly via [`Scenario::timeline`]:
+//! event *i* is stamped *i* nanoseconds after the epoch, which preserves the
+//! original total order exactly (the event engine replays it with identical
+//! semantics to the old synchronous loop).
+//!
+//! ```
+//! use ariadne_trace::{AppName, ScenarioBuilder};
+//!
+//! let scenario = ScenarioBuilder::new("morning-rush")
+//!     .launch_storm(&[AppName::Twitter, AppName::Youtube, AppName::TikTok], 200)
+//!     .after_millis(500)
+//!     .pressure(25)
+//!     .relaunch(AppName::Twitter, 0)
+//!     .at_millis(1_700)
+//!     .relaunch(AppName::Youtube, 0)
+//!     .build();
+//! assert_eq!(scenario.relaunch_count(), 2);
+//! assert!(scenario.events.windows(2).all(|w| w[0].at_nanos <= w[1].at_nanos));
+//! ```
+
+use crate::profiles::AppName;
+use crate::workload::{Scenario, ScenarioEvent, ScenarioKind};
+use serde::{Deserialize, Serialize};
+
+const NANOS_PER_MILLI: u128 = 1_000_000;
+
+/// A scenario event stamped with its injection time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// Simulated nanoseconds after the epoch at which the event fires.
+    pub at_nanos: u128,
+    /// The event itself.
+    pub event: ScenarioEvent,
+}
+
+impl TimedEvent {
+    /// The injection time in milliseconds (rounded down).
+    #[must_use]
+    pub fn at_millis(&self) -> u64 {
+        u64::try_from(self.at_nanos / NANOS_PER_MILLI).unwrap_or(u64::MAX)
+    }
+}
+
+/// A timestamped multi-application scenario, ready for the event engine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimedScenario {
+    /// Human-readable scenario name (used in reports and experiment tables).
+    pub name: String,
+    /// The flavour of the scenario.
+    pub kind: ScenarioKind,
+    /// The events, sorted by `at_nanos`; ties keep builder insertion order.
+    pub events: Vec<TimedEvent>,
+    /// Whether the engine may schedule deferred background work (ZSWAP-style
+    /// writeback flushes, Ariadne pre-decompression drains) between events.
+    /// Legacy conversions leave this off so they replay with byte-identical
+    /// semantics to the synchronous driver.
+    pub background_drains: bool,
+}
+
+impl TimedScenario {
+    /// Number of relaunch events in the scenario.
+    #[must_use]
+    pub fn relaunch_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.event, ScenarioEvent::Relaunch { .. }))
+            .count()
+    }
+
+    /// Distinct applications referenced by the scenario, in first-appearance
+    /// order.
+    #[must_use]
+    pub fn apps(&self) -> Vec<AppName> {
+        let mut apps = Vec::new();
+        for timed in &self.events {
+            let app = match timed.event {
+                ScenarioEvent::Launch(app)
+                | ScenarioEvent::Background(app)
+                | ScenarioEvent::Relaunch { app, .. } => app,
+                ScenarioEvent::Idle { .. } | ScenarioEvent::Pressure { .. } => continue,
+            };
+            if !apps.contains(&app) {
+                apps.push(app);
+            }
+        }
+        apps
+    }
+
+    /// The timestamp of the last event, in milliseconds.
+    #[must_use]
+    pub fn duration_millis(&self) -> u64 {
+        self.events.last().map_or(0, TimedEvent::at_millis)
+    }
+
+    /// `true` if at least two applications have overlapping live intervals
+    /// (one is launched or relaunched before another is backgrounded).
+    #[must_use]
+    pub fn has_overlap(&self) -> bool {
+        let mut live: Vec<AppName> = Vec::new();
+        for timed in &self.events {
+            match timed.event {
+                ScenarioEvent::Launch(app) | ScenarioEvent::Relaunch { app, .. } => {
+                    if !live.contains(&app) {
+                        live.push(app);
+                    }
+                    if live.len() >= 2 {
+                        return true;
+                    }
+                }
+                ScenarioEvent::Background(app) => live.retain(|a| *a != app),
+                ScenarioEvent::Idle { .. } | ScenarioEvent::Pressure { .. } => {}
+            }
+        }
+        false
+    }
+
+    /// The canonical concurrent workload used by the `multiapp` experiment,
+    /// the reachability tests and the `concurrent_storm` example: six
+    /// applications launched in an overlapping storm, three of them churning
+    /// in the background, and relaunches of three different targets arriving
+    /// while memory-pressure spikes are still being absorbed.
+    #[must_use]
+    pub fn concurrent_relaunch_storm() -> Self {
+        let storm = [
+            AppName::Twitter,
+            AppName::Youtube,
+            AppName::TikTok,
+            AppName::Firefox,
+            AppName::Edge,
+            AppName::GoogleMaps,
+        ];
+        let churn = [AppName::Firefox, AppName::Edge, AppName::GoogleMaps];
+        ScenarioBuilder::new("concurrent-relaunch-storm")
+            .launch_storm(&storm, 150)
+            .after_millis(400)
+            .background_churn(&churn, 250, 2)
+            .after_millis(300)
+            .relaunch_under_pressure(AppName::Twitter, 0, 20)
+            .after_millis(150)
+            .relaunch(AppName::Youtube, 0)
+            .pressure(35)
+            .after_millis(100)
+            .relaunch(AppName::TikTok, 0)
+            .after_millis(200)
+            .background(AppName::Twitter)
+            .background(AppName::Youtube)
+            .background(AppName::TikTok)
+            .with_background_drains()
+            .build()
+    }
+}
+
+impl Scenario {
+    /// Convert a legacy scenario into a timed one. Event *i* is stamped
+    /// *i* nanoseconds after the epoch: the strict ordering of the flat list
+    /// is preserved exactly, so the event engine replays it with the same
+    /// semantics (and therefore the same numbers) as the old synchronous
+    /// phase-replay loop.
+    #[must_use]
+    pub fn timeline(&self) -> TimedScenario {
+        let name = match self.kind {
+            ScenarioKind::Light => "light-switching",
+            ScenarioKind::Heavy => "heavy-switching",
+            ScenarioKind::RelaunchStudy => "relaunch-study",
+            ScenarioKind::Concurrent => "concurrent",
+        };
+        TimedScenario {
+            name: name.to_string(),
+            kind: self.kind,
+            events: self
+                .events
+                .iter()
+                .enumerate()
+                .map(|(i, event)| TimedEvent {
+                    at_nanos: i as u128,
+                    event: *event,
+                })
+                .collect(),
+            background_drains: false,
+        }
+    }
+}
+
+/// Cursor-based builder for [`TimedScenario`]s.
+///
+/// The builder keeps a time cursor in milliseconds. Event-emitting methods
+/// stamp events at the cursor; [`ScenarioBuilder::at_millis`] and
+/// [`ScenarioBuilder::after_millis`] move it. Combinators emit several
+/// events with per-app offsets so application timelines overlap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioBuilder {
+    name: String,
+    kind: ScenarioKind,
+    cursor_millis: u64,
+    events: Vec<(u64, ScenarioEvent)>,
+    background_drains: bool,
+}
+
+impl ScenarioBuilder {
+    /// Start a builder for a named concurrent scenario, cursor at the epoch.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        ScenarioBuilder {
+            name: name.into(),
+            kind: ScenarioKind::Concurrent,
+            cursor_millis: 0,
+            events: Vec::new(),
+            background_drains: false,
+        }
+    }
+
+    /// Override the scenario kind (defaults to [`ScenarioKind::Concurrent`]).
+    #[must_use]
+    pub fn kind(mut self, kind: ScenarioKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Move the cursor to an absolute time.
+    #[must_use]
+    pub fn at_millis(mut self, millis: u64) -> Self {
+        self.cursor_millis = millis;
+        self
+    }
+
+    /// Advance the cursor by `millis`.
+    #[must_use]
+    pub fn after_millis(mut self, millis: u64) -> Self {
+        self.cursor_millis += millis;
+        self
+    }
+
+    /// The current cursor position in milliseconds.
+    #[must_use]
+    pub fn cursor_millis(&self) -> u64 {
+        self.cursor_millis
+    }
+
+    fn push(&mut self, at_millis: u64, event: ScenarioEvent) {
+        self.events.push((at_millis, event));
+    }
+
+    /// Cold-launch `app` at the cursor.
+    #[must_use]
+    pub fn launch(mut self, app: AppName) -> Self {
+        self.push(self.cursor_millis, ScenarioEvent::Launch(app));
+        self
+    }
+
+    /// Background `app` at the cursor.
+    #[must_use]
+    pub fn background(mut self, app: AppName) -> Self {
+        self.push(self.cursor_millis, ScenarioEvent::Background(app));
+        self
+    }
+
+    /// Relaunch `app` at the cursor, replaying relaunch trace `index`.
+    #[must_use]
+    pub fn relaunch(mut self, app: AppName, index: usize) -> Self {
+        self.push(
+            self.cursor_millis,
+            ScenarioEvent::Relaunch {
+                app,
+                relaunch_index: index,
+            },
+        );
+        self
+    }
+
+    /// Insert an idle pause of `millis` at the cursor and advance the cursor
+    /// past it.
+    #[must_use]
+    pub fn idle(mut self, millis: u64) -> Self {
+        self.push(self.cursor_millis, ScenarioEvent::Idle { millis });
+        self.cursor_millis += millis;
+        self
+    }
+
+    /// Inject a memory-pressure spike at the cursor reclaiming `dram_percent`
+    /// of the resident anonymous data.
+    #[must_use]
+    pub fn pressure(mut self, dram_percent: u8) -> Self {
+        self.push(
+            self.cursor_millis,
+            ScenarioEvent::Pressure {
+                dram_percent: dram_percent.min(100),
+            },
+        );
+        self
+    }
+
+    /// Launch storm: each app in `apps` is launched `stagger_millis` after
+    /// the previous one and backgrounded two stagger periods after its own
+    /// launch, so consecutive lifetimes overlap. The cursor ends after the
+    /// last background.
+    #[must_use]
+    pub fn launch_storm(mut self, apps: &[AppName], stagger_millis: u64) -> Self {
+        let start = self.cursor_millis;
+        let mut last = start;
+        for (i, &app) in apps.iter().enumerate() {
+            let at = start + i as u64 * stagger_millis;
+            self.push(at, ScenarioEvent::Launch(app));
+            let bg_at = at + 2 * stagger_millis;
+            self.push(bg_at, ScenarioEvent::Background(app));
+            last = last.max(bg_at);
+        }
+        self.cursor_millis = last;
+        self
+    }
+
+    /// Background churn: for `rounds` rounds, each app in `apps` is
+    /// relaunched (cycling through its relaunch traces) and backgrounded
+    /// half a period later, with app *i + 1*'s relaunch landing before app
+    /// *i*'s background so the timelines interleave.
+    #[must_use]
+    pub fn background_churn(mut self, apps: &[AppName], period_millis: u64, rounds: usize) -> Self {
+        let start = self.cursor_millis;
+        let mut last = start;
+        for round in 0..rounds {
+            for (i, &app) in apps.iter().enumerate() {
+                let at = start + (round * apps.len() + i) as u64 * period_millis;
+                self.push(
+                    at,
+                    ScenarioEvent::Relaunch {
+                        app,
+                        relaunch_index: round % 5,
+                    },
+                );
+                let bg_at = at + period_millis + period_millis / 2;
+                self.push(bg_at, ScenarioEvent::Background(app));
+                last = last.max(bg_at);
+            }
+        }
+        self.cursor_millis = last;
+        self
+    }
+
+    /// Relaunch `app` at the cursor *while* a pressure spike of
+    /// `dram_percent` lands at the same instant (the spike is injected
+    /// first; the tie-breaking rule keeps that order deterministic).
+    #[must_use]
+    pub fn relaunch_under_pressure(self, app: AppName, index: usize, dram_percent: u8) -> Self {
+        self.pressure(dram_percent).relaunch(app, index)
+    }
+
+    /// Allow the engine to schedule deferred background work (writeback
+    /// flushes, pre-decompression drains) for this scenario.
+    #[must_use]
+    pub fn with_background_drains(mut self) -> Self {
+        self.background_drains = true;
+        self
+    }
+
+    /// Finish the scenario: events are stably sorted by timestamp, so
+    /// same-instant events keep their insertion order.
+    #[must_use]
+    pub fn build(self) -> TimedScenario {
+        let mut events = self.events;
+        events.sort_by_key(|(at, _)| *at);
+        TimedScenario {
+            name: self.name,
+            kind: self.kind,
+            events: events
+                .into_iter()
+                .map(|(at, event)| TimedEvent {
+                    at_nanos: u128::from(at) * NANOS_PER_MILLI,
+                    event,
+                })
+                .collect(),
+            background_drains: self.background_drains,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_stamps_events_at_the_cursor() {
+        let scenario = ScenarioBuilder::new("t")
+            .launch(AppName::Twitter)
+            .after_millis(100)
+            .background(AppName::Twitter)
+            .at_millis(50)
+            .pressure(10)
+            .build();
+        assert_eq!(scenario.events.len(), 3);
+        // Sorted by time: launch@0, pressure@50, background@100.
+        assert_eq!(scenario.events[0].at_millis(), 0);
+        assert!(matches!(
+            scenario.events[1].event,
+            ScenarioEvent::Pressure { dram_percent: 10 }
+        ));
+        assert_eq!(scenario.events[2].at_millis(), 100);
+    }
+
+    #[test]
+    fn same_instant_events_keep_insertion_order() {
+        let scenario = ScenarioBuilder::new("ties")
+            .relaunch_under_pressure(AppName::Youtube, 0, 30)
+            .build();
+        assert_eq!(scenario.events[0].at_nanos, scenario.events[1].at_nanos);
+        assert!(matches!(
+            scenario.events[0].event,
+            ScenarioEvent::Pressure { .. }
+        ));
+        assert!(matches!(
+            scenario.events[1].event,
+            ScenarioEvent::Relaunch { .. }
+        ));
+    }
+
+    #[test]
+    fn launch_storm_overlaps_lifetimes() {
+        let apps = [AppName::Twitter, AppName::Youtube, AppName::TikTok];
+        let scenario = ScenarioBuilder::new("storm")
+            .launch_storm(&apps, 100)
+            .build();
+        assert!(scenario.has_overlap());
+        assert_eq!(scenario.apps().len(), 3);
+        // Youtube launches (t=100) before Twitter backgrounds (t=200).
+        let youtube_launch = scenario
+            .events
+            .iter()
+            .find(|e| matches!(e.event, ScenarioEvent::Launch(AppName::Youtube)))
+            .unwrap();
+        let twitter_bg = scenario
+            .events
+            .iter()
+            .find(|e| matches!(e.event, ScenarioEvent::Background(AppName::Twitter)))
+            .unwrap();
+        assert!(youtube_launch.at_nanos < twitter_bg.at_nanos);
+    }
+
+    #[test]
+    fn legacy_timeline_preserves_total_order() {
+        let legacy = Scenario::relaunch_study(AppName::Twitter);
+        let timed = legacy.timeline();
+        assert_eq!(timed.events.len(), legacy.events.len());
+        assert!(!timed.background_drains);
+        for (i, timed_event) in timed.events.iter().enumerate() {
+            assert_eq!(timed_event.at_nanos, i as u128);
+            assert_eq!(timed_event.event, legacy.events[i]);
+        }
+    }
+
+    #[test]
+    fn legacy_scenarios_do_not_overlap_but_the_storm_does() {
+        assert!(!Scenario::relaunch_study(AppName::Edge)
+            .timeline()
+            .has_overlap());
+        assert!(!Scenario::light_switching(1).timeline().has_overlap());
+        let storm = TimedScenario::concurrent_relaunch_storm();
+        assert!(storm.has_overlap());
+        assert!(storm.apps().len() >= 3);
+        assert!(storm.relaunch_count() >= 3);
+        assert!(storm.background_drains);
+        assert!(storm
+            .events
+            .iter()
+            .any(|e| matches!(e.event, ScenarioEvent::Pressure { .. })));
+    }
+
+    #[test]
+    fn background_churn_interleaves_relaunches() {
+        let apps = [AppName::Firefox, AppName::Edge];
+        let scenario = ScenarioBuilder::new("churn")
+            .background_churn(&apps, 200, 2)
+            .build();
+        assert_eq!(scenario.relaunch_count(), 4);
+        // Edge's first relaunch (t=200) lands before Firefox's background
+        // (t=300): the timelines interleave.
+        let edge_relaunch = scenario
+            .events
+            .iter()
+            .find(|e| {
+                matches!(
+                    e.event,
+                    ScenarioEvent::Relaunch {
+                        app: AppName::Edge,
+                        ..
+                    }
+                )
+            })
+            .unwrap();
+        let firefox_bg = scenario
+            .events
+            .iter()
+            .find(|e| matches!(e.event, ScenarioEvent::Background(AppName::Firefox)))
+            .unwrap();
+        assert!(edge_relaunch.at_nanos < firefox_bg.at_nanos);
+    }
+
+    #[test]
+    fn pressure_percent_is_clamped() {
+        let scenario = ScenarioBuilder::new("clamp").pressure(250).build();
+        assert!(matches!(
+            scenario.events[0].event,
+            ScenarioEvent::Pressure { dram_percent: 100 }
+        ));
+    }
+}

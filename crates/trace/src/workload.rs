@@ -400,6 +400,15 @@ pub enum ScenarioEvent {
         /// Pause length in milliseconds.
         millis: u64,
     },
+    /// A memory-pressure spike: the platform (e.g. a camera burst, a large
+    /// file-cache allocation) suddenly demands memory, forcing the scheme to
+    /// proactively reclaim the given percentage of the currently resident
+    /// anonymous data. Only emitted by the timed scenario DSL; the legacy
+    /// scenarios never contain it.
+    Pressure {
+        /// Percentage (0–100) of resident anonymous bytes to reclaim.
+        dram_percent: u8,
+    },
 }
 
 /// The flavour of a scenario, used by the energy experiment (Table 2).
@@ -411,6 +420,9 @@ pub enum ScenarioKind {
     Heavy,
     /// The relaunch-latency study of Figures 2 and 10.
     RelaunchStudy,
+    /// A concurrent multi-application scenario built with the timed DSL
+    /// (overlapping per-app timelines, launch storms, pressure spikes).
+    Concurrent,
 }
 
 /// A multi-application usage scenario.

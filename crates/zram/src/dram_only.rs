@@ -8,8 +8,10 @@
 //! configuration").
 
 use crate::scheme::{
-    AccessKind, AccessOutcome, MemoryConfig, ReclaimOutcome, SchemeContext, SchemeStats, SwapScheme,
+    AccessKind, AccessOutcome, MemoryConfig, MemoryPressure, ReclaimOutcome, SchemeContext,
+    SchemeStats, SwapScheme,
 };
+use crate::swap_scheme_identity;
 use ariadne_mem::{AppId, CpuActivity, MainMemory, PageId, PageLocation, ReclaimRequest, SimClock};
 
 /// The no-swap baseline.
@@ -38,17 +40,7 @@ impl DramOnlyScheme {
 }
 
 impl SwapScheme for DramOnlyScheme {
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
-    }
-
-    fn name(&self) -> String {
-        "DRAM".to_string()
-    }
+    swap_scheme_identity!("DRAM");
 
     fn register_page(&mut self, page: PageId, clock: &mut SimClock, ctx: &SchemeContext) {
         // With unlimited DRAM insertion cannot fail; if a finite capacity was
@@ -86,6 +78,17 @@ impl SwapScheme for DramOnlyScheme {
         let scan = ctx.timing.reclaim_scan(request.target_pages);
         clock.charge_cpu(CpuActivity::ReclaimScan, scan);
         self.stats.cpu.charge(CpuActivity::ReclaimScan, scan);
+        ReclaimOutcome::default()
+    }
+
+    fn on_pressure(
+        &mut self,
+        _pressure: MemoryPressure,
+        _clock: &mut SimClock,
+        _ctx: &SchemeContext,
+    ) -> ReclaimOutcome {
+        // The optimistic baseline has unlimited DRAM: pressure spikes are
+        // absorbed without reclaiming (or even scanning) anything.
         ReclaimOutcome::default()
     }
 

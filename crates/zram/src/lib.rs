@@ -28,8 +28,8 @@ pub mod zram;
 
 pub use dram_only::DramOnlyScheme;
 pub use scheme::{
-    AccessKind, AccessOutcome, MemoryConfig, ReclaimOutcome, SchemeContext, SchemeStats,
-    SwapScheme, WritebackPolicy,
+    AccessKind, AccessOutcome, MemoryConfig, MemoryPressure, PressureLevel, ReclaimOutcome,
+    SchemeContext, SchemeStats, SwapScheme, WritebackPolicy,
 };
 pub use swap::FlashSwapScheme;
 pub use zram::ZramScheme;

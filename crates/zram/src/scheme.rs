@@ -9,12 +9,41 @@
 use ariadne_compress::{Algorithm, CostNanos, LatencyModel};
 use ariadne_mem::{
     AppId, CpuBreakdown, FlashStats, MainMemory, MemTimingModel, PageId, PageLocation,
-    ReclaimRequest, SimClock, Watermarks, ZpoolStats, PAGE_SIZE,
+    ReclaimReason, ReclaimRequest, SimClock, Watermarks, ZpoolStats, PAGE_SIZE,
 };
 use ariadne_trace::{AppProfile, AppWorkload, PageDataGenerator};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+
+/// Implements the [`SwapScheme`] identity boilerplate (`as_any`,
+/// `as_any_mut` and optionally `name`) inside a `impl SwapScheme for ...`
+/// block. Every scheme in the workspace repeats these verbatim; the macro
+/// keeps them in one place.
+///
+/// * `swap_scheme_identity!("DRAM");` expands to the two upcasts plus a
+///   `name` returning the given literal;
+/// * `swap_scheme_identity!();` expands to the upcasts only, for schemes
+///   whose name depends on runtime configuration.
+#[macro_export]
+macro_rules! swap_scheme_identity {
+    ($name:expr) => {
+        $crate::swap_scheme_identity!();
+
+        fn name(&self) -> ::std::string::String {
+            ::std::string::String::from($name)
+        }
+    };
+    () => {
+        fn as_any(&self) -> &dyn ::std::any::Any {
+            self
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn ::std::any::Any {
+            self
+        }
+    };
+}
 
 /// What kind of activity triggered a page access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -121,6 +150,38 @@ impl MemoryConfig {
     }
 }
 
+/// How urgent a memory-pressure notification is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PressureLevel {
+    /// Background pressure: reclaim can proceed at leisure.
+    Medium,
+    /// Critical pressure: a large allocation is imminent.
+    Critical,
+}
+
+/// A memory-pressure notification delivered by the simulation engine when a
+/// pressure-spike event fires (camera burst, large file-cache allocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryPressure {
+    /// How many pages the platform wants freed.
+    pub target_pages: usize,
+    /// How urgent the request is.
+    pub level: PressureLevel,
+}
+
+impl MemoryPressure {
+    /// The equivalent proactive [`ReclaimRequest`].
+    #[must_use]
+    pub fn as_reclaim_request(&self) -> ReclaimRequest {
+        ReclaimRequest {
+            target_pages: self.target_pages,
+            reason: ReclaimReason::Proactive {
+                bytes: self.target_pages * PAGE_SIZE,
+            },
+        }
+    }
+}
+
 /// Read-only context handed to schemes: page contents, application profiles
 /// and the latency models.
 #[derive(Debug, Clone)]
@@ -131,6 +192,9 @@ pub struct SchemeContext {
     pub timing: MemTimingModel,
     /// Compression-latency cost model.
     pub latency: LatencyModel,
+    /// How many pages of deferred work the engine hands a scheme per drain
+    /// tick (see [`SwapScheme::drain_deferred`]).
+    pub drain_batch_pages: usize,
 }
 
 impl SchemeContext {
@@ -142,7 +206,15 @@ impl SchemeContext {
             profiles: workloads.iter().map(|w| (w.app, w.profile)).collect(),
             timing: MemTimingModel::pixel7(),
             latency: LatencyModel::pixel7(),
+            drain_batch_pages: 32,
         }
+    }
+
+    /// Override the deferred-work drain batch size.
+    #[must_use]
+    pub fn with_drain_batch_pages(mut self, pages: usize) -> Self {
+        self.drain_batch_pages = pages.max(1);
+        self
     }
 
     /// The synthetic contents of `page`.
@@ -301,6 +373,41 @@ pub trait SwapScheme {
     /// The relaunch of `app` finished.
     fn on_relaunch_end(&mut self, _app: AppId) {}
 
+    /// A memory-pressure spike was injected by the event engine. The default
+    /// treats it as a proactive reclaim of `pressure.target_pages` pages;
+    /// schemes with nothing to proactively reclaim (the DRAM baseline)
+    /// override it to a no-op.
+    fn on_pressure(
+        &mut self,
+        pressure: MemoryPressure,
+        clock: &mut SimClock,
+        ctx: &SchemeContext,
+    ) -> ReclaimOutcome {
+        self.reclaim(pressure.as_reclaim_request(), clock, ctx)
+    }
+
+    /// How many pages of deferred background work the scheme currently has
+    /// pending (ZSWAP writeback flushes, Ariadne pre-decompression refills).
+    /// The event engine polls this after app-lifecycle events and schedules
+    /// drain ticks while it stays positive. Baselines with no deferred work
+    /// keep the default of zero.
+    fn deferred_pages(&self) -> usize {
+        0
+    }
+
+    /// Perform up to `budget` pages of deferred background work off the
+    /// relaunch critical path (CPU is charged, the clock does not advance).
+    /// Returns the number of pages actually processed; the engine stops
+    /// rescheduling drain ticks once this returns zero.
+    fn drain_deferred(
+        &mut self,
+        _budget: usize,
+        _clock: &mut SimClock,
+        _ctx: &SchemeContext,
+    ) -> usize {
+        0
+    }
+
     /// Where `page` currently lives.
     fn location_of(&self, page: PageId) -> PageLocation;
 
@@ -368,6 +475,29 @@ mod tests {
             ..SchemeStats::default()
         };
         assert!((stats.compression_ratio() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_pressure_converts_to_a_proactive_request() {
+        let pressure = MemoryPressure {
+            target_pages: 3,
+            level: PressureLevel::Medium,
+        };
+        let request = pressure.as_reclaim_request();
+        assert_eq!(request.target_pages, 3);
+        assert_eq!(
+            request.reason,
+            ReclaimReason::Proactive {
+                bytes: 3 * PAGE_SIZE
+            }
+        );
+    }
+
+    #[test]
+    fn drain_batch_pages_is_configurable_and_never_zero() {
+        let ctx = SchemeContext::new(1, &[]);
+        assert_eq!(ctx.drain_batch_pages, 32);
+        assert_eq!(ctx.with_drain_batch_pages(0).drain_batch_pages, 1);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::scheme::{
     AccessKind, AccessOutcome, MemoryConfig, ReclaimOutcome, SchemeContext, SchemeStats, SwapScheme,
 };
+use crate::swap_scheme_identity;
 use ariadne_compress::CostNanos;
 use ariadne_mem::{
     AppId, CpuActivity, FlashDevice, LruList, MainMemory, PageId, PageLocation, ReclaimRequest,
@@ -122,17 +123,9 @@ impl FlashSwapScheme {
 }
 
 impl SwapScheme for FlashSwapScheme {
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
-    }
-
-    fn name(&self) -> String {
-        "SWAP".to_string()
-    }
+    // Pressure spikes use the default `on_pressure` (proactive reclaim via
+    // `reclaim`): flash swap has no deferred work, eviction is the whole job.
+    swap_scheme_identity!("SWAP");
 
     fn register_page(&mut self, page: PageId, clock: &mut SimClock, ctx: &SchemeContext) {
         if self.dram.contains(page) {

@@ -11,9 +11,10 @@
 //! vendor default) or writes it back to flash (ZSWAP).
 
 use crate::scheme::{
-    AccessKind, AccessOutcome, MemoryConfig, ReclaimOutcome, SchemeContext, SchemeStats,
-    SwapScheme, WritebackPolicy,
+    AccessKind, AccessOutcome, MemoryConfig, MemoryPressure, PressureLevel, ReclaimOutcome,
+    SchemeContext, SchemeStats, SwapScheme, WritebackPolicy,
 };
+use crate::swap_scheme_identity;
 use ariadne_compress::{Algorithm, ChunkSize, ChunkedCodec, CostNanos};
 use ariadne_mem::{
     AppId, CpuActivity, FlashDevice, Hotness, LruList, MainMemory, PageId, PageLocation,
@@ -112,6 +113,48 @@ impl ZramScheme {
         cost
     }
 
+    /// Evict the oldest zpool entry (smallest sector number) according to the
+    /// writeback policy. Returns how many pages the entry held, or `None` if
+    /// the pool was empty.
+    fn evict_oldest_zpool_entry(
+        &mut self,
+        clock: &mut SimClock,
+        ctx: &SchemeContext,
+    ) -> Option<usize> {
+        let victim = self
+            .zpool
+            .iter()
+            .min_by_key(|(_, e)| e.sector.value())
+            .map(|(h, _)| h);
+        let handle = victim?;
+        let entry = self.zpool.remove(handle).expect("victim handle is live");
+        let pages = entry.pages.len();
+        match self.config.writeback {
+            WritebackPolicy::DropOldest => {
+                self.stats.dropped_pages += pages;
+            }
+            WritebackPolicy::WritebackToFlash => {
+                let io_cpu = ctx.timing.lru_ops(2);
+                clock.charge_cpu(CpuActivity::SwapIo, io_cpu);
+                self.stats.cpu.charge(CpuActivity::SwapIo, io_cpu);
+                if self
+                    .flash
+                    .write(
+                        entry.pages.clone(),
+                        entry.original_bytes,
+                        entry.compressed_bytes,
+                        true,
+                    )
+                    .is_err()
+                {
+                    self.stats.dropped_pages += pages;
+                }
+                self.stats.flash = self.flash.stats();
+            }
+        }
+        Some(pages)
+    }
+
     /// Free zpool space for `incoming_bytes` according to the writeback
     /// policy.
     fn make_zpool_room(
@@ -121,38 +164,17 @@ impl ZramScheme {
         ctx: &SchemeContext,
     ) {
         while self.zpool.would_overflow(incoming_bytes) && !self.zpool.is_empty() {
-            // Oldest entry = smallest sector number.
-            let victim = self
-                .zpool
-                .iter()
-                .min_by_key(|(_, e)| e.sector.value())
-                .map(|(h, _)| h);
-            let Some(handle) = victim else { break };
-            let entry = self.zpool.remove(handle).expect("victim handle is live");
-            match self.config.writeback {
-                WritebackPolicy::DropOldest => {
-                    self.stats.dropped_pages += entry.pages.len();
-                }
-                WritebackPolicy::WritebackToFlash => {
-                    let io_cpu = ctx.timing.lru_ops(2);
-                    clock.charge_cpu(CpuActivity::SwapIo, io_cpu);
-                    self.stats.cpu.charge(CpuActivity::SwapIo, io_cpu);
-                    if self
-                        .flash
-                        .write(
-                            entry.pages.clone(),
-                            entry.original_bytes,
-                            entry.compressed_bytes,
-                            true,
-                        )
-                        .is_err()
-                    {
-                        self.stats.dropped_pages += entry.pages.len();
-                    }
-                    self.stats.flash = self.flash.stats();
-                }
+            if self.evict_oldest_zpool_entry(clock, ctx).is_none() {
+                break;
             }
         }
+    }
+
+    /// The zpool fill level above which the ZSWAP policy wants a background
+    /// flush to flash (7/8 of capacity), so the synchronous `make_zpool_room`
+    /// path stays rare.
+    fn flush_threshold_bytes(&self) -> usize {
+        self.config.zpool_bytes - self.config.zpool_bytes / 8
     }
 
     /// Pick up to `count` LRU victims, protecting the foreground app when
@@ -222,13 +244,7 @@ impl ZramScheme {
 }
 
 impl SwapScheme for ZramScheme {
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
-    }
+    swap_scheme_identity!();
 
     fn name(&self) -> String {
         match self.config.writeback {
@@ -341,6 +357,59 @@ impl SwapScheme for ZramScheme {
         if self.foreground == Some(app) {
             self.foreground = None;
         }
+    }
+
+    fn on_pressure(
+        &mut self,
+        pressure: MemoryPressure,
+        clock: &mut SimClock,
+        ctx: &SchemeContext,
+    ) -> ReclaimOutcome {
+        let outcome = self.reclaim(pressure.as_reclaim_request(), clock, ctx);
+        // The compressed pool is RAM too: a *critical* spike (an imminent
+        // large allocation) additionally flushes pending zswap writeback
+        // immediately instead of waiting for background drain ticks. Medium
+        // pressure leaves the flush to the deferred path.
+        if pressure.level == PressureLevel::Critical {
+            let pending = self.deferred_pages();
+            if pending > 0 {
+                self.drain_deferred(pending, clock, ctx);
+            }
+        }
+        outcome
+    }
+
+    fn deferred_pages(&self) -> usize {
+        // Under the ZSWAP policy, compressed data above the flush threshold
+        // is deferred writeback work the engine can drain off the critical
+        // path. Plain ZRAM (DropOldest) has no deferred work.
+        if self.config.writeback != WritebackPolicy::WritebackToFlash {
+            return 0;
+        }
+        self.zpool
+            .used_bytes()
+            .saturating_sub(self.flush_threshold_bytes())
+            .div_ceil(PAGE_SIZE)
+    }
+
+    fn drain_deferred(
+        &mut self,
+        budget: usize,
+        clock: &mut SimClock,
+        ctx: &SchemeContext,
+    ) -> usize {
+        if self.config.writeback != WritebackPolicy::WritebackToFlash {
+            return 0;
+        }
+        let mut flushed = 0usize;
+        while flushed < budget && self.zpool.used_bytes() > self.flush_threshold_bytes() {
+            match self.evict_oldest_zpool_entry(clock, ctx) {
+                Some(pages) => flushed += pages.max(1),
+                None => break,
+            }
+        }
+        self.stats.zpool = self.zpool.stats();
+        flushed
     }
 
     fn location_of(&self, page: PageId) -> PageLocation {
@@ -521,6 +590,79 @@ mod tests {
         // Victims are the least recently used pages (5..10), not the touched ones.
         assert_eq!(log[0], pages[5]);
         assert!(!log.contains(&pages[0]));
+    }
+
+    #[test]
+    fn zswap_drain_flushes_deferred_writeback_work() {
+        let workloads = vec![WorkloadBuilder::new(1).scale(1024).build(AppName::Twitter)];
+        let ctx = SchemeContext::new(1, &workloads);
+        let mut clock = SimClock::new();
+        let pages: Vec<PageId> = workloads[0].pages.iter().map(|p| p.page).collect();
+        let config = tiny_config(4096, 8).with_writeback(WritebackPolicy::WritebackToFlash);
+        let mut scheme = ZramScheme::new(config);
+        for &page in pages.iter().take(40) {
+            scheme.register_page(page, &mut clock, &ctx);
+        }
+        scheme.reclaim(reclaim_request(8), &mut clock, &ctx);
+        assert!(
+            scheme.deferred_pages() > 0,
+            "a nearly full zswap pool should report deferred flush work"
+        );
+        let writes_before = scheme.stats().flash.writes;
+        let flushed = scheme.drain_deferred(64, &mut clock, &ctx);
+        assert!(flushed > 0);
+        assert!(scheme.stats().flash.writes > writes_before);
+        assert_eq!(scheme.deferred_pages(), 0);
+    }
+
+    #[test]
+    fn critical_pressure_flushes_zswap_immediately_but_medium_defers() {
+        let workloads = vec![WorkloadBuilder::new(1).scale(1024).build(AppName::Twitter)];
+        let ctx = SchemeContext::new(1, &workloads);
+        let pages: Vec<PageId> = workloads[0].pages.iter().map(|p| p.page).collect();
+        let config = tiny_config(4096, 8).with_writeback(WritebackPolicy::WritebackToFlash);
+
+        let filled_scheme = |clock: &mut SimClock| {
+            let mut scheme = ZramScheme::new(config);
+            for &page in pages.iter().take(40) {
+                scheme.register_page(page, clock, &ctx);
+            }
+            scheme.reclaim(reclaim_request(8), clock, &ctx);
+            assert!(scheme.deferred_pages() > 0);
+            scheme
+        };
+        let pressure = |level| MemoryPressure {
+            target_pages: 1,
+            level,
+        };
+
+        let mut clock = SimClock::new();
+        let mut critical = filled_scheme(&mut clock);
+        critical.on_pressure(pressure(PressureLevel::Critical), &mut clock, &ctx);
+        assert_eq!(
+            critical.deferred_pages(),
+            0,
+            "critical pressure must flush the pending writeback now"
+        );
+
+        let mut clock = SimClock::new();
+        let mut medium = filled_scheme(&mut clock);
+        medium.on_pressure(pressure(PressureLevel::Medium), &mut clock, &ctx);
+        assert!(
+            medium.deferred_pages() > 0,
+            "medium pressure leaves the flush to the deferred drain path"
+        );
+    }
+
+    #[test]
+    fn plain_zram_has_no_deferred_work() {
+        let (mut scheme, ctx, mut clock, pages) = setup(4096, 8);
+        for &page in pages.iter().take(40) {
+            scheme.register_page(page, &mut clock, &ctx);
+        }
+        scheme.reclaim(reclaim_request(8), &mut clock, &ctx);
+        assert_eq!(scheme.deferred_pages(), 0);
+        assert_eq!(scheme.drain_deferred(64, &mut clock, &ctx), 0);
     }
 
     #[test]

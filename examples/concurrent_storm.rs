@@ -1,0 +1,63 @@
+//! Concurrent multi-app storm through the discrete-event engine.
+//!
+//! Builds an overlapping three-app timeline with the scenario DSL — a
+//! launch storm, background churn, and relaunches arriving while
+//! memory-pressure spikes are still being absorbed — then runs it for all
+//! five schemes on the parallel grid runner (one OS thread per scheme,
+//! results merged in a fixed order).
+//!
+//! ```text
+//! cargo run --release --example concurrent_storm
+//! ```
+
+use ariadne::sim::experiments::runner::{run_grid, GridCell};
+use ariadne::sim::SimulationConfig;
+use ariadne::trace::{AppName, ScenarioBuilder};
+
+fn main() {
+    // Three apps with overlapping lifetimes: YouTube launches before
+    // Twitter is backgrounded, TikTok relaunches while a 30 % pressure
+    // spike is being absorbed.
+    let scenario = ScenarioBuilder::new("three-app-demo")
+        .launch_storm(&[AppName::Twitter, AppName::Youtube, AppName::TikTok], 200)
+        .after_millis(500)
+        .relaunch_under_pressure(AppName::Twitter, 0, 30)
+        .after_millis(250)
+        .relaunch(AppName::Youtube, 0)
+        .pressure(20)
+        .after_millis(250)
+        .relaunch(AppName::TikTok, 0)
+        .with_background_drains()
+        .build();
+    assert!(scenario.has_overlap());
+
+    let config = SimulationConfig::new(42).with_scale(256);
+    let cells: Vec<GridCell> = ariadne::sim::experiments::concurrent::evaluated_schemes()
+        .into_iter()
+        .map(|spec| GridCell {
+            spec,
+            scenario: scenario.clone(),
+        })
+        .collect();
+
+    println!(
+        "{} events over {} ms across {} apps\n",
+        scenario.events.len(),
+        scenario.duration_millis(),
+        scenario.apps().len()
+    );
+    println!(
+        "{:<24} {:>14} {:>10} {:>10} {:>10}",
+        "scheme", "avg relaunch", "comp ops", "decomp ops", "events"
+    );
+    for outcome in run_grid(config, cells) {
+        println!(
+            "{:<24} {:>12.2}ms {:>10} {:>10} {:>10}",
+            outcome.scheme,
+            outcome.average_relaunch_millis,
+            outcome.compression_ops,
+            outcome.decompression_ops,
+            outcome.events
+        );
+    }
+}

@@ -1,7 +1,7 @@
 //! Offline stand-in for `proptest` (see `shims/README.md`).
 //!
-//! Supports the subset the workspace's property tests use: the [`Strategy`]
-//! trait with `prop_map`/`boxed`, [`arbitrary`] via `any::<T>()`, range and
+//! Supports the subset the workspace's property tests use: the `Strategy`
+//! trait with `prop_map`/`boxed`, `arbitrary` via `any::<T>()`, range and
 //! tuple strategies, `collection::vec`, `prop_oneof!`, and the `proptest!`
 //! test macro with `ProptestConfig::with_cases`. Unlike the real crate it
 //! does **not** shrink failing inputs — a failing case panics with the

@@ -27,6 +27,35 @@
 //! system.run_scenario(&Scenario::relaunch_study(AppName::Twitter));
 //! assert_eq!(system.measurements().len(), 1);
 //! ```
+//!
+//! # Concurrent scenarios
+//!
+//! Overlapping multi-app timelines are composed with the scenario DSL and
+//! replayed through the deterministic discrete-event engine (the same
+//! snippet appears in README.md):
+//!
+//! ```
+//! use ariadne::sim::{MobileSystem, SchemeSpec, SimulationConfig};
+//! use ariadne::trace::{AppName, ScenarioBuilder};
+//!
+//! let scenario = ScenarioBuilder::new("morning-rush")
+//!     // staggered launches whose lifetimes overlap
+//!     .launch_storm(&[AppName::Twitter, AppName::Youtube, AppName::TikTok], 200)
+//!     .after_millis(500)
+//!     // a 30 % pressure spike lands at the same instant as the relaunch
+//!     .relaunch_under_pressure(AppName::Twitter, 0, 30)
+//!     .after_millis(250)
+//!     .relaunch(AppName::Youtube, 0)
+//!     // let ZSWAP flush / Ariadne pre-decompress between events
+//!     .with_background_drains()
+//!     .build();
+//! assert!(scenario.has_overlap());
+//!
+//! let config = SimulationConfig::new(42).with_scale(512);
+//! let mut system = MobileSystem::new(SchemeSpec::Zram, config);
+//! system.run_timed(&scenario);
+//! assert_eq!(system.measurements().len(), 2);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
