@@ -24,8 +24,8 @@ use ariadne_mem::{
     SimClock, Zpool, ZpoolHandle, PAGE_SIZE,
 };
 use ariadne_zram::{
-    swap_scheme_identity, AccessKind, AccessOutcome, ReclaimOutcome, SchemeContext, SchemeStats,
-    SwapScheme, WritebackPolicy,
+    swap_scheme_identity, writeback::charge_fault_io, AccessKind, AccessOutcome, ReclaimOutcome,
+    SchemeContext, SchemeStats, SwapScheme, ZpoolWriteback,
 };
 use std::collections::HashMap;
 
@@ -74,7 +74,7 @@ impl AriadneScheme {
         AriadneScheme {
             dram,
             zpool: Zpool::new(config.memory.zpool_bytes),
-            flash: FlashDevice::new(config.memory.flash_swap_bytes),
+            flash: FlashDevice::with_io(config.memory.flash_swap_bytes, config.memory.io),
             org: HotnessOrg::new(),
             adaptive: AdaptiveComp::new(config.sizes),
             buffer: PreDecompBuffer::new(config.predecomp_buffer_pages),
@@ -117,7 +117,8 @@ impl AriadneScheme {
     }
 
     /// Compress one victim group into the zpool. Returns the compression
-    /// latency.
+    /// latency plus any user-visible cost of the cold-group swap-out the
+    /// overflow triggered.
     fn compress_group(
         &mut self,
         group: &CompressionGroup,
@@ -132,7 +133,7 @@ impl AriadneScheme {
             .latency
             .compression_cost(self.algorithm(), group.chunk_size, bytes.len());
 
-        self.make_zpool_room(compressed_len, clock, ctx);
+        let writeback_latency = self.make_zpool_room(compressed_len, clock, ctx);
         if self
             .zpool
             .store(
@@ -161,53 +162,30 @@ impl AriadneScheme {
         self.stats.cpu.charge(CpuActivity::Compression, cost);
         clock.charge_cpu(CpuActivity::Compression, cost);
         self.stats.zpool = self.zpool.stats();
-        cost
+        cost + writeback_latency
     }
 
     /// Free zpool space for `incoming_bytes`, preferring to move *cold*
-    /// entries out (to flash under the ZSWAP policy, or dropping them).
+    /// entries out (to flash under the ZSWAP policy, or dropping them). The
+    /// victim selection and batched flush live in the shared
+    /// [`ZpoolWriteback`] helper; Ariadne's cold-group swap-out rides the
+    /// same queued submissions as ZSWAP's headroom flush. Returns the
+    /// user-visible latency of the eviction (inline device time under the
+    /// synchronous I/O model, queue stalls under the queued one).
     fn make_zpool_room(
         &mut self,
         incoming_bytes: usize,
         clock: &mut SimClock,
         ctx: &SchemeContext,
-    ) {
-        while self.zpool.would_overflow(incoming_bytes) && !self.zpool.is_empty() {
-            // Victim: the oldest cold entry; if none, the oldest entry of any
-            // hotness.
-            let victim = self
-                .zpool
-                .iter()
-                .filter(|(_, e)| e.hotness == Hotness::Cold)
-                .min_by_key(|(_, e)| e.sector.value())
-                .or_else(|| self.zpool.iter().min_by_key(|(_, e)| e.sector.value()))
-                .map(|(h, _)| h);
-            let Some(handle) = victim else { break };
-            let entry = self.zpool.remove(handle).expect("victim handle is live");
-            match self.config.memory.writeback {
-                WritebackPolicy::DropOldest => {
-                    self.stats.dropped_pages += entry.pages.len();
-                }
-                WritebackPolicy::WritebackToFlash => {
-                    let io_cpu = ctx.timing.lru_ops(2);
-                    clock.charge_cpu(CpuActivity::SwapIo, io_cpu);
-                    self.stats.cpu.charge(CpuActivity::SwapIo, io_cpu);
-                    if self
-                        .flash
-                        .write(
-                            entry.pages.clone(),
-                            entry.original_bytes,
-                            entry.compressed_bytes,
-                            true,
-                        )
-                        .is_err()
-                    {
-                        self.stats.dropped_pages += entry.pages.len();
-                    }
-                    self.stats.flash = self.flash.stats();
-                }
-            }
+    ) -> CostNanos {
+        ZpoolWriteback {
+            zpool: &mut self.zpool,
+            flash: &mut self.flash,
+            policy: self.config.memory.writeback,
+            prefer_cold: true,
+            stats: &mut self.stats,
         }
+        .make_room(incoming_bytes, clock, ctx)
     }
 
     /// Reclaim at least `target_pages` pages. When `synchronous` the caller
@@ -370,7 +348,10 @@ impl AriadneScheme {
         self.stats.compression_time += cost;
         self.stats.cpu.charge(CpuActivity::Compression, cost);
         clock.charge_cpu(CpuActivity::Compression, cost);
-        self.make_zpool_room(meta.compressed_bytes, clock, ctx);
+        // Background work: any writeback the overflow triggers is queued
+        // (or, under the sync model, paid by the background recompression
+        // itself), never user-visible here.
+        let _ = self.make_zpool_room(meta.compressed_bytes, clock, ctx);
         if self
             .zpool
             .store(
@@ -469,6 +450,7 @@ impl SwapScheme for AriadneScheme {
             return AccessOutcome {
                 latency,
                 found_in: PageLocation::Dram,
+                io_stall: CostNanos::zero(),
             };
         }
 
@@ -484,10 +466,12 @@ impl SwapScheme for AriadneScheme {
             return AccessOutcome {
                 latency,
                 found_in: PageLocation::PreDecompBuffer,
+                io_stall: CostNanos::zero(),
             };
         }
 
         let mut latency = ctx.timing.page_fault();
+        let mut io_stall = CostNanos::zero();
         let found_in;
 
         if let Some(handle) = self.zpool.handle_for(page) {
@@ -503,33 +487,37 @@ impl SwapScheme for AriadneScheme {
             self.note_access(page, kind);
         } else if let Some(slot) = self.flash.slot_for(page) {
             found_in = PageLocation::Flash;
-            let (pages, stored, original, compressed) =
-                self.flash.read(slot).expect("slot was just looked up");
-            latency += self.make_room_for(pages.len(), clock, ctx);
-            latency += ctx.timing.flash_read(stored);
-            let io_cpu = ctx.timing.lru_ops(2);
-            clock.charge_cpu(CpuActivity::SwapIo, io_cpu);
-            self.stats.cpu.charge(CpuActivity::SwapIo, io_cpu);
-            if compressed {
+            let fault = self
+                .flash
+                .fault_in(slot, clock.now().as_nanos())
+                .expect("slot was just looked up");
+            let room = self.make_room_for(fault.pages.len(), clock, ctx);
+            latency += room;
+            // The direct reclaim above ran while the in-flight command (or
+            // the sync busy window) kept draining, so only the stall
+            // remainder beyond it is charged (`overlapped`).
+            let (io_latency, stall) = charge_fault_io(&fault, room, &mut self.stats, clock, ctx);
+            latency += io_latency;
+            io_stall = stall;
+            if fault.compressed {
                 // Cold data is compressed with the large chunk size before it
                 // is written back, so this is the slow path Ariadne tries to
                 // make rare.
                 let cost = ctx.latency.decompression_cost(
                     self.algorithm(),
                     self.adaptive.chunk_size_for(Hotness::Cold),
-                    original,
+                    fault.original_bytes,
                 );
                 latency += cost;
                 self.stats.decompression_ops += 1;
-                self.stats.pages_decompressed += pages.len();
+                self.stats.pages_decompressed += fault.pages.len();
                 self.stats.decompression_time += cost;
                 self.stats.cpu.charge(CpuActivity::Decompression, cost);
                 clock.charge_cpu(CpuActivity::Decompression, cost);
             }
-            self.flash.discard(slot).expect("slot exists");
             self.stats.flash = self.flash.stats();
             self.stats.swapin_sector_trace.push(slot.value());
-            for p in &pages {
+            for p in &fault.pages {
                 let _ = self.dram.insert(*p);
                 if *p != page {
                     self.org.insert(*p, Hotness::Cold);
@@ -547,7 +535,11 @@ impl SwapScheme for AriadneScheme {
 
         latency += ctx.timing.dram_access(1);
         clock.advance(latency);
-        AccessOutcome { latency, found_in }
+        AccessOutcome {
+            latency,
+            found_in,
+            io_stall,
+        }
     }
 
     fn reclaim(
@@ -658,6 +650,14 @@ impl SwapScheme for AriadneScheme {
         refilled
     }
 
+    fn next_io_completion(&self) -> Option<u128> {
+        self.flash.next_completion()
+    }
+
+    fn complete_io(&mut self, now_nanos: u128) -> usize {
+        self.flash.retire_completed(now_nanos)
+    }
+
     fn location_of(&self, page: PageId) -> PageLocation {
         if self.dram.contains(page) {
             PageLocation::Dram
@@ -688,7 +688,7 @@ mod tests {
     use ariadne_mem::reclaim::ReclaimReason;
     use ariadne_mem::Watermarks;
     use ariadne_trace::{AppName, WorkloadBuilder};
-    use ariadne_zram::MemoryConfig;
+    use ariadne_zram::{MemoryConfig, WritebackPolicy};
 
     fn tiny_memory(dram_pages: usize, zpool_pages: usize) -> MemoryConfig {
         let dram = dram_pages * PAGE_SIZE;

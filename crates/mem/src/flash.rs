@@ -1,4 +1,5 @@
-//! The flash-memory swap device (UFS 3.1 on the Pixel 7).
+//! The flash-memory swap device (UFS 3.1 on the Pixel 7), modelled as a
+//! *queued* device rather than a bag of instantaneous writes.
 //!
 //! Flash-backed swap matters to the paper in two ways: the SWAP baseline
 //! stores reclaimed pages there directly, and both ZSWAP and Ariadne write
@@ -6,11 +7,44 @@
 //! the flash cells, so [`FlashDevice`] keeps the write statistics the paper
 //! uses to argue that Ariadne (which swaps out compressed data, and mostly
 //! cold data) writes less than a flash-only swap scheme.
+//!
+//! # The I/O model
+//!
+//! Historically the simulator charged every flash write as an inline
+//! synchronous latency on the caller, so writeback could never overlap
+//! foreground execution. [`FlashDevice`] now owns a single-channel command
+//! queue ([`FlashIoConfig`]):
+//!
+//! * a **write submission** ([`FlashDevice::submit_writes`]) allocates the
+//!   swap slots immediately (the data leaves DRAM at submission) but the
+//!   device only *completes* the command later — each command costs a fixed
+//!   per-command overhead plus a per-KiB transfer cost, and commands are
+//!   serviced strictly in submission order;
+//! * up to [`FlashIoConfig::max_batch_pages`] pages ride in one **batch
+//!   command**, paying the fixed overhead once;
+//! * at most [`FlashIoConfig::queue_depth`] commands may be outstanding —
+//!   a submitter that finds the queue full stalls until the oldest command
+//!   retires (the returned [`FlushResult::queue_stall`]);
+//! * a **fault** on a page whose write is still in flight
+//!   ([`FlashDevice::fault_in`]) stalls only until that command's
+//!   completion instead of re-paying the full device read latency — the
+//!   data is still in the in-memory write buffer;
+//! * under [`FlashIoMode::Sync`] the queue is bypassed and every object is
+//!   written inline, with the device time reported back to the caller as
+//!   user-visible latency ([`FlushResult::sync_latency`]) — the comparison
+//!   baseline the `writeback` experiment measures against.
+//!
+//! Completion is *time-driven and lazy*: any method that takes a `now`
+//! timestamp first retires every command whose completion time has passed,
+//! so behaviour depends only on simulated time, never on how often the
+//! event engine polls (this is what keeps serial and parallel replays
+//! byte-identical).
 
 use crate::error::MemError;
 use crate::page::{PageId, PAGE_SIZE};
+use ariadne_compress::CostNanos;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 /// Identifier of a slot in the flash swap area.
@@ -31,10 +65,111 @@ impl fmt::Display for SwapSlot {
     }
 }
 
+/// Identifier of one submitted device command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IoRequestId(u64);
+
+impl IoRequestId {
+    /// The raw request number.
+    #[must_use]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for IoRequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "io:{}", self.0)
+    }
+}
+
+/// Whether flash writes are charged inline or queued on the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlashIoMode {
+    /// Every write is serviced inline; the device time is returned to the
+    /// caller as user-visible latency. Writeback can never overlap
+    /// foreground execution (the legacy model, kept as a baseline).
+    Sync,
+    /// Writes are queued commands that complete asynchronously; the caller
+    /// only ever pays a queue-full stall or an in-flight fault stall.
+    Queued,
+}
+
+/// The device-queue cost model and knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlashIoConfig {
+    /// Inline or queued write servicing.
+    pub mode: FlashIoMode,
+    /// Maximum number of outstanding commands before submitters stall.
+    pub queue_depth: usize,
+    /// Fixed cost of issuing one write command, in nanoseconds.
+    pub write_command_overhead_ns: u64,
+    /// Transfer cost per KiB written, in nanoseconds.
+    pub write_per_kib_ns: u64,
+    /// Maximum pages carried by one batch write command.
+    pub max_batch_pages: usize,
+}
+
+impl FlashIoConfig {
+    /// The queued UFS-3.1-like default: one 4 KiB page write costs the same
+    /// 140 µs as [`MemTimingModel::pixel7`](crate::MemTimingModel::pixel7)
+    /// charges (28 µs command overhead + 28 µs/KiB transfer), with a
+    /// 32-command queue and 8-page batch commands.
+    #[must_use]
+    pub fn ufs31() -> Self {
+        FlashIoConfig {
+            mode: FlashIoMode::Queued,
+            queue_depth: 32,
+            write_command_overhead_ns: 28_000,
+            write_per_kib_ns: 28_000,
+            max_batch_pages: 8,
+        }
+    }
+
+    /// The synchronous baseline: identical costs, but every write is
+    /// charged inline on the caller.
+    #[must_use]
+    pub fn sync() -> Self {
+        FlashIoConfig {
+            mode: FlashIoMode::Sync,
+            ..FlashIoConfig::ufs31()
+        }
+    }
+
+    /// Override the queue depth (clamped to at least 1).
+    #[must_use]
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Override the batch size (clamped to at least 1); 1 disables batching.
+    #[must_use]
+    pub fn with_max_batch_pages(mut self, pages: usize) -> Self {
+        self.max_batch_pages = pages.max(1);
+        self
+    }
+
+    /// Device time to service one write command of `bytes` payload.
+    #[must_use]
+    pub fn write_command_cost(&self, bytes: usize) -> CostNanos {
+        let kib = bytes.div_ceil(1024).max(1) as u128;
+        CostNanos(
+            u128::from(self.write_command_overhead_ns) + kib * u128::from(self.write_per_kib_ns),
+        )
+    }
+}
+
+impl Default for FlashIoConfig {
+    fn default() -> Self {
+        FlashIoConfig::ufs31()
+    }
+}
+
 /// Wear and traffic statistics for the flash swap device.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FlashStats {
-    /// Number of write operations performed.
+    /// Number of objects written (each carries one swap slot).
     pub writes: usize,
     /// Total bytes written (flash lifetime is proportional to this).
     pub bytes_written: usize,
@@ -42,6 +177,58 @@ pub struct FlashStats {
     pub reads: usize,
     /// Total bytes read.
     pub bytes_read: usize,
+    /// Number of device write commands issued (batch commands count once,
+    /// so `commands <= writes` when batching is on).
+    pub commands: usize,
+}
+
+/// One object to be written by [`FlashDevice::submit_writes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteRequest {
+    /// The pages the object covers.
+    pub pages: Vec<PageId>,
+    /// Uncompressed size of the object.
+    pub original_bytes: usize,
+    /// Bytes that actually hit the flash (compressed size for writeback).
+    pub stored_bytes: usize,
+    /// Whether the stored bytes are compressed.
+    pub compressed: bool,
+}
+
+/// The outcome of one [`FlashDevice::submit_writes`] call.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FlushResult {
+    /// Slots allocated for the accepted requests, in request order.
+    pub slots: Vec<SwapSlot>,
+    /// Device commands issued (after batching).
+    pub commands: usize,
+    /// Time the submitter had to wait for a free queue slot
+    /// ([`FlashIoMode::Queued`] only).
+    pub queue_stall: CostNanos,
+    /// Inline device time charged to the caller ([`FlashIoMode::Sync`] only).
+    pub sync_latency: CostNanos,
+    /// Requests rejected for capacity (or validity); the caller decides
+    /// whether their pages stay resident or are dropped.
+    pub dropped: Vec<WriteRequest>,
+}
+
+/// The outcome of faulting a page back in via [`FlashDevice::fault_in`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultIn {
+    /// The pages of the removed object.
+    pub pages: Vec<PageId>,
+    /// Bytes the object occupied on flash.
+    pub stored_bytes: usize,
+    /// Uncompressed size of the object.
+    pub original_bytes: usize,
+    /// Whether the stored bytes were compressed.
+    pub compressed: bool,
+    /// Remaining time until the object's write command completes — zero for
+    /// objects already at rest on flash.
+    pub stall: CostNanos,
+    /// `true` when the object was still in the write queue: the caller pays
+    /// [`FaultIn::stall`] instead of a device read.
+    pub from_in_flight: bool,
 }
 
 /// A stored object in the flash swap area.
@@ -51,6 +238,9 @@ struct FlashEntry {
     stored_bytes: usize,
     original_bytes: usize,
     compressed: bool,
+    /// `Some(t)` while the object's write command is in flight (completes at
+    /// simulated nanosecond `t`); `None` once at rest.
+    completes_at: Option<u128>,
 }
 
 /// The flash swap device.
@@ -74,10 +264,18 @@ pub struct FlashDevice {
     entries: HashMap<SwapSlot, FlashEntry>,
     page_index: HashMap<PageId, SwapSlot>,
     stats: FlashStats,
+    io: FlashIoConfig,
+    next_request: u64,
+    /// Completion time of the last queued command (the single channel
+    /// services commands back to back).
+    busy_until: u128,
+    /// Outstanding commands in completion order: `(completes_at, slots)`.
+    outstanding: VecDeque<(u128, IoRequestId, Vec<SwapSlot>)>,
 }
 
 impl FlashDevice {
-    /// Create a flash swap area of `capacity` bytes.
+    /// Create a flash swap area of `capacity` bytes with the default queued
+    /// I/O model ([`FlashIoConfig::ufs31`]).
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         FlashDevice {
@@ -86,13 +284,30 @@ impl FlashDevice {
         }
     }
 
+    /// Create a flash swap area with an explicit I/O model.
+    #[must_use]
+    pub fn with_io(capacity: usize, io: FlashIoConfig) -> Self {
+        FlashDevice {
+            capacity,
+            io,
+            ..FlashDevice::default()
+        }
+    }
+
+    /// The I/O model in effect.
+    #[must_use]
+    pub fn io(&self) -> FlashIoConfig {
+        self.io
+    }
+
     /// Configured swap-area capacity.
     #[must_use]
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
-    /// Bytes currently stored (page-granular).
+    /// Bytes currently stored (page-granular), including in-flight objects
+    /// (their space is reserved at submission).
     #[must_use]
     pub fn used_bytes(&self) -> usize {
         self.used
@@ -104,7 +319,7 @@ impl FlashDevice {
         self.capacity.saturating_sub(self.used)
     }
 
-    /// Number of objects stored.
+    /// Number of objects stored (including in-flight objects).
     #[must_use]
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -122,7 +337,8 @@ impl FlashDevice {
         self.stats
     }
 
-    /// Whether `page` is currently stored in the swap area.
+    /// Whether `page` is currently stored in the swap area (at rest or with
+    /// its write still in flight).
     #[must_use]
     pub fn contains(&self, page: PageId) -> bool {
         self.page_index.contains_key(&page)
@@ -134,7 +350,49 @@ impl FlashDevice {
         self.page_index.get(&page).copied()
     }
 
-    /// Write an object covering `pages` to the swap area.
+    /// Number of write commands still in flight.
+    #[must_use]
+    pub fn in_flight_commands(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Completion time of the earliest outstanding command, if any (what the
+    /// event engine schedules its `IoComplete` events from).
+    #[must_use]
+    pub fn next_completion(&self) -> Option<u128> {
+        self.outstanding.front().map(|(t, _, _)| *t)
+    }
+
+    /// The completion time of the in-flight command holding `slot`, or
+    /// `None` if the slot is at rest (or free).
+    #[must_use]
+    pub fn pending_completion(&self, slot: SwapSlot) -> Option<u128> {
+        self.entries.get(&slot).and_then(|e| e.completes_at)
+    }
+
+    /// Retire every command whose completion time has passed; its objects
+    /// become at-rest flash data. Returns the number of commands retired.
+    pub fn retire_completed(&mut self, now_nanos: u128) -> usize {
+        let mut retired = 0usize;
+        while let Some((completes_at, _, _)) = self.outstanding.front() {
+            if *completes_at > now_nanos {
+                break;
+            }
+            let (_, _, slots) = self.outstanding.pop_front().expect("front exists");
+            for slot in slots {
+                // A slot may have been cancelled by an in-flight fault.
+                if let Some(entry) = self.entries.get_mut(&slot) {
+                    entry.completes_at = None;
+                }
+            }
+            retired += 1;
+        }
+        retired
+    }
+
+    /// Write an object covering `pages` to the swap area, inline and
+    /// unqueued (the legacy path; [`FlashIoMode::Sync`] submissions and unit
+    /// tests use it).
     ///
     /// `stored_bytes` is what actually hits the flash (compressed size for
     /// ZSWAP-style writeback, `pages.len() * 4096` for the SWAP baseline).
@@ -151,40 +409,156 @@ impl FlashDevice {
         stored_bytes: usize,
         compressed: bool,
     ) -> Result<SwapSlot, MemError> {
-        if pages.is_empty() {
-            return Err(MemError::InvalidParameter {
-                parameter: "pages",
-                detail: "a swap object must cover at least one page".to_string(),
-            });
-        }
-        if let Some(dup) = pages.iter().find(|p| self.page_index.contains_key(p)) {
-            return Err(MemError::InvalidParameter {
-                parameter: "pages",
-                detail: format!("page {dup} is already in the swap area"),
-            });
-        }
-        let footprint = Self::footprint(stored_bytes);
-        if self.used + footprint > self.capacity {
+        self.validate(&pages, stored_bytes)?;
+        if self.used + Self::footprint(stored_bytes) > self.capacity {
             return Err(MemError::SwapSpaceFull);
         }
-        let slot = SwapSlot(self.next_slot);
-        self.next_slot += 1;
-        self.used += footprint;
-        self.stats.writes += 1;
-        self.stats.bytes_written += stored_bytes;
-        for page in &pages {
-            self.page_index.insert(*page, slot);
-        }
-        self.entries.insert(
-            slot,
-            FlashEntry {
+        self.stats.commands += 1;
+        let slot = self.store_entry(
+            WriteRequest {
                 pages,
-                stored_bytes,
                 original_bytes,
+                stored_bytes,
                 compressed,
             },
+            None,
         );
+        self.debug_check_invariants();
         Ok(slot)
+    }
+
+    /// Submit a set of write requests at simulated time `now_nanos`.
+    ///
+    /// Invalid requests (empty page list, a page already swapped out) and
+    /// requests the remaining capacity cannot hold are returned in
+    /// [`FlushResult::dropped`]; everything else is accepted atomically per
+    /// request. Under [`FlashIoMode::Queued`] accepted requests are packed
+    /// into batch commands of at most [`FlashIoConfig::max_batch_pages`]
+    /// pages; under [`FlashIoMode::Sync`] each request is written inline and
+    /// its device time accumulates in [`FlushResult::sync_latency`].
+    pub fn submit_writes(&mut self, requests: Vec<WriteRequest>, now_nanos: u128) -> FlushResult {
+        self.retire_completed(now_nanos);
+        let mut result = FlushResult::default();
+
+        // Accept/reject pass. Track the projected footprint so a batch never
+        // overshoots capacity even when individual requests would fit alone,
+        // and the pages accepted so far so duplicates *within* the
+        // submission are rejected like duplicates against stored data.
+        let mut accepted: Vec<WriteRequest> = Vec::with_capacity(requests.len());
+        let mut accepted_pages: std::collections::HashSet<PageId> =
+            std::collections::HashSet::new();
+        let mut projected = self.used;
+        for request in requests {
+            let mut request_pages = std::collections::HashSet::new();
+            let invalid = request.pages.is_empty()
+                || request.pages.iter().any(|p| {
+                    self.page_index.contains_key(p)
+                        || accepted_pages.contains(p)
+                        || !request_pages.insert(*p)
+                });
+            let footprint = Self::footprint(request.stored_bytes);
+            if invalid || projected + footprint > self.capacity {
+                result.dropped.push(request);
+            } else {
+                projected += footprint;
+                accepted_pages.extend(request_pages);
+                accepted.push(request);
+            }
+        }
+        if accepted.is_empty() {
+            return result;
+        }
+
+        match self.io.mode {
+            FlashIoMode::Sync => {
+                let mut cursor = now_nanos;
+                for request in accepted {
+                    let cost = self.io.write_command_cost(request.stored_bytes);
+                    result.commands += 1;
+                    // The writer occupies the device inline: it first waits
+                    // out any earlier busy window, then performs the write —
+                    // both are part of its synchronous latency. Later reads
+                    // queue behind the window too (see
+                    // [`FlashDevice::fault_in`]); this is the contention the
+                    // queued model eliminates by prioritizing reads.
+                    let start = cursor.max(self.busy_until);
+                    let completes = start + cost.as_nanos();
+                    result.sync_latency += CostNanos(completes - cursor);
+                    self.busy_until = completes;
+                    cursor = completes;
+                    let slot = self.store_entry(request, None);
+                    result.slots.push(slot);
+                }
+            }
+            FlashIoMode::Queued => {
+                let mut cursor = now_nanos;
+                let mut command: Vec<WriteRequest> = Vec::new();
+                let mut command_pages = 0usize;
+                let flush_command =
+                    |device: &mut FlashDevice, cmd: Vec<WriteRequest>, cursor: &mut u128| {
+                        if cmd.is_empty() {
+                            return (CostNanos::zero(), Vec::new());
+                        }
+                        let stall = device.wait_for_queue_slot(cursor);
+                        let bytes: usize = cmd.iter().map(|r| r.stored_bytes).sum();
+                        let start = (*cursor).max(device.busy_until);
+                        let completes_at = start + device.io.write_command_cost(bytes).as_nanos();
+                        device.busy_until = completes_at;
+                        let request_id = IoRequestId(device.next_request);
+                        device.next_request += 1;
+                        let mut slots = Vec::with_capacity(cmd.len());
+                        for request in cmd {
+                            slots.push(device.store_entry(request, Some(completes_at)));
+                        }
+                        device
+                            .outstanding
+                            .push_back((completes_at, request_id, slots.clone()));
+                        (stall, slots)
+                    };
+                for request in accepted {
+                    let pages = request.pages.len().max(1);
+                    if command_pages + pages > self.io.max_batch_pages && !command.is_empty() {
+                        let (stall, slots) =
+                            flush_command(self, std::mem::take(&mut command), &mut cursor);
+                        result.queue_stall += stall;
+                        result.slots.extend(slots);
+                        result.commands += 1;
+                        command_pages = 0;
+                    }
+                    command_pages += pages;
+                    command.push(request);
+                }
+                let (stall, slots) = flush_command(self, command, &mut cursor);
+                if !slots.is_empty() {
+                    result.commands += 1;
+                }
+                result.queue_stall += stall;
+                result.slots.extend(slots);
+            }
+        }
+        self.stats.commands += result.commands;
+        self.debug_check_invariants();
+        result
+    }
+
+    /// Block the submitter until the queue has a free command slot, retiring
+    /// the commands that complete while it waits. Returns the stall and
+    /// advances `cursor` past it.
+    fn wait_for_queue_slot(&mut self, cursor: &mut u128) -> CostNanos {
+        let mut stall = CostNanos::zero();
+        while self.outstanding.len() >= self.io.queue_depth.max(1) {
+            let oldest = self
+                .outstanding
+                .front()
+                .map(|(t, _, _)| *t)
+                .expect("queue is full");
+            if oldest > *cursor {
+                stall += CostNanos(oldest - *cursor);
+                *cursor = oldest;
+            }
+            self.retire_completed(*cursor);
+        }
+        stall
     }
 
     /// Read the object in `slot` (without removing it), returning its pages,
@@ -205,6 +579,63 @@ impl FlashDevice {
         ))
     }
 
+    /// Remove the object in `slot` for a page fault at simulated time
+    /// `now_nanos`.
+    ///
+    /// * If the object's write command is still in flight
+    ///   ([`FlashIoMode::Queued`]), the fault pays only the remaining time
+    ///   until completion ([`FaultIn::stall`]) — the data is served from
+    ///   the in-memory write buffer and no device read happens.
+    /// * Under [`FlashIoMode::Sync`], an at-rest fault must still wait for
+    ///   the device to finish any synchronous writes issued before it
+    ///   ([`FaultIn::stall`] is the remaining busy window) and then pays the
+    ///   device read on top — synchronous writeback cannot overlap
+    ///   foreground reads. The queued model prioritizes reads ahead of
+    ///   pending write commands, so at-rest faults there never contend.
+    ///
+    /// The slot is always freed: a faulted-in object can never leave an
+    /// orphaned slot behind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::StaleHandle`] if the slot is free.
+    pub fn fault_in(&mut self, slot: SwapSlot, now_nanos: u128) -> Result<FaultIn, MemError> {
+        self.retire_completed(now_nanos);
+        let entry = self.entries.remove(&slot).ok_or(MemError::StaleHandle)?;
+        self.used -= Self::footprint(entry.stored_bytes);
+        for page in &entry.pages {
+            self.page_index.remove(page);
+        }
+        let (stall, from_in_flight) = match entry.completes_at {
+            Some(completes_at) => (CostNanos(completes_at.saturating_sub(now_nanos)), true),
+            None => {
+                self.stats.reads += 1;
+                self.stats.bytes_read += entry.stored_bytes;
+                let contention = match self.io.mode {
+                    FlashIoMode::Sync => CostNanos(self.busy_until.saturating_sub(now_nanos)),
+                    FlashIoMode::Queued => CostNanos::zero(),
+                };
+                (contention, false)
+            }
+        };
+        // Leak-proofing: a fault-in must fully release the slot — no page may
+        // keep pointing at it (the property test in `tests/flash_io.rs` pins
+        // the same invariant over arbitrary operation sequences).
+        debug_assert!(
+            entry.pages.iter().all(|p| !self.page_index.contains_key(p)),
+            "fault-in left orphaned page-index entries for {slot}"
+        );
+        self.debug_check_invariants();
+        Ok(FaultIn {
+            pages: entry.pages,
+            stored_bytes: entry.stored_bytes,
+            original_bytes: entry.original_bytes,
+            compressed: entry.compressed,
+            stall,
+            from_in_flight,
+        })
+    }
+
     /// Remove the object in `slot`, freeing the space.
     ///
     /// # Errors
@@ -216,7 +647,121 @@ impl FlashDevice {
         for page in &entry.pages {
             self.page_index.remove(page);
         }
+        self.debug_check_invariants();
         Ok(())
+    }
+
+    /// Verify the slot-accounting invariants: every indexed page points at a
+    /// live slot covering it, every stored page is indexed, the used-bytes
+    /// counter matches the footprints of the live entries, and every
+    /// outstanding command refers only to live in-flight slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant. Used by the
+    /// property tests; debug builds also assert it after every mutation.
+    pub fn leak_check(&self) -> Result<(), String> {
+        let mut indexed_pages = 0usize;
+        let mut used = 0usize;
+        for (slot, entry) in &self.entries {
+            used += Self::footprint(entry.stored_bytes);
+            for page in &entry.pages {
+                match self.page_index.get(page) {
+                    Some(s) if s == slot => indexed_pages += 1,
+                    Some(other) => {
+                        return Err(format!("page {page} of {slot} indexed to {other}"));
+                    }
+                    None => return Err(format!("page {page} of {slot} missing from the index")),
+                }
+            }
+        }
+        if indexed_pages != self.page_index.len() {
+            return Err(format!(
+                "{} orphaned page-index entries",
+                self.page_index.len() - indexed_pages
+            ));
+        }
+        if used != self.used {
+            return Err(format!(
+                "used-bytes leak: counter says {} but live entries occupy {used}",
+                self.used
+            ));
+        }
+        let mut last = 0u128;
+        for (completes_at, request, slots) in &self.outstanding {
+            if *completes_at < last {
+                return Err(format!("command {request} completes out of order"));
+            }
+            last = *completes_at;
+            for slot in slots {
+                if let Some(entry) = self.entries.get(slot) {
+                    if entry.completes_at.is_none() {
+                        return Err(format!(
+                            "{slot} of outstanding {request} is already at rest"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn validate(&self, pages: &[PageId], _stored_bytes: usize) -> Result<(), MemError> {
+        if pages.is_empty() {
+            return Err(MemError::InvalidParameter {
+                parameter: "pages",
+                detail: "a swap object must cover at least one page".to_string(),
+            });
+        }
+        if let Some(dup) = pages.iter().find(|p| self.page_index.contains_key(p)) {
+            return Err(MemError::InvalidParameter {
+                parameter: "pages",
+                detail: format!("page {dup} is already in the swap area"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Allocate a slot and record the entry. The caller has already
+    /// validated the request and reserved capacity. Wear statistics are
+    /// charged at submission: the bytes hit the cells whether or not the
+    /// command has retired yet.
+    fn store_entry(&mut self, request: WriteRequest, completes_at: Option<u128>) -> SwapSlot {
+        let slot = SwapSlot(self.next_slot);
+        self.next_slot += 1;
+        self.used += Self::footprint(request.stored_bytes);
+        self.stats.writes += 1;
+        self.stats.bytes_written += request.stored_bytes;
+        for page in &request.pages {
+            self.page_index.insert(*page, slot);
+        }
+        self.entries.insert(
+            slot,
+            FlashEntry {
+                pages: request.pages,
+                stored_bytes: request.stored_bytes,
+                original_bytes: request.original_bytes,
+                compressed: request.compressed,
+                completes_at,
+            },
+        );
+        slot
+    }
+
+    /// Cheap O(1)-ish debug guard; the full [`FlashDevice::leak_check`] is
+    /// exercised by the property tests (running it after every mutation
+    /// would make large simulations quadratic even in debug builds).
+    fn debug_check_invariants(&self) {
+        debug_assert!(
+            self.used <= self.capacity,
+            "flash used {} exceeds capacity {}",
+            self.used,
+            self.capacity
+        );
+        debug_assert!(
+            self.page_index.len() >= self.entries.len(),
+            "fewer indexed pages than entries: an entry lost its pages"
+        );
     }
 
     fn footprint(stored_bytes: usize) -> usize {
@@ -231,6 +776,15 @@ mod tests {
 
     fn page(app: u32, pfn: u64) -> PageId {
         PageId::new(AppId::new(app), Pfn::new(pfn))
+    }
+
+    fn request(app: u32, pfn: u64) -> WriteRequest {
+        WriteRequest {
+            pages: vec![page(app, pfn)],
+            original_bytes: PAGE_SIZE,
+            stored_bytes: PAGE_SIZE,
+            compressed: false,
+        }
     }
 
     #[test]
@@ -258,6 +812,7 @@ mod tests {
         flash.read(s2).unwrap();
         let stats = flash.stats();
         assert_eq!(stats.writes, 2);
+        assert_eq!(stats.commands, 2);
         assert_eq!(stats.bytes_written, 4096 + 3000);
         assert_eq!(stats.reads, 3);
         assert_eq!(stats.bytes_read, 4096 + 2 * 3000);
@@ -301,5 +856,144 @@ mod tests {
         assert_eq!(flash.slot_for(page(3, 8)), Some(slot));
         flash.discard(slot).unwrap();
         assert_eq!(flash.slot_for(page(3, 8)), None);
+    }
+
+    #[test]
+    fn queued_submissions_complete_in_order_and_batch() {
+        let io = FlashIoConfig::ufs31().with_max_batch_pages(2);
+        let mut flash = FlashDevice::with_io(1 << 20, io);
+        let result = flash.submit_writes((0..3).map(|i| request(1, i)).collect(), 0);
+        assert_eq!(result.slots.len(), 3);
+        // Three single-page requests with a 2-page batch limit: two commands.
+        assert_eq!(result.commands, 2);
+        assert_eq!(flash.stats().commands, 2);
+        assert_eq!(flash.stats().writes, 3);
+        assert_eq!(result.queue_stall, CostNanos::zero());
+        assert_eq!(result.sync_latency, CostNanos::zero());
+        assert_eq!(flash.in_flight_commands(), 2);
+
+        // First command: 2 pages = 8 KiB -> 28 + 8*28 = 252 µs.
+        let first = flash.next_completion().unwrap();
+        assert_eq!(first, 252_000);
+        // Second command queues behind it: + (28 + 4*28) = 140 µs.
+        assert_eq!(flash.pending_completion(result.slots[2]), Some(392_000));
+
+        assert_eq!(flash.retire_completed(first), 1);
+        assert_eq!(flash.in_flight_commands(), 1);
+        assert_eq!(flash.pending_completion(result.slots[0]), None);
+        assert!(flash.contains(page(1, 0)));
+        flash.leak_check().unwrap();
+    }
+
+    #[test]
+    fn faulting_an_in_flight_page_stalls_until_its_completion() {
+        let mut flash = FlashDevice::with_io(1 << 20, FlashIoConfig::ufs31());
+        let result = flash.submit_writes(vec![request(1, 1)], 1_000);
+        let slot = result.slots[0];
+        let completes = flash.pending_completion(slot).unwrap();
+        let fault = flash.fault_in(slot, 41_000).unwrap();
+        assert!(fault.from_in_flight);
+        assert_eq!(fault.stall, CostNanos(completes - 41_000));
+        assert_eq!(flash.stats().reads, 0, "no device read for in-flight data");
+        assert!(flash.is_empty());
+        assert_eq!(flash.used_bytes(), 0);
+        // The command still retires harmlessly after the cancellation.
+        flash.retire_completed(completes);
+        assert_eq!(flash.in_flight_commands(), 0);
+        flash.leak_check().unwrap();
+    }
+
+    #[test]
+    fn faulting_an_at_rest_page_counts_a_read_and_no_stall() {
+        let mut flash = FlashDevice::with_io(1 << 20, FlashIoConfig::ufs31());
+        let result = flash.submit_writes(vec![request(1, 1)], 0);
+        let slot = result.slots[0];
+        let completes = flash.pending_completion(slot).unwrap();
+        let fault = flash.fault_in(slot, completes + 1).unwrap();
+        assert!(!fault.from_in_flight);
+        assert_eq!(fault.stall, CostNanos::zero());
+        assert_eq!(flash.stats().reads, 1);
+        assert!(flash.is_empty());
+    }
+
+    #[test]
+    fn full_queue_stalls_the_submitter_until_the_oldest_retires() {
+        let io = FlashIoConfig::ufs31()
+            .with_queue_depth(2)
+            .with_max_batch_pages(1);
+        let mut flash = FlashDevice::with_io(1 << 20, io);
+        let first = flash.submit_writes(vec![request(1, 1), request(1, 2)], 0);
+        assert_eq!(first.queue_stall, CostNanos::zero());
+        assert_eq!(flash.in_flight_commands(), 2);
+        // The third submission finds the queue full and waits for command 1.
+        let second = flash.submit_writes(vec![request(1, 3)], 0);
+        assert_eq!(second.queue_stall, CostNanos(140_000));
+        assert_eq!(flash.in_flight_commands(), 2);
+        flash.leak_check().unwrap();
+    }
+
+    #[test]
+    fn sync_mode_charges_inline_latency_and_never_queues() {
+        let mut flash = FlashDevice::with_io(1 << 20, FlashIoConfig::sync());
+        let result = flash.submit_writes(vec![request(1, 1), request(1, 2)], 0);
+        assert_eq!(result.commands, 2);
+        assert_eq!(result.sync_latency, CostNanos(2 * 140_000));
+        assert_eq!(flash.in_flight_commands(), 0);
+        assert_eq!(flash.next_completion(), None);
+        let fault = flash.fault_in(result.slots[0], 0).unwrap();
+        assert!(!fault.from_in_flight);
+    }
+
+    #[test]
+    fn oversized_batches_are_rejected_not_partially_written() {
+        let mut flash = FlashDevice::with_io(3 * PAGE_SIZE, FlashIoConfig::ufs31());
+        let result = flash.submit_writes((0..5).map(|i| request(1, i)).collect(), 0);
+        assert_eq!(result.slots.len(), 3);
+        assert_eq!(result.dropped.len(), 2);
+        assert_eq!(flash.used_bytes(), 3 * PAGE_SIZE);
+        flash.leak_check().unwrap();
+    }
+
+    #[test]
+    fn duplicate_pages_in_a_submission_are_dropped() {
+        let mut flash = FlashDevice::with_io(1 << 20, FlashIoConfig::ufs31());
+        flash.write(vec![page(1, 1)], 4096, 4096, false).unwrap();
+        let result = flash.submit_writes(vec![request(1, 1), request(1, 2)], 0);
+        assert_eq!(result.dropped.len(), 1);
+        assert_eq!(result.dropped[0].pages, vec![page(1, 1)]);
+        assert_eq!(result.slots.len(), 1);
+    }
+
+    #[test]
+    fn duplicates_within_one_submission_are_dropped_too() {
+        let mut flash = FlashDevice::with_io(1 << 20, FlashIoConfig::ufs31());
+        // Two requests for the same page, plus one request that repeats a
+        // page internally: only the first clean request survives.
+        let result = flash.submit_writes(
+            vec![
+                request(1, 1),
+                request(1, 1),
+                WriteRequest {
+                    pages: vec![page(1, 2), page(1, 2)],
+                    original_bytes: 2 * PAGE_SIZE,
+                    stored_bytes: 2 * PAGE_SIZE,
+                    compressed: false,
+                },
+            ],
+            0,
+        );
+        assert_eq!(result.slots.len(), 1);
+        assert_eq!(result.dropped.len(), 2);
+        flash.leak_check().unwrap();
+    }
+
+    #[test]
+    fn sync_writers_wait_out_the_busy_window_they_find() {
+        let mut flash = FlashDevice::with_io(1 << 20, FlashIoConfig::sync());
+        // An earlier (background) submission leaves the device busy until
+        // 140 µs; a second writer at 40 µs must wait 100 µs and then write.
+        flash.submit_writes(vec![request(1, 1)], 0);
+        let result = flash.submit_writes(vec![request(1, 2)], 40_000);
+        assert_eq!(result.sync_latency, CostNanos(100_000 + 140_000));
     }
 }

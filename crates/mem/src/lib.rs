@@ -48,7 +48,10 @@ pub mod zpool;
 pub use cpu::{CpuActivity, CpuBreakdown};
 pub use dram::{MainMemory, Watermarks};
 pub use error::MemError;
-pub use flash::{FlashDevice, FlashStats, SwapSlot};
+pub use flash::{
+    FaultIn, FlashDevice, FlashIoConfig, FlashIoMode, FlashStats, FlushResult, IoRequestId,
+    SwapSlot, WriteRequest,
+};
 pub use lru::LruList;
 pub use page::{AppId, Hotness, PageId, PageLocation, Pfn, PAGE_SIZE};
 pub use reclaim::{ReclaimController, ReclaimReason, ReclaimRequest};

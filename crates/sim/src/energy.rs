@@ -118,6 +118,7 @@ mod tests {
             bytes_written: 4096 * 1000,
             reads: 500,
             bytes_read: 4096 * 500,
+            ..FlashStats::default()
         };
         let with_flash = model.energy_joules(60.0, 0.5, &CpuBreakdown::new(), &flash, 64);
         let without =

@@ -34,6 +34,9 @@ pub enum EngineEvent {
     /// A deferred-work drain tick (ZSWAP writeback flush, Ariadne
     /// pre-decompression refill).
     DrainTick,
+    /// An asynchronous flash write command reached its completion time; the
+    /// scheme retires it (its data becomes at-rest flash contents).
+    IoComplete,
 }
 
 impl EngineEvent {
@@ -44,6 +47,11 @@ impl EngineEvent {
             EngineEvent::App(_) => 0,
             EngineEvent::KswapdWake => 1,
             EngineEvent::DrainTick => 2,
+            // I/O completions run last at equal instants: a fault arriving
+            // at exactly the completion time observes a zero remaining
+            // stall either way, and retirement is lazily time-driven, so
+            // the class only fixes the replay order deterministically.
+            EngineEvent::IoComplete => 3,
         }
     }
 }
@@ -139,16 +147,17 @@ mod tests {
     #[test]
     fn pop_order_is_time_then_class_then_seq() {
         let mut queue = EventQueue::new();
-        queue.push(10, EngineEvent::DrainTick); // seq 0
-        queue.push(10, EngineEvent::KswapdWake); // seq 1
-        queue.push(10, EngineEvent::App(ScenarioEvent::Launch(AppName::Edge))); // seq 2
-        queue.push(5, EngineEvent::KswapdWake); // seq 3
+        queue.push(10, EngineEvent::IoComplete); // seq 0
+        queue.push(10, EngineEvent::DrainTick); // seq 1
+        queue.push(10, EngineEvent::KswapdWake); // seq 2
+        queue.push(10, EngineEvent::App(ScenarioEvent::Launch(AppName::Edge))); // seq 3
+        queue.push(5, EngineEvent::KswapdWake); // seq 4
 
         assert_eq!(queue.pop().unwrap().at_nanos, 5);
         let order: Vec<u8> = std::iter::from_fn(|| queue.pop())
             .map(|s| s.class)
             .collect();
-        assert_eq!(order, vec![0, 1, 2]);
+        assert_eq!(order, vec![0, 1, 2, 3]);
     }
 
     #[test]

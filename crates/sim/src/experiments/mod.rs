@@ -12,6 +12,7 @@ pub mod concurrent;
 pub mod evaluation;
 pub mod identification;
 pub mod runner;
+pub mod writeback;
 
 use crate::report::Table;
 use ariadne_trace::AppName;
@@ -116,6 +117,10 @@ pub fn catalog() -> Vec<(&'static str, &'static str)> {
             "multiapp",
             "Multi-app storm: concurrent relaunches under pressure",
         ),
+        (
+            "writeback",
+            "Writeback study: sync vs async vs batched flash I/O",
+        ),
     ]
 }
 
@@ -139,6 +144,7 @@ pub fn run_by_name(name: &str, opts: &ExperimentOptions) -> Option<Table> {
         "fig14" => identification::fig14(opts),
         "fig15" => evaluation::fig15(opts),
         "multiapp" => concurrent::multiapp(opts),
+        "writeback" => writeback::writeback(opts),
         _ => return None,
     };
     Some(table)
@@ -173,12 +179,26 @@ mod tests {
     fn catalog_covers_every_table_and_figure_of_the_evaluation() {
         let names: Vec<&str> = catalog().iter().map(|(n, _)| *n).collect();
         for required in [
-            "table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig10", "fig11",
-            "fig12", "fig13", "fig14", "fig15", "multiapp",
+            "table1",
+            "table2",
+            "table3",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "multiapp",
+            "writeback",
         ] {
             assert!(names.contains(&required), "missing {required}");
         }
-        assert_eq!(names.len(), 15);
+        assert_eq!(names.len(), 16);
     }
 
     #[test]

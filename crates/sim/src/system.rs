@@ -15,7 +15,9 @@
 use crate::engine::{EngineEvent, EventQueue};
 use crate::schemes::SchemeSpec;
 use ariadne_compress::CostNanos;
-use ariadne_mem::{CpuBreakdown, PageLocation, ReclaimController, SimClock, SimInstant, PAGE_SIZE};
+use ariadne_mem::{
+    CpuBreakdown, FlashIoConfig, PageLocation, ReclaimController, SimClock, SimInstant, PAGE_SIZE,
+};
 use ariadne_trace::{
     AppName, AppWorkload, Scenario, ScenarioEvent, TimedScenario, WorkloadBuilder,
 };
@@ -38,6 +40,15 @@ pub struct SimulationConfig {
     pub scale: usize,
     /// Number of relaunch traces generated per application.
     pub relaunches: usize,
+    /// The flash-device I/O model every scheme is built with (queued/async
+    /// by default; the `writeback` experiment overrides it per cell).
+    pub io: FlashIoConfig,
+    /// Extra divisor applied to the zpool capacity on top of `scale`.
+    /// The paper's device reserves a full 3 GB for the compressed pool,
+    /// which rarely overflows; shipping vendors configure far smaller zswap
+    /// pools, and I/O-heavy experiments use this knob to reproduce that
+    /// regime (sustained writeback traffic). 1 leaves the paper's sizing.
+    pub zpool_shrink: usize,
 }
 
 impl SimulationConfig {
@@ -48,6 +59,8 @@ impl SimulationConfig {
             seed,
             scale: 64,
             relaunches: 5,
+            io: FlashIoConfig::ufs31(),
+            zpool_shrink: 1,
         }
     }
 
@@ -58,10 +71,27 @@ impl SimulationConfig {
         self
     }
 
+    /// Override the flash I/O model.
+    #[must_use]
+    pub fn with_io(mut self, io: FlashIoConfig) -> Self {
+        self.io = io;
+        self
+    }
+
+    /// Shrink the zpool by an extra factor (vendor-sized zswap pools; see
+    /// [`SimulationConfig::zpool_shrink`]).
+    #[must_use]
+    pub fn with_zpool_shrink(mut self, shrink: usize) -> Self {
+        self.zpool_shrink = shrink.max(1);
+        self
+    }
+
     /// The memory configuration implied by the scale.
     #[must_use]
     pub fn memory(&self) -> MemoryConfig {
-        MemoryConfig::pixel7_scaled(self.scale)
+        let mut memory = MemoryConfig::pixel7_scaled(self.scale).with_io(self.io);
+        memory.zpool_bytes = (memory.zpool_bytes / self.zpool_shrink.max(1)).max(PAGE_SIZE);
+        memory
     }
 
     /// Build the workloads for every application at this scale.
@@ -87,6 +117,10 @@ pub struct RelaunchMeasurement {
     pub app: AppName,
     /// Total relaunch latency at simulation scale.
     pub latency: CostNanos,
+    /// The part of [`RelaunchMeasurement::latency`] spent stalled on
+    /// in-flight flash I/O (faults waiting for a queued write of the same
+    /// page to complete).
+    pub io_stall: CostNanos,
     /// Number of pages touched on the relaunch critical path.
     pub pages_accessed: usize,
     /// How many of those pages were found in each location.
@@ -122,9 +156,15 @@ pub struct MobileSystem {
     drains_enabled: bool,
     kswapd_pending: bool,
     drain_pending: bool,
+    /// The instant the earliest scheduled `IoComplete` event fires at, if
+    /// one is pending (deduplicates completion wake-ups).
+    io_wake_at: Option<u128>,
     current_at_nanos: u128,
     events_processed: usize,
+    io_completions: usize,
     pressure_spikes: usize,
+    /// Per-application time spent stalled on in-flight flash I/O.
+    io_stalls: HashMap<AppName, CostNanos>,
 }
 
 impl MobileSystem {
@@ -149,9 +189,12 @@ impl MobileSystem {
             drains_enabled: false,
             kswapd_pending: false,
             drain_pending: false,
+            io_wake_at: None,
             current_at_nanos: 0,
             events_processed: 0,
+            io_completions: 0,
             pressure_spikes: 0,
+            io_stalls: HashMap::new(),
         }
     }
 
@@ -235,6 +278,25 @@ impl MobileSystem {
         self.pressure_spikes
     }
 
+    /// Number of `IoComplete` events the engine has dispatched.
+    #[must_use]
+    pub fn io_completions(&self) -> usize {
+        self.io_completions
+    }
+
+    /// Per-application time spent stalled on in-flight flash I/O (faults
+    /// waiting for a queued write of the faulted page to complete).
+    #[must_use]
+    pub fn io_stalls(&self) -> &HashMap<AppName, CostNanos> {
+        &self.io_stalls
+    }
+
+    /// Total I/O stall time across all applications.
+    #[must_use]
+    pub fn total_io_stall(&self) -> CostNanos {
+        self.io_stalls.values().copied().sum()
+    }
+
     /// Number of events still pending in the queue.
     #[must_use]
     pub fn pending_events(&self) -> usize {
@@ -310,7 +372,19 @@ impl MobileSystem {
                     );
                 }
             }
+            EngineEvent::IoComplete => {
+                self.io_wake_at = None;
+                self.io_completions += 1;
+                // Retirement is lazily time-driven inside the schemes, so
+                // this changes no observable numbers — it pins the
+                // completion onto the deterministic event order and keeps
+                // the flash queue drained even when no fault ever touches
+                // the written-back pages again.
+                let _ = self.scheme.complete_io(scheduled.at_nanos);
+            }
         }
+        // Any handler may have submitted or retired flash I/O.
+        self.schedule_io();
         Some(scheduled.event)
     }
 
@@ -347,6 +421,22 @@ impl MobileSystem {
             self.drain_pending = true;
             self.queue
                 .push(self.current_at_nanos, EngineEvent::DrainTick);
+        }
+    }
+
+    /// Schedule an `IoComplete` event at the earliest in-flight flash write
+    /// completion, unless one is already pending at or before that instant.
+    /// An event that arrives to find its command already retired (lazily, by
+    /// a fault or a later submission) is a harmless no-op pop.
+    fn schedule_io(&mut self) {
+        if let Some(completes_at) = self.scheme.next_io_completion() {
+            if self
+                .io_wake_at
+                .map_or(true, |pending| completes_at < pending)
+            {
+                self.io_wake_at = Some(completes_at);
+                self.queue.push(completes_at, EngineEvent::IoComplete);
+            }
         }
     }
 
@@ -413,8 +503,10 @@ impl MobileSystem {
                 .register_page(spec.page, &mut self.clock, &self.ctx);
         }
         for &page in &workload.relaunches[0].hot_accesses {
-            self.scheme
+            let outcome = self
+                .scheme
                 .access(page, AccessKind::Launch, &mut self.clock, &self.ctx);
+            self.note_io_stall(app, outcome.io_stall);
         }
         // Application execution itself costs CPU regardless of swap scheme
         // (modelled as 1 ms of work per launch, scaled with the data volume).
@@ -441,20 +533,25 @@ impl MobileSystem {
 
         self.scheme.on_relaunch_start(workload.app);
         let mut latency = CostNanos::zero();
+        let mut io_stall = CostNanos::zero();
         let mut found_in: HashMap<PageLocation, usize> = HashMap::new();
         for &page in &trace.hot_accesses {
             let outcome =
                 self.scheme
                     .access(page, AccessKind::Relaunch, &mut self.clock, &self.ctx);
             latency += outcome.latency;
+            io_stall += outcome.io_stall;
             *found_in.entry(outcome.found_in).or_insert(0) += 1;
         }
         self.scheme.on_relaunch_end(workload.app);
+        self.note_io_stall(app, io_stall);
 
         // Post-relaunch execution: warm accesses, not on the critical path.
         for &page in &trace.execution_accesses {
-            self.scheme
-                .access(page, AccessKind::Execution, &mut self.clock, &self.ctx);
+            let outcome =
+                self.scheme
+                    .access(page, AccessKind::Execution, &mut self.clock, &self.ctx);
+            self.note_io_stall(app, outcome.io_stall);
         }
         self.baseline_cpu += CostNanos(500_000);
         self.next_relaunch.insert(app, index + 1);
@@ -462,11 +559,20 @@ impl MobileSystem {
         let measurement = RelaunchMeasurement {
             app,
             latency,
+            io_stall,
             pages_accessed: trace.hot_accesses.len(),
             found_in,
         };
         self.measurements.push(measurement.clone());
         measurement
+    }
+
+    /// Attribute `stall` to `app`'s I/O stall ledger (zero stalls are not
+    /// recorded, so the map only lists applications that actually waited).
+    fn note_io_stall(&mut self, app: AppName, stall: CostNanos) {
+        if stall > CostNanos::zero() {
+            *self.io_stalls.entry(app).or_default() += stall;
+        }
     }
 
     fn do_idle(&mut self, millis: u64) {
@@ -594,6 +700,7 @@ mod tests {
         let m = RelaunchMeasurement {
             app: AppName::Twitter,
             latency: CostNanos(2_000_000), // 2 ms at scale
+            io_stall: CostNanos::zero(),
             pages_accessed: 10,
             found_in: HashMap::new(),
         };

@@ -4,13 +4,15 @@
 //! exactly the serial result.
 
 use ariadne_core::SizeConfig;
+use ariadne_mem::FlashIoConfig;
 use ariadne_sim::experiments::{run_by_name, runner, ExperimentOptions};
 use ariadne_sim::{MobileSystem, SchemeSpec, SimulationConfig};
 use ariadne_trace::TimedScenario;
 
 /// A small but representative selection: a baseline figure, a
-/// characterization table and the new multi-app concurrent experiment.
-const NAMES: [&str; 3] = ["fig2", "table1", "multiapp"];
+/// characterization table, the multi-app concurrent experiment and the
+/// writeback study (whose runs carry in-flight asynchronous flash I/O).
+const NAMES: [&str; 4] = ["fig2", "table1", "multiapp", "writeback"];
 
 #[test]
 fn identical_seed_and_scale_produce_byte_identical_tables() {
@@ -42,6 +44,47 @@ fn parallel_runner_output_is_byte_identical_to_serial() {
             "{name}: parallel and serial output diverge"
         );
         assert_eq!(parallel_table.to_string(), serial_table.to_string());
+    }
+}
+
+/// The writeback-heavy scenario keeps flash write commands in flight while
+/// relaunches fault against them; replays must still be byte-identical
+/// across repeated runs, for every I/O model.
+#[test]
+fn in_flight_io_replays_are_deterministic() {
+    let scenario = TimedScenario::writeback_storm();
+    for io in [
+        FlashIoConfig::sync(),
+        FlashIoConfig::ufs31().with_max_batch_pages(1),
+        FlashIoConfig::ufs31(),
+    ] {
+        let config = SimulationConfig::new(0xD5)
+            .with_scale(512)
+            .with_io(io)
+            .with_zpool_shrink(16);
+        for spec in [
+            SchemeSpec::Swap,
+            SchemeSpec::Zswap,
+            SchemeSpec::ariadne_ehl(SizeConfig::k1_k2_k16()),
+        ] {
+            let mut first = MobileSystem::new(spec, config);
+            first.run_timed(&scenario);
+            let mut second = MobileSystem::new(spec, config);
+            second.run_timed(&scenario);
+            assert_eq!(
+                first.measurements(),
+                second.measurements(),
+                "{spec}: measurements diverge"
+            );
+            assert_eq!(first.stats(), second.stats(), "{spec}: stats diverge");
+            assert_eq!(
+                first.io_stalls(),
+                second.io_stalls(),
+                "{spec}: I/O stall ledgers diverge"
+            );
+            assert_eq!(first.io_completions(), second.io_completions());
+            assert_eq!(first.events_processed(), second.events_processed());
+        }
     }
 }
 

@@ -164,6 +164,46 @@ impl TimedScenario {
             .with_background_drains()
             .build()
     }
+
+    /// The canonical *I/O-heavy* workload used by the `writeback` experiment
+    /// and the async-I/O tests: six applications launched in a storm (which
+    /// fills DRAM and keeps the compressed pool overflowing to flash), a
+    /// modest pressure wave that sustains the writeback backlog without
+    /// emptying DRAM, background churn that refills DRAM right before the
+    /// measured relaunches — so relaunch faults run direct reclaim while
+    /// writeback is still in flight — and one relaunch arriving at the same
+    /// instant as a critical spike, so its faults race the flush commands
+    /// the spike just submitted.
+    #[must_use]
+    pub fn writeback_storm() -> Self {
+        let storm = [
+            AppName::Twitter,
+            AppName::Youtube,
+            AppName::TikTok,
+            AppName::Firefox,
+            AppName::Edge,
+            AppName::GoogleMaps,
+        ];
+        let churn = [AppName::Firefox, AppName::Edge, AppName::GoogleMaps];
+        ScenarioBuilder::new("writeback-storm")
+            .launch_storm(&storm, 120)
+            .after_millis(200)
+            .pressure_wave(3, 150, 15)
+            .after_millis(100)
+            .background_churn(&churn, 200, 1)
+            .after_millis(100)
+            .relaunch(AppName::Twitter, 0)
+            .after_millis(120)
+            .relaunch_under_pressure(AppName::Youtube, 0, 55)
+            .after_millis(120)
+            .relaunch(AppName::TikTok, 1)
+            .after_millis(150)
+            .background(AppName::Twitter)
+            .background(AppName::Youtube)
+            .background(AppName::TikTok)
+            .with_background_drains()
+            .build()
+    }
 }
 
 impl Scenario {
@@ -359,6 +399,28 @@ impl ScenarioBuilder {
         self.pressure(dram_percent).relaunch(app, index)
     }
 
+    /// Pressure wave: `count` spikes of `dram_percent` each, spaced
+    /// `interval_millis` apart, starting at the cursor. The cursor ends on
+    /// the last spike. Sustained waves are the knob that keeps a
+    /// writeback-capable scheme's flash queue busy (each spike squeezes
+    /// resident data into the zpool, which overflows to flash), so
+    /// I/O-heavy scenarios compose this with concurrent relaunches.
+    #[must_use]
+    pub fn pressure_wave(mut self, count: usize, interval_millis: u64, dram_percent: u8) -> Self {
+        let start = self.cursor_millis;
+        for i in 0..count {
+            let at = start + i as u64 * interval_millis;
+            self.push(
+                at,
+                ScenarioEvent::Pressure {
+                    dram_percent: dram_percent.min(100),
+                },
+            );
+            self.cursor_millis = at;
+        }
+        self
+    }
+
     /// Allow the engine to schedule deferred background work (writeback
     /// flushes, pre-decompression drains) for this scenario.
     #[must_use]
@@ -506,6 +568,42 @@ mod tests {
             .find(|e| matches!(e.event, ScenarioEvent::Background(AppName::Firefox)))
             .unwrap();
         assert!(edge_relaunch.at_nanos < firefox_bg.at_nanos);
+    }
+
+    #[test]
+    fn pressure_wave_emits_evenly_spaced_spikes() {
+        let scenario = ScenarioBuilder::new("wave")
+            .at_millis(100)
+            .pressure_wave(3, 50, 25)
+            .build();
+        let spikes: Vec<u64> = scenario
+            .events
+            .iter()
+            .filter(|e| matches!(e.event, ScenarioEvent::Pressure { dram_percent: 25 }))
+            .map(TimedEvent::at_millis)
+            .collect();
+        assert_eq!(spikes, vec![100, 150, 200]);
+    }
+
+    #[test]
+    fn writeback_storm_is_io_heavy_and_concurrent() {
+        let storm = TimedScenario::writeback_storm();
+        assert!(storm.has_overlap());
+        assert!(storm.background_drains);
+        assert!(storm.relaunch_count() >= 3);
+        let spikes = storm
+            .events
+            .iter()
+            .filter(|e| matches!(e.event, ScenarioEvent::Pressure { .. }))
+            .count();
+        assert!(spikes >= 4, "a writeback storm needs a pressure wave");
+        // One relaunch lands at the same instant as a critical spike, so its
+        // faults race the flush commands the spike just submitted.
+        assert!(storm.events.windows(2).any(|w| {
+            matches!(w[0].event, ScenarioEvent::Pressure { dram_percent } if dram_percent >= 50)
+                && matches!(w[1].event, ScenarioEvent::Relaunch { .. })
+                && w[0].at_nanos == w[1].at_nanos
+        }));
     }
 
     #[test]

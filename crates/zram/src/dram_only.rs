@@ -63,6 +63,7 @@ impl SwapScheme for DramOnlyScheme {
         AccessOutcome {
             latency,
             found_in: PageLocation::Dram,
+            io_stall: ariadne_compress::CostNanos::zero(),
         }
     }
 

@@ -24,6 +24,7 @@
 pub mod dram_only;
 pub mod scheme;
 pub mod swap;
+pub mod writeback;
 pub mod zram;
 
 pub use dram_only::DramOnlyScheme;
@@ -32,4 +33,5 @@ pub use scheme::{
     SchemeContext, SchemeStats, SwapScheme, WritebackPolicy,
 };
 pub use swap::FlashSwapScheme;
+pub use writeback::ZpoolWriteback;
 pub use zram::ZramScheme;

@@ -8,8 +8,8 @@
 
 use ariadne_compress::{Algorithm, CostNanos, LatencyModel};
 use ariadne_mem::{
-    AppId, CpuBreakdown, FlashStats, MainMemory, MemTimingModel, PageId, PageLocation,
-    ReclaimReason, ReclaimRequest, SimClock, Watermarks, ZpoolStats, PAGE_SIZE,
+    AppId, CpuBreakdown, FlashIoConfig, FlashStats, MainMemory, MemTimingModel, PageId,
+    PageLocation, ReclaimReason, ReclaimRequest, SimClock, Watermarks, ZpoolStats, PAGE_SIZE,
 };
 use ariadne_trace::{AppProfile, AppWorkload, PageDataGenerator};
 use serde::{Deserialize, Serialize};
@@ -64,6 +64,11 @@ pub struct AccessOutcome {
     pub latency: CostNanos,
     /// Where the page was found before the access.
     pub found_in: PageLocation,
+    /// The part of [`AccessOutcome::latency`] spent stalled on in-flight
+    /// flash I/O (waiting for a queued write of the faulted page to
+    /// complete). Always `<= latency`; zero for schemes without a flash
+    /// queue or when the page was at rest.
+    pub io_stall: CostNanos,
 }
 
 /// The result of a reclaim pass.
@@ -101,6 +106,9 @@ pub struct MemoryConfig {
     pub algorithm: Algorithm,
     /// Behaviour when the zpool is full.
     pub writeback: WritebackPolicy,
+    /// The flash-device I/O model (queued/async by default; see
+    /// [`FlashIoConfig`]).
+    pub io: FlashIoConfig,
 }
 
 impl MemoryConfig {
@@ -122,6 +130,7 @@ impl MemoryConfig {
             watermarks: Watermarks::android_default(dram),
             algorithm: Algorithm::Lzo,
             writeback: WritebackPolicy::DropOldest,
+            io: FlashIoConfig::ufs31(),
         }
     }
 
@@ -146,6 +155,13 @@ impl MemoryConfig {
     #[must_use]
     pub fn with_writeback(mut self, writeback: WritebackPolicy) -> Self {
         self.writeback = writeback;
+        self
+    }
+
+    /// Override the flash I/O model.
+    #[must_use]
+    pub fn with_io(mut self, io: FlashIoConfig) -> Self {
+        self.io = io;
         self
     }
 }
@@ -282,6 +298,15 @@ pub struct SchemeStats {
     /// Pages whose data was dropped (zpool overflow without writeback) and
     /// had to be recreated on access.
     pub dropped_pages: usize,
+    /// Fault-side flash stalls: faults waiting for an in-flight write of
+    /// the faulted page to complete (queued I/O), or for the device to
+    /// finish inline writeback before it can serve the read (sync I/O).
+    pub io_stall_time: CostNanos,
+    /// Submitter-side flash stalls: reclaim or the background flusher
+    /// waiting for a free command-queue slot before submitting more
+    /// writeback (a measure of writeback throttling, not of user-visible
+    /// latency unless the submitter was a direct reclaim).
+    pub io_queue_stall_time: CostNanos,
     /// Order in which pages were first compressed (the Figure 4 analysis
     /// sorts compressed data by compression time).
     pub compression_log: Vec<PageId>,
@@ -405,6 +430,25 @@ pub trait SwapScheme {
         _clock: &mut SimClock,
         _ctx: &SchemeContext,
     ) -> usize {
+        0
+    }
+
+    /// Completion time (simulated nanoseconds) of the earliest in-flight
+    /// flash write command, if any. The event engine schedules an
+    /// `IoComplete` event at this instant so completions land on the
+    /// deterministic `(time, class, seq)` queue. Schemes without a flash
+    /// queue keep the default of `None`.
+    fn next_io_completion(&self) -> Option<u128> {
+        None
+    }
+
+    /// Retire every flash write command whose completion time has passed
+    /// `now_nanos`; its data becomes at-rest flash contents. Retirement is
+    /// also performed lazily (by timestamp) on every device operation, so
+    /// calling this is an accounting convenience, never a semantic
+    /// requirement — that equivalence is what keeps event-driven and
+    /// imperative replays byte-identical. Returns the commands retired.
+    fn complete_io(&mut self, _now_nanos: u128) -> usize {
         0
     }
 

@@ -11,11 +11,13 @@ use crate::scheme::{
     AccessKind, AccessOutcome, MemoryConfig, ReclaimOutcome, SchemeContext, SchemeStats, SwapScheme,
 };
 use crate::swap_scheme_identity;
+use crate::writeback::charge_fault_io;
 use ariadne_compress::CostNanos;
 use ariadne_mem::{
     AppId, CpuActivity, FlashDevice, LruList, MainMemory, PageId, PageLocation, ReclaimRequest,
-    SimClock, PAGE_SIZE,
+    SimClock, WriteRequest, PAGE_SIZE,
 };
+use std::collections::HashSet;
 
 /// The uncompressed flash-swap baseline.
 ///
@@ -40,28 +42,19 @@ impl FlashSwapScheme {
     pub fn new(config: MemoryConfig) -> Self {
         FlashSwapScheme {
             dram: MainMemory::new(config.dram_bytes, config.watermarks),
-            flash: FlashDevice::new(config.flash_swap_bytes),
+            flash: FlashDevice::with_io(config.flash_swap_bytes, config.io),
             lru: LruList::new(),
             foreground: None,
             stats: SchemeStats::default(),
         }
     }
 
-    /// Evict `target_pages` LRU victims to flash. Returns (pages evicted,
-    /// user-visible latency of the synchronous part).
-    fn evict_to_flash(
-        &mut self,
-        target_pages: usize,
-        synchronous: bool,
-        clock: &mut SimClock,
-        ctx: &SchemeContext,
-    ) -> (usize, CostNanos) {
-        let mut evicted = 0usize;
-        let mut visible_latency = CostNanos::zero();
-        // Prefer victims that do not belong to the foreground application.
-        let mut victims: Vec<PageId> = Vec::with_capacity(target_pages);
+    /// Pick up to `count` LRU victims, protecting the foreground app when
+    /// other victims exist.
+    fn pick_victims(&mut self, count: usize) -> Vec<PageId> {
+        let mut victims: Vec<PageId> = Vec::with_capacity(count);
         let mut skipped: Vec<PageId> = Vec::new();
-        while victims.len() < target_pages {
+        while victims.len() < count {
             match self.lru.pop_lru() {
                 None => break,
                 Some(page) => {
@@ -76,34 +69,70 @@ impl FlashSwapScheme {
         for page in skipped {
             self.lru.insert_lru(page);
         }
+        victims
+    }
 
-        for page in victims {
-            if self
-                .flash
-                .write(vec![page], PAGE_SIZE, PAGE_SIZE, false)
-                .is_err()
-            {
-                // Swap area full: keep the page resident.
-                self.lru.insert_lru(page);
-                break;
-            }
-            self.dram.remove(page);
-            evicted += 1;
+    /// Evict `target_pages` LRU victims to flash in one (possibly batched)
+    /// submission. Returns (pages evicted, user-visible latency): under the
+    /// queued I/O model a direct reclaim only ever pays a queue-full stall,
+    /// under the synchronous model it waits for the device writes.
+    fn evict_to_flash(
+        &mut self,
+        target_pages: usize,
+        synchronous: bool,
+        clock: &mut SimClock,
+        ctx: &SchemeContext,
+    ) -> (usize, CostNanos) {
+        let victims = self.pick_victims(target_pages);
+        if victims.is_empty() {
+            return (0, CostNanos::zero());
+        }
 
-            let scan = ctx.timing.reclaim_scan(1);
-            let io_cpu = ctx.timing.lru_ops(2);
-            let write_latency = ctx.timing.flash_write(PAGE_SIZE);
-            clock.charge_cpu(CpuActivity::ReclaimScan, scan);
+        let scan = ctx.timing.reclaim_scan(victims.len());
+        clock.charge_cpu(CpuActivity::ReclaimScan, scan);
+        self.stats.cpu.charge(CpuActivity::ReclaimScan, scan);
+
+        let requests: Vec<WriteRequest> = victims
+            .iter()
+            .map(|page| WriteRequest {
+                pages: vec![*page],
+                original_bytes: PAGE_SIZE,
+                stored_bytes: PAGE_SIZE,
+                compressed: false,
+            })
+            .collect();
+        let result = self.flash.submit_writes(requests, clock.now().as_nanos());
+        if result.commands > 0 {
+            let io_cpu = ctx.timing.lru_ops(2 * result.commands);
             clock.charge_cpu(CpuActivity::SwapIo, io_cpu);
-            self.stats.cpu.charge(CpuActivity::ReclaimScan, scan);
             self.stats.cpu.charge(CpuActivity::SwapIo, io_cpu);
-            if synchronous {
-                // Direct reclaim: the faulting thread waits for the write.
-                visible_latency += write_latency;
-                clock.advance(write_latency);
+        }
+
+        // Rejected pages (swap area full) stay resident.
+        let rejected: HashSet<PageId> = result
+            .dropped
+            .iter()
+            .flat_map(|r| r.pages.iter().copied())
+            .collect();
+        let mut evicted = 0usize;
+        for page in victims {
+            if rejected.contains(&page) {
+                self.lru.insert_lru(page);
+            } else {
+                self.dram.remove(page);
+                evicted += 1;
             }
         }
+        self.stats.io_queue_stall_time += result.queue_stall;
         self.stats.flash = self.flash.stats();
+
+        let mut visible_latency = CostNanos::zero();
+        if synchronous {
+            // Direct reclaim: the faulting thread waits for the inline
+            // writes (sync mode) or for a queue slot (queued mode).
+            visible_latency = result.sync_latency + result.queue_stall;
+            clock.advance(visible_latency);
+        }
         (evicted, visible_latency)
     }
 
@@ -153,6 +182,7 @@ impl SwapScheme for FlashSwapScheme {
             return AccessOutcome {
                 latency,
                 found_in: PageLocation::Dram,
+                io_stall: CostNanos::zero(),
             };
         }
 
@@ -162,16 +192,18 @@ impl SwapScheme for FlashSwapScheme {
             PageLocation::Absent
         };
         let mut latency = ctx.timing.page_fault();
+        let mut io_stall = CostNanos::zero();
         latency += self.make_room(clock, ctx);
 
         if let Some(slot) = self.flash.slot_for(page) {
-            let (_, stored, _, _) = self.flash.read(slot).expect("slot was just looked up");
-            let read_latency = ctx.timing.flash_read(stored);
-            latency += read_latency;
-            let io_cpu = ctx.timing.lru_ops(2);
-            clock.charge_cpu(CpuActivity::SwapIo, io_cpu);
-            self.stats.cpu.charge(CpuActivity::SwapIo, io_cpu);
-            self.flash.discard(slot).expect("slot exists");
+            let fault = self
+                .flash
+                .fault_in(slot, clock.now().as_nanos())
+                .expect("slot was just looked up");
+            let (io_latency, stall) =
+                charge_fault_io(&fault, CostNanos::zero(), &mut self.stats, clock, ctx);
+            latency += io_latency;
+            io_stall = stall;
             self.stats.flash = self.flash.stats();
             self.stats.swapin_sector_trace.push(slot.value());
         } else {
@@ -185,7 +217,11 @@ impl SwapScheme for FlashSwapScheme {
         self.lru.touch(page);
         latency += ctx.timing.dram_access(1);
         clock.advance(latency);
-        AccessOutcome { latency, found_in }
+        AccessOutcome {
+            latency,
+            found_in,
+            io_stall,
+        }
     }
 
     fn reclaim(
@@ -209,6 +245,14 @@ impl SwapScheme for FlashSwapScheme {
         if self.foreground == Some(app) {
             self.foreground = None;
         }
+    }
+
+    fn next_io_completion(&self) -> Option<u128> {
+        self.flash.next_completion()
+    }
+
+    fn complete_io(&mut self, now_nanos: u128) -> usize {
+        self.flash.retire_completed(now_nanos)
     }
 
     fn location_of(&self, page: PageId) -> PageLocation {

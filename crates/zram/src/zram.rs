@@ -15,10 +15,11 @@ use crate::scheme::{
     SchemeContext, SchemeStats, SwapScheme, WritebackPolicy,
 };
 use crate::swap_scheme_identity;
+use crate::writeback::{charge_fault_io, ZpoolWriteback};
 use ariadne_compress::{Algorithm, ChunkSize, ChunkedCodec, CostNanos};
 use ariadne_mem::{
-    AppId, CpuActivity, FlashDevice, Hotness, LruList, MainMemory, PageId, PageLocation,
-    ReclaimRequest, SimClock, Zpool, ZpoolHandle, PAGE_SIZE,
+    AppId, CpuActivity, FlashDevice, FlashIoMode, Hotness, LruList, MainMemory, PageId,
+    PageLocation, ReclaimRequest, SimClock, Zpool, ZpoolHandle, PAGE_SIZE,
 };
 
 /// The baseline compressed-swap scheme (single-page compression, LRU victim
@@ -49,7 +50,7 @@ impl ZramScheme {
         ZramScheme {
             dram: MainMemory::new(config.dram_bytes, config.watermarks),
             zpool: Zpool::new(config.zpool_bytes),
-            flash: FlashDevice::new(config.flash_swap_bytes),
+            flash: FlashDevice::with_io(config.flash_swap_bytes, config.io),
             lru: LruList::new(),
             codec: ChunkedCodec::new(config.algorithm, ChunkSize::k4()),
             foreground: None,
@@ -65,8 +66,9 @@ impl ZramScheme {
     }
 
     /// Compress one victim page into the zpool. Returns the compression
-    /// latency (charged to the caller as CPU; also user-visible if the caller
-    /// is a direct reclaim).
+    /// latency plus any user-visible writeback cost the overflow incurred
+    /// (charged to the caller as CPU; also user-visible if the caller is a
+    /// direct reclaim).
     fn compress_page(
         &mut self,
         page: PageId,
@@ -83,7 +85,7 @@ impl ZramScheme {
             ctx.latency
                 .compression_cost(self.config.algorithm, ChunkSize::k4(), bytes.len());
 
-        self.make_zpool_room(compressed_len, clock, ctx);
+        let writeback_latency = self.make_zpool_room(compressed_len, clock, ctx);
         if self
             .zpool
             .store(
@@ -110,64 +112,27 @@ impl ZramScheme {
         self.stats.cpu.charge(CpuActivity::Compression, cost);
         clock.charge_cpu(CpuActivity::Compression, cost);
         self.stats.zpool = self.zpool.stats();
-        cost
-    }
-
-    /// Evict the oldest zpool entry (smallest sector number) according to the
-    /// writeback policy. Returns how many pages the entry held, or `None` if
-    /// the pool was empty.
-    fn evict_oldest_zpool_entry(
-        &mut self,
-        clock: &mut SimClock,
-        ctx: &SchemeContext,
-    ) -> Option<usize> {
-        let victim = self
-            .zpool
-            .iter()
-            .min_by_key(|(_, e)| e.sector.value())
-            .map(|(h, _)| h);
-        let handle = victim?;
-        let entry = self.zpool.remove(handle).expect("victim handle is live");
-        let pages = entry.pages.len();
-        match self.config.writeback {
-            WritebackPolicy::DropOldest => {
-                self.stats.dropped_pages += pages;
-            }
-            WritebackPolicy::WritebackToFlash => {
-                let io_cpu = ctx.timing.lru_ops(2);
-                clock.charge_cpu(CpuActivity::SwapIo, io_cpu);
-                self.stats.cpu.charge(CpuActivity::SwapIo, io_cpu);
-                if self
-                    .flash
-                    .write(
-                        entry.pages.clone(),
-                        entry.original_bytes,
-                        entry.compressed_bytes,
-                        true,
-                    )
-                    .is_err()
-                {
-                    self.stats.dropped_pages += pages;
-                }
-                self.stats.flash = self.flash.stats();
-            }
-        }
-        Some(pages)
+        cost + writeback_latency
     }
 
     /// Free zpool space for `incoming_bytes` according to the writeback
-    /// policy.
+    /// policy (oldest entries first; the shared [`ZpoolWriteback`] helper).
+    /// Returns the user-visible latency of the eviction: inline device time
+    /// under the synchronous I/O model, queue stalls under the queued one.
     fn make_zpool_room(
         &mut self,
         incoming_bytes: usize,
         clock: &mut SimClock,
         ctx: &SchemeContext,
-    ) {
-        while self.zpool.would_overflow(incoming_bytes) && !self.zpool.is_empty() {
-            if self.evict_oldest_zpool_entry(clock, ctx).is_none() {
-                break;
-            }
+    ) -> CostNanos {
+        ZpoolWriteback {
+            zpool: &mut self.zpool,
+            flash: &mut self.flash,
+            policy: self.config.writeback,
+            prefer_cold: false,
+            stats: &mut self.stats,
         }
+        .make_room(incoming_bytes, clock, ctx)
     }
 
     /// The zpool fill level above which the ZSWAP policy wants a background
@@ -279,10 +244,12 @@ impl SwapScheme for ZramScheme {
             return AccessOutcome {
                 latency,
                 found_in: PageLocation::Dram,
+                io_stall: CostNanos::zero(),
             };
         }
 
         let mut latency = ctx.timing.page_fault();
+        let mut io_stall = CostNanos::zero();
         latency += self.make_room(clock, ctx);
         let found_in;
 
@@ -292,27 +259,27 @@ impl SwapScheme for ZramScheme {
             latency += cost;
         } else if let Some(slot) = self.flash.slot_for(page) {
             found_in = PageLocation::Flash;
-            let (pages, stored, original, compressed) =
-                self.flash.read(slot).expect("slot was just looked up");
-            let read_latency = ctx.timing.flash_read(stored);
-            latency += read_latency;
-            let io_cpu = ctx.timing.lru_ops(2);
-            clock.charge_cpu(CpuActivity::SwapIo, io_cpu);
-            self.stats.cpu.charge(CpuActivity::SwapIo, io_cpu);
-            if compressed {
+            let fault = self
+                .flash
+                .fault_in(slot, clock.now().as_nanos())
+                .expect("slot was just looked up");
+            let (io_latency, stall) =
+                charge_fault_io(&fault, CostNanos::zero(), &mut self.stats, clock, ctx);
+            latency += io_latency;
+            io_stall = stall;
+            if fault.compressed {
                 let cost = ctx.latency.decompression_cost(
                     self.config.algorithm,
                     ChunkSize::k4(),
-                    original,
+                    fault.original_bytes,
                 );
                 latency += cost;
                 self.stats.decompression_ops += 1;
-                self.stats.pages_decompressed += pages.len();
+                self.stats.pages_decompressed += fault.pages.len();
                 self.stats.decompression_time += cost;
                 self.stats.cpu.charge(CpuActivity::Decompression, cost);
                 clock.charge_cpu(CpuActivity::Decompression, cost);
             }
-            self.flash.discard(slot).expect("slot exists");
             self.stats.swapin_sector_trace.push(slot.value());
             self.stats.flash = self.flash.stats();
         } else {
@@ -325,7 +292,11 @@ impl SwapScheme for ZramScheme {
         self.lru.touch(page);
         latency += ctx.timing.dram_access(1);
         clock.advance(latency);
-        AccessOutcome { latency, found_in }
+        AccessOutcome {
+            latency,
+            found_in,
+            io_stall,
+        }
     }
 
     fn reclaim(
@@ -382,8 +353,12 @@ impl SwapScheme for ZramScheme {
     fn deferred_pages(&self) -> usize {
         // Under the ZSWAP policy, compressed data above the flush threshold
         // is deferred writeback work the engine can drain off the critical
-        // path. Plain ZRAM (DropOldest) has no deferred work.
-        if self.config.writeback != WritebackPolicy::WritebackToFlash {
+        // path. Plain ZRAM (DropOldest) has no deferred work, and under the
+        // synchronous I/O model writeback cannot overlap foreground work at
+        // all — the flush happens inline on the reclaim path instead.
+        if self.config.writeback != WritebackPolicy::WritebackToFlash
+            || self.config.io.mode == FlashIoMode::Sync
+        {
             return 0;
         }
         self.zpool
@@ -398,18 +373,30 @@ impl SwapScheme for ZramScheme {
         clock: &mut SimClock,
         ctx: &SchemeContext,
     ) -> usize {
-        if self.config.writeback != WritebackPolicy::WritebackToFlash {
+        if self.config.writeback != WritebackPolicy::WritebackToFlash
+            || self.config.io.mode == FlashIoMode::Sync
+        {
             return 0;
         }
-        let mut flushed = 0usize;
-        while flushed < budget && self.zpool.used_bytes() > self.flush_threshold_bytes() {
-            match self.evict_oldest_zpool_entry(clock, ctx) {
-                Some(pages) => flushed += pages.max(1),
-                None => break,
-            }
+        let threshold = self.flush_threshold_bytes();
+        let flushed = ZpoolWriteback {
+            zpool: &mut self.zpool,
+            flash: &mut self.flash,
+            policy: self.config.writeback,
+            prefer_cold: false,
+            stats: &mut self.stats,
         }
+        .flush_above(threshold, budget, clock, ctx);
         self.stats.zpool = self.zpool.stats();
         flushed
+    }
+
+    fn next_io_completion(&self) -> Option<u128> {
+        self.flash.next_completion()
+    }
+
+    fn complete_io(&mut self, now_nanos: u128) -> usize {
+        self.flash.retire_completed(now_nanos)
     }
 
     fn location_of(&self, page: PageId) -> PageLocation {
