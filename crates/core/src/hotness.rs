@@ -162,6 +162,20 @@ impl HotnessOrg {
         demoted
     }
 
+    /// The application's process was killed: drop all three of its page
+    /// lists and take it off the application-level LRU list. Returns how
+    /// many pages were being tracked.
+    pub fn release_app(&mut self, app: AppId) -> usize {
+        let removed = self
+            .apps
+            .remove(&app)
+            .map_or(0, |l| l.hot.len() + l.warm.len() + l.cold.len());
+        self.app_lru.remove(&app);
+        // One bulk list drop per level plus the app-list removal.
+        self.list_ops += 4;
+        removed
+    }
+
     /// The application was used (brought to the foreground).
     pub fn touch_app(&mut self, app: AppId) {
         self.app_lru.touch(app);

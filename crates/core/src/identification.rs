@@ -115,6 +115,13 @@ impl IdentificationTracker {
         &self.completed
     }
 
+    /// Drop the open prediction window of `app` without recording a sample
+    /// (the process was killed mid-window; an interrupted relaunch is not a
+    /// fair identification sample).
+    pub fn discard(&mut self, app: AppId) {
+        self.windows.remove(&app);
+    }
+
     /// Score every window whose relaunch already finished and move it to the
     /// completed list, without waiting for the next relaunch. Used at the end
     /// of an experiment so the final prediction window is not lost.

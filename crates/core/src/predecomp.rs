@@ -109,6 +109,21 @@ impl PreDecompBuffer {
         self.pages.drain(..).collect()
     }
 
+    /// Drop every buffered page belonging to `app` (its process was killed).
+    /// The dropped pages count as wasted pre-decompressions — the CPU spent
+    /// decompressing them is never recouped.
+    pub fn release_app(&mut self, app: ariadne_mem::AppId) -> Vec<PageId> {
+        let doomed: Vec<PageId> = self
+            .pages
+            .iter()
+            .filter(|p| p.app() == app)
+            .copied()
+            .collect();
+        self.pages.retain(|p| p.app() != app);
+        self.wasted += doomed.len();
+        doomed
+    }
+
     /// Number of buffer hits so far.
     #[must_use]
     pub fn hits(&self) -> usize {

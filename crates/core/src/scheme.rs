@@ -25,7 +25,7 @@ use ariadne_mem::{
 };
 use ariadne_zram::{
     swap_scheme_identity, writeback::charge_fault_io, AccessKind, AccessOutcome, ReclaimOutcome,
-    SchemeContext, SchemeStats, SwapScheme, ZpoolWriteback,
+    ReleasedFootprint, SchemeContext, SchemeStats, SwapScheme, ZpoolWriteback,
 };
 use std::collections::HashMap;
 
@@ -650,6 +650,51 @@ impl SwapScheme for AriadneScheme {
         refilled
     }
 
+    fn release_app(
+        &mut self,
+        app: AppId,
+        clock: &mut SimClock,
+        ctx: &SchemeContext,
+    ) -> ReleasedFootprint {
+        let evicted = self.dram.evict_app(app);
+        // Purge the scheme-private caches first: the hotness lists stop
+        // naming the app, buffered pre-decompressed pages are dropped (and
+        // counted as wasted work), and the app's open identification window
+        // is discarded — an interrupted relaunch is not a fair sample.
+        let tracked = self.org.release_app(app);
+        let buffered = self.buffer.release_app(app);
+        for page in &buffered {
+            self.buffer_meta.remove(page);
+        }
+        self.stats.predecomp_wasted = self.buffer.wasted();
+        self.tracker.discard(app);
+
+        let (zpool_entries, zpool_pages) = self.zpool.release_app(app);
+        let (flash_slots, flash_pages) = self.flash.release_app(app, clock.now().as_nanos());
+        self.stats.zpool = self.zpool.stats();
+        self.stats.flash = self.flash.stats();
+        let cost = ctx
+            .timing
+            .lru_ops(tracked.max(evicted.len()) + zpool_pages + flash_pages);
+        clock.charge_cpu(CpuActivity::ListMaintenance, cost);
+        self.stats.cpu.charge(CpuActivity::ListMaintenance, cost);
+        if self.foreground == Some(app) {
+            self.foreground = None;
+        }
+        ReleasedFootprint {
+            dram_pages: evicted.len(),
+            zpool_entries,
+            zpool_pages,
+            flash_slots,
+            flash_pages,
+            buffered_pages: buffered.len(),
+        }
+    }
+
+    fn leak_check(&self) -> Result<(), String> {
+        self.flash.leak_check()
+    }
+
     fn next_io_completion(&self) -> Option<u128> {
         self.flash.next_completion()
     }
@@ -950,6 +995,66 @@ mod tests {
         scheme.reclaim(request(20), &mut clock, &ctx);
         assert_eq!(scheme.deferred_pages(), 0);
         assert_eq!(scheme.drain_deferred(8, &mut clock, &ctx), 0);
+    }
+
+    #[test]
+    fn release_app_purges_every_tier_including_hotness_and_buffer() {
+        let sizes = SizeConfig::new(ChunkSize::k1(), ChunkSize::k2(), ChunkSize::k16());
+        let memory = tiny_memory(4096, 8).with_writeback(WritebackPolicy::WritebackToFlash);
+        let config =
+            AriadneConfig::new(sizes, HotListMode::AllLists, memory).with_predecomp_buffer(4);
+        let (mut scheme, ctx, mut clock, pages) = setup(config);
+        let app = pages[0].app();
+        for &page in pages.iter().take(40) {
+            scheme.register_page(page, &mut clock, &ctx);
+        }
+        for &page in pages.iter().take(10) {
+            scheme.access(page, AccessKind::Launch, &mut clock, &ctx);
+        }
+        // Compress (hot included), overflowing the tiny pool to flash, then
+        // refill the pre-decompression buffer, and fault a few pages back so
+        // every tier — DRAM, hotness lists, buffer, zpool, flash — holds
+        // data of the app at kill time.
+        scheme.reclaim(request(40), &mut clock, &ctx);
+        scheme.drain_deferred(4, &mut clock, &ctx);
+        for &page in pages.iter().skip(20).take(4) {
+            scheme.access(page, AccessKind::Execution, &mut clock, &ctx);
+        }
+        assert!(scheme.stats().flash.writes > 0);
+        assert!(!scheme.predecomp_buffer().is_empty());
+        assert!(scheme.hotness_org().total_pages() > 0);
+
+        let footprint = scheme.release_app(app, &mut clock, &ctx);
+        assert!(footprint.total_pages() > 0);
+        assert!(footprint.buffered_pages > 0);
+        for &page in pages.iter().take(40) {
+            assert_eq!(scheme.location_of(page), PageLocation::Absent);
+        }
+        assert_eq!(scheme.hotness_org().total_pages(), 0);
+        assert!(scheme.predecomp_buffer().is_empty());
+        scheme.leak_check().unwrap();
+        assert!(scheme.release_app(app, &mut clock, &ctx).is_empty());
+    }
+
+    #[test]
+    fn release_app_with_in_flight_cold_swap_out_stays_leak_free() {
+        let memory = tiny_memory(4096, 4).with_writeback(WritebackPolicy::WritebackToFlash);
+        let config = AriadneConfig::ehl_1k_2k_16k(memory);
+        let (mut scheme, ctx, mut clock, pages) = setup(config);
+        for &page in pages.iter().take(64) {
+            scheme.register_page(page, &mut clock, &ctx);
+        }
+        scheme.reclaim(request(48), &mut clock, &ctx);
+        assert!(
+            scheme.next_io_completion().is_some(),
+            "cold-group swap-out should still be in flight"
+        );
+        scheme.release_app(pages[0].app(), &mut clock, &ctx);
+        scheme.leak_check().unwrap();
+        while let Some(at) = scheme.next_io_completion() {
+            scheme.complete_io(at);
+        }
+        scheme.leak_check().unwrap();
     }
 
     #[test]

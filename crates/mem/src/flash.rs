@@ -636,6 +636,42 @@ impl FlashDevice {
         })
     }
 
+    /// Release every object belonging to `app` (its process was killed):
+    /// the slots are freed without any device read — the data is simply
+    /// invalidated, like discarding a dead process's swap entries.
+    ///
+    /// Objects whose write command is still in flight are released too; the
+    /// command itself stays queued and retires harmlessly later
+    /// ([`FlashDevice::retire_completed`] skips slots that no longer exist),
+    /// so [`FlashDevice::leak_check`] holds throughout. Returns
+    /// `(slots freed, pages released)`.
+    pub fn release_app(&mut self, app: crate::page::AppId, now_nanos: u128) -> (usize, usize) {
+        self.retire_completed(now_nanos);
+        let doomed: Vec<SwapSlot> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.pages.iter().any(|p| p.app() == app))
+            .map(|(slot, _)| *slot)
+            .collect();
+        let mut pages = 0usize;
+        for slot in &doomed {
+            let entry = self.entries.remove(slot).expect("doomed slot is live");
+            // Swap objects are always single-application (compression groups
+            // never mix apps); a mixed entry would leak the other app's pages.
+            debug_assert!(
+                entry.pages.iter().all(|p| p.app() == app),
+                "flash entry {slot} mixes applications"
+            );
+            self.used -= Self::footprint(entry.stored_bytes);
+            for page in &entry.pages {
+                self.page_index.remove(page);
+            }
+            pages += entry.pages.len();
+        }
+        self.debug_check_invariants();
+        (doomed.len(), pages)
+    }
+
     /// Remove the object in `slot`, freeing the space.
     ///
     /// # Errors
@@ -984,6 +1020,44 @@ mod tests {
         );
         assert_eq!(result.slots.len(), 1);
         assert_eq!(result.dropped.len(), 2);
+        flash.leak_check().unwrap();
+    }
+
+    #[test]
+    fn release_app_frees_slots_including_in_flight_ones() {
+        let mut flash = FlashDevice::with_io(1 << 20, FlashIoConfig::ufs31());
+        // App 1: one at-rest object, one in-flight object. App 2: one object.
+        let first = flash.submit_writes(vec![request(1, 1)], 0);
+        let settled = flash.pending_completion(first.slots[0]).unwrap();
+        flash.retire_completed(settled);
+        flash.submit_writes(vec![request(1, 2), request(2, 1)], settled);
+        assert_eq!(flash.in_flight_commands(), 1);
+
+        let (slots, pages) = flash.release_app(AppId::new(1), settled);
+        assert_eq!((slots, pages), (2, 2));
+        assert!(!flash.contains(page(1, 1)) && !flash.contains(page(1, 2)));
+        assert!(flash.contains(page(2, 1)), "other apps keep their data");
+        flash.leak_check().unwrap();
+
+        // The in-flight command retires harmlessly after the release.
+        let completes = flash.next_completion().unwrap();
+        flash.retire_completed(completes);
+        assert_eq!(flash.in_flight_commands(), 0);
+        flash.leak_check().unwrap();
+
+        // Releasing again finds nothing.
+        assert_eq!(flash.release_app(AppId::new(1), completes), (0, 0));
+    }
+
+    #[test]
+    fn release_app_frees_capacity_for_new_writes() {
+        let mut flash = FlashDevice::new(2 * PAGE_SIZE);
+        flash.write(vec![page(1, 1)], 4096, 4096, false).unwrap();
+        flash.write(vec![page(1, 2)], 4096, 4096, false).unwrap();
+        assert_eq!(flash.free_bytes(), 0);
+        flash.release_app(AppId::new(1), 0);
+        assert_eq!(flash.free_bytes(), 2 * PAGE_SIZE);
+        flash.write(vec![page(2, 1)], 4096, 4096, false).unwrap();
         flash.leak_check().unwrap();
     }
 

@@ -277,6 +277,34 @@ impl Zpool {
         Ok(entry)
     }
 
+    /// Remove every entry belonging to `app` (its process was killed) and
+    /// free the blocks. Returns `(entries removed, pages released)`.
+    pub fn release_app(&mut self, app: crate::page::AppId) -> (usize, usize) {
+        let doomed: Vec<ZpoolHandle> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.pages.iter().any(|p| p.app() == app))
+            .map(|(handle, _)| *handle)
+            .collect();
+        let mut pages = 0usize;
+        for handle in &doomed {
+            let entry = self.entries.remove(handle).expect("doomed handle is live");
+            // Compression groups never mix applications, so a whole entry
+            // always belongs to the killed app.
+            debug_assert!(
+                entry.pages.iter().all(|p| p.app() == app),
+                "zpool entry {handle} mixes applications"
+            );
+            self.used -= entry.blocks() * ZPOOL_BLOCK_SIZE;
+            for page in &entry.pages {
+                self.page_index.remove(page);
+            }
+            pages += entry.pages.len();
+            self.removals += 1;
+        }
+        (doomed.len(), pages)
+    }
+
     /// The entry whose sector immediately follows `sector`, if any.
     ///
     /// PreDecomp uses this to find the "next" compressed data after the one
@@ -435,6 +463,31 @@ mod tests {
         assert_eq!(next, h2);
         let s3 = pool.entry(h3).unwrap().sector;
         assert!(pool.next_by_sector(s3).is_none());
+    }
+
+    #[test]
+    fn release_app_frees_every_entry_of_the_app() {
+        let mut pool = Zpool::new(1 << 20);
+        store_one(&mut pool, 1, 1, 4096);
+        pool.store(
+            vec![page(1, 2), page(1, 3)],
+            8192,
+            3000,
+            ChunkSize::k16(),
+            Hotness::Cold,
+        )
+        .unwrap();
+        store_one(&mut pool, 2, 1, 4096);
+        let used_before = pool.used_bytes();
+
+        let (entries, pages) = pool.release_app(AppId::new(1));
+        assert_eq!((entries, pages), (2, 3));
+        assert!(!pool.contains(page(1, 1)) && !pool.contains(page(1, 3)));
+        assert!(pool.contains(page(2, 1)), "other apps keep their entries");
+        assert_eq!(pool.used_bytes(), used_before - 2 * ZPOOL_BLOCK_SIZE);
+        assert_eq!(pool.stats().removals, 2);
+        // Releasing again finds nothing.
+        assert_eq!(pool.release_app(AppId::new(1)), (0, 0));
     }
 
     #[test]

@@ -37,6 +37,10 @@ pub enum EngineEvent {
     /// An asynchronous flash write command reached its completion time; the
     /// scheme retires it (its data becomes at-rest flash contents).
     IoComplete,
+    /// The low-memory killer wakes up: it samples the PSI-style
+    /// memory-stall signal and, above its threshold, kills the cached
+    /// background app with the highest `oom_score_adj`.
+    LmkdWake,
 }
 
 impl EngineEvent {
@@ -52,6 +56,11 @@ impl EngineEvent {
             // stall either way, and retirement is lazily time-driven, so
             // the class only fixes the replay order deterministically.
             EngineEvent::IoComplete => 3,
+            // lmkd runs after everything else at an instant: it judges the
+            // pressure that remains once reclaim and deferred work had
+            // their chance, like the real daemon reacting to PSI events
+            // after kswapd already ran.
+            EngineEvent::LmkdWake => 4,
         }
     }
 }
@@ -147,17 +156,18 @@ mod tests {
     #[test]
     fn pop_order_is_time_then_class_then_seq() {
         let mut queue = EventQueue::new();
-        queue.push(10, EngineEvent::IoComplete); // seq 0
-        queue.push(10, EngineEvent::DrainTick); // seq 1
-        queue.push(10, EngineEvent::KswapdWake); // seq 2
-        queue.push(10, EngineEvent::App(ScenarioEvent::Launch(AppName::Edge))); // seq 3
-        queue.push(5, EngineEvent::KswapdWake); // seq 4
+        queue.push(10, EngineEvent::LmkdWake); // seq 0
+        queue.push(10, EngineEvent::IoComplete); // seq 1
+        queue.push(10, EngineEvent::DrainTick); // seq 2
+        queue.push(10, EngineEvent::KswapdWake); // seq 3
+        queue.push(10, EngineEvent::App(ScenarioEvent::Launch(AppName::Edge))); // seq 4
+        queue.push(5, EngineEvent::KswapdWake); // seq 5
 
         assert_eq!(queue.pop().unwrap().at_nanos, 5);
         let order: Vec<u8> = std::iter::from_fn(|| queue.pop())
             .map(|s| s.class)
             .collect();
-        assert_eq!(order, vec![0, 1, 2, 3]);
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

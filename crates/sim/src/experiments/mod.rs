@@ -11,6 +11,7 @@ pub mod characterization;
 pub mod concurrent;
 pub mod evaluation;
 pub mod identification;
+pub mod lifecycle;
 pub mod runner;
 pub mod writeback;
 
@@ -121,6 +122,10 @@ pub fn catalog() -> Vec<(&'static str, &'static str)> {
             "writeback",
             "Writeback study: sync vs async vs batched flash I/O",
         ),
+        (
+            "lifecycle",
+            "Process lifecycle: lmkd kills and cold-vs-warm relaunch latency",
+        ),
     ]
 }
 
@@ -145,6 +150,7 @@ pub fn run_by_name(name: &str, opts: &ExperimentOptions) -> Option<Table> {
         "fig15" => evaluation::fig15(opts),
         "multiapp" => concurrent::multiapp(opts),
         "writeback" => writeback::writeback(opts),
+        "lifecycle" => lifecycle::lifecycle(opts),
         _ => return None,
     };
     Some(table)
@@ -195,10 +201,11 @@ mod tests {
             "fig15",
             "multiapp",
             "writeback",
+            "lifecycle",
         ] {
             assert!(names.contains(&required), "missing {required}");
         }
-        assert_eq!(names.len(), 16);
+        assert_eq!(names.len(), 17);
     }
 
     #[test]

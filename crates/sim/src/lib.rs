@@ -12,6 +12,8 @@
 //! | Figure 10–13, Figure 15 (Ariadne evaluation) | [`experiments::evaluation`] |
 //! | Figure 14 (identification quality) | [`experiments::identification`] |
 //! | Multi-app concurrent storm | [`experiments::concurrent`] |
+//! | Writeback study (sync/async/batched I/O) | [`experiments::writeback`] |
+//! | Process lifecycle (lmkd kills, cold launches) | [`experiments::lifecycle`] |
 //!
 //! The building blocks are [`MobileSystem`] (a deterministic discrete-event
 //! driver — see [`engine`] — that launches, backgrounds and relaunches
@@ -26,12 +28,14 @@
 pub mod energy;
 pub mod engine;
 pub mod experiments;
+pub mod lifecycle;
 pub mod report;
 pub mod schemes;
 pub mod system;
 
 pub use energy::EnergyModel;
 pub use engine::{EngineEvent, EventQueue};
+pub use lifecycle::{AppState, Lmkd, LmkdConfig, ProcessTable, PsiTracker};
 pub use report::Table;
 pub use schemes::SchemeSpec;
-pub use system::{MobileSystem, RelaunchMeasurement, SimulationConfig};
+pub use system::{MobileSystem, RelaunchKind, RelaunchMeasurement, SimulationConfig};

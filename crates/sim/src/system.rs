@@ -13,6 +13,7 @@
 //! identical to the old synchronous loop.
 
 use crate::engine::{EngineEvent, EventQueue};
+use crate::lifecycle::{AppState, Lmkd, LmkdConfig, ProcessTable};
 use crate::schemes::SchemeSpec;
 use ariadne_compress::CostNanos;
 use ariadne_mem::{
@@ -22,8 +23,8 @@ use ariadne_trace::{
     AppName, AppWorkload, Scenario, ScenarioEvent, TimedScenario, WorkloadBuilder,
 };
 use ariadne_zram::{
-    AccessKind, AccessOutcome, MemoryConfig, MemoryPressure, PressureLevel, SchemeContext,
-    SchemeStats, SwapScheme,
+    AccessKind, AccessOutcome, MemoryConfig, MemoryPressure, PressureLevel, ReleasedFootprint,
+    SchemeContext, SchemeStats, SwapScheme,
 };
 use std::collections::{HashMap, HashSet};
 
@@ -49,6 +50,9 @@ pub struct SimulationConfig {
     /// pools, and I/O-heavy experiments use this knob to reproduce that
     /// regime (sustained writeback traffic). 1 leaves the paper's sizing.
     pub zpool_shrink: usize,
+    /// Thresholds and pacing of the low-memory killer. Only consulted when
+    /// the scenario arms lmkd ([`TimedScenario::lmkd`]).
+    pub lmkd: LmkdConfig,
 }
 
 impl SimulationConfig {
@@ -61,6 +65,7 @@ impl SimulationConfig {
             relaunches: 5,
             io: FlashIoConfig::ufs31(),
             zpool_shrink: 1,
+            lmkd: LmkdConfig::default(),
         }
     }
 
@@ -83,6 +88,13 @@ impl SimulationConfig {
     #[must_use]
     pub fn with_zpool_shrink(mut self, shrink: usize) -> Self {
         self.zpool_shrink = shrink.max(1);
+        self
+    }
+
+    /// Override the low-memory-killer thresholds.
+    #[must_use]
+    pub fn with_lmkd(mut self, lmkd: LmkdConfig) -> Self {
+        self.lmkd = lmkd;
         self
     }
 
@@ -110,11 +122,23 @@ impl Default for SimulationConfig {
     }
 }
 
+/// Whether a measured relaunch found a live process or had to start cold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RelaunchKind {
+    /// The process was alive: a hot (warm-data) relaunch.
+    Warm,
+    /// The process had been killed: the full cold launch was paid — process
+    /// creation, application init, and rebuilding every page from scratch.
+    Cold,
+}
+
 /// One measured application relaunch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RelaunchMeasurement {
     /// Which application was relaunched.
     pub app: AppName,
+    /// Warm relaunch or post-kill cold launch.
+    pub kind: RelaunchKind,
     /// Total relaunch latency at simulation scale.
     pub latency: CostNanos,
     /// The part of [`RelaunchMeasurement::latency`] spent stalled on
@@ -149,7 +173,6 @@ pub struct MobileSystem {
     kswapd: ReclaimController,
     workloads: HashMap<AppName, AppWorkload>,
     launched: HashSet<AppName>,
-    next_relaunch: HashMap<AppName, usize>,
     measurements: Vec<RelaunchMeasurement>,
     baseline_cpu: CostNanos,
     queue: EventQueue,
@@ -165,6 +188,18 @@ pub struct MobileSystem {
     pressure_spikes: usize,
     /// Per-application time spent stalled on in-flight flash I/O.
     io_stalls: HashMap<AppName, CostNanos>,
+    /// Per-application process states and cached-app recency ranking.
+    procs: ProcessTable,
+    /// The low-memory killer (active only when the scenario arms it).
+    lmkd: Lmkd,
+    lmkd_enabled: bool,
+    lmkd_pending: bool,
+    /// Cumulative memory-stall time: every nanosecond an access spent off
+    /// the DRAM fast path (page faults on compressed/swapped/absent data,
+    /// on-demand (de)compression, flash stalls). Feeds the PSI signal.
+    memory_stall: CostNanos,
+    /// Kills executed so far: `(simulated instant, victim)`.
+    kill_log: Vec<(u128, AppName)>,
 }
 
 impl MobileSystem {
@@ -182,7 +217,6 @@ impl MobileSystem {
             kswapd: ReclaimController::new(),
             workloads: workload_list.into_iter().map(|w| (w.name, w)).collect(),
             launched: HashSet::new(),
-            next_relaunch: HashMap::new(),
             measurements: Vec::new(),
             baseline_cpu: CostNanos::zero(),
             queue: EventQueue::new(),
@@ -195,6 +229,12 @@ impl MobileSystem {
             io_completions: 0,
             pressure_spikes: 0,
             io_stalls: HashMap::new(),
+            procs: ProcessTable::new(),
+            lmkd: Lmkd::new(config.lmkd),
+            lmkd_enabled: false,
+            lmkd_pending: false,
+            memory_stall: CostNanos::zero(),
+            kill_log: Vec::new(),
         }
     }
 
@@ -297,6 +337,68 @@ impl MobileSystem {
         self.io_stalls.values().copied().sum()
     }
 
+    /// Cumulative memory-stall time (the input of the PSI signal): every
+    /// nanosecond an access spent off the DRAM fast path.
+    #[must_use]
+    pub fn memory_stall(&self) -> CostNanos {
+        self.memory_stall
+    }
+
+    /// The smoothed PSI memory-pressure signal, in parts per million of
+    /// wall time (see [`crate::lifecycle::PsiTracker`]).
+    #[must_use]
+    pub fn psi_ppm(&self) -> u64 {
+        self.lmkd.psi_ppm()
+    }
+
+    /// Number of applications lmkd has killed so far.
+    #[must_use]
+    pub fn kills(&self) -> usize {
+        self.kill_log.len()
+    }
+
+    /// Every kill executed so far: `(simulated instant, victim)`.
+    #[must_use]
+    pub fn kill_log(&self) -> &[(u128, AppName)] {
+        &self.kill_log
+    }
+
+    /// The lifecycle state of `app` (`None` if it never ran).
+    #[must_use]
+    pub fn app_state(&self, app: AppName) -> Option<AppState> {
+        self.procs.state(app)
+    }
+
+    /// Number of applications whose process is currently alive.
+    #[must_use]
+    pub fn alive_apps(&self) -> usize {
+        self.procs.alive_count()
+    }
+
+    /// Measurements of the given relaunch kind (warm or cold).
+    #[must_use]
+    pub fn measurements_of(&self, kind: RelaunchKind) -> Vec<&RelaunchMeasurement> {
+        self.measurements
+            .iter()
+            .filter(|m| m.kind == kind)
+            .collect()
+    }
+
+    /// Average relaunch latency of the given kind, in full-scale
+    /// milliseconds (0.0 when no such relaunch was measured).
+    #[must_use]
+    pub fn average_relaunch_millis_of(&self, kind: RelaunchKind) -> f64 {
+        let of_kind = self.measurements_of(kind);
+        if of_kind.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = of_kind
+            .iter()
+            .map(|m| m.full_scale_millis(self.config.scale))
+            .sum();
+        total / of_kind.len() as f64
+    }
+
     /// Number of events still pending in the queue.
     #[must_use]
     pub fn pending_events(&self) -> usize {
@@ -317,6 +419,7 @@ impl MobileSystem {
     /// it (pair with [`MobileSystem::step`] for stepwise execution).
     pub fn enqueue(&mut self, scenario: &TimedScenario) {
         self.drains_enabled = scenario.background_drains;
+        self.lmkd_enabled = scenario.lmkd;
         for timed in &scenario.events {
             self.queue
                 .push(timed.at_nanos, EngineEvent::App(timed.event));
@@ -349,6 +452,7 @@ impl MobileSystem {
                 self.dispatch_app_event(event);
                 self.schedule_kswapd();
                 self.schedule_drain();
+                self.schedule_lmkd();
             }
             EngineEvent::KswapdWake => {
                 self.kswapd_pending = false;
@@ -381,6 +485,10 @@ impl MobileSystem {
                 // the flash queue drained even when no fault ever touches
                 // the written-back pages again.
                 let _ = self.scheme.complete_io(scheduled.at_nanos);
+            }
+            EngineEvent::LmkdWake => {
+                self.lmkd_pending = false;
+                self.lmkd_run();
             }
         }
         // Any handler may have submitted or retired flash I/O.
@@ -422,6 +530,32 @@ impl MobileSystem {
             self.queue
                 .push(self.current_at_nanos, EngineEvent::DrainTick);
         }
+    }
+
+    /// Schedule an lmkd wake-up at the current instant unless one is already
+    /// pending. Its class (4) makes it run after the app events, the kswapd
+    /// pass and the drain ticks of the same instant: the killer judges the
+    /// pressure that *remains* once reclaim had its chance.
+    fn schedule_lmkd(&mut self) {
+        if self.lmkd_enabled && !self.lmkd_pending {
+            self.lmkd_pending = true;
+            self.queue
+                .push(self.current_at_nanos, EngineEvent::LmkdWake);
+        }
+    }
+
+    /// One lmkd wake-up: sample the PSI signal and, above the kill
+    /// threshold, kill the cached app with the highest `oom_score_adj`.
+    fn lmkd_run(&mut self) {
+        let now = self.clock.now().as_nanos();
+        if !self.lmkd.should_kill(now, self.memory_stall) {
+            return;
+        }
+        let Some(victim) = self.procs.kill_candidate() else {
+            return;
+        };
+        self.kill_app(victim);
+        self.lmkd.note_kill(now);
     }
 
     /// Schedule an `IoComplete` event at the earliest in-flight flash write
@@ -498,6 +632,7 @@ impl MobileSystem {
     fn do_launch(&mut self, app: AppName) {
         let workload = self.workloads[&app].clone();
         self.scheme.on_foreground(workload.app);
+        self.procs.on_foreground(app);
         for spec in &workload.pages {
             self.scheme
                 .register_page(spec.page, &mut self.clock, &self.ctx);
@@ -506,21 +641,25 @@ impl MobileSystem {
             let outcome = self
                 .scheme
                 .access(page, AccessKind::Launch, &mut self.clock, &self.ctx);
-            self.note_io_stall(app, outcome.io_stall);
+            self.note_outcome(app, &outcome);
         }
         // Application execution itself costs CPU regardless of swap scheme
         // (modelled as 1 ms of work per launch, scaled with the data volume).
         self.baseline_cpu += CostNanos(1_000_000);
         self.launched.insert(app);
-        self.next_relaunch.insert(app, 0);
     }
 
     fn do_background(&mut self, app: AppName) {
         let id = self.workloads[&app].app;
         self.scheme.on_background(id);
+        self.procs.on_background(app);
     }
 
     fn do_relaunch(&mut self, app: AppName, relaunch_index: usize) -> RelaunchMeasurement {
+        if self.procs.is_killed(app) {
+            // The process is gone: the user pays a full cold launch.
+            return self.do_cold_relaunch(app);
+        }
         if !self.launched.contains(&app) {
             // Mirror the old driver exactly: an implicit cold launch runs its
             // own kswapd pass before the relaunch replay begins.
@@ -532,6 +671,7 @@ impl MobileSystem {
         let trace = &workload.relaunches[index];
 
         self.scheme.on_relaunch_start(workload.app);
+        self.procs.on_foreground(app);
         let mut latency = CostNanos::zero();
         let mut io_stall = CostNanos::zero();
         let mut found_in: HashMap<PageLocation, usize> = HashMap::new();
@@ -542,6 +682,7 @@ impl MobileSystem {
             latency += outcome.latency;
             io_stall += outcome.io_stall;
             *found_in.entry(outcome.found_in).or_insert(0) += 1;
+            self.note_stall(&outcome);
         }
         self.scheme.on_relaunch_end(workload.app);
         self.note_io_stall(app, io_stall);
@@ -551,13 +692,13 @@ impl MobileSystem {
             let outcome =
                 self.scheme
                     .access(page, AccessKind::Execution, &mut self.clock, &self.ctx);
-            self.note_io_stall(app, outcome.io_stall);
+            self.note_outcome(app, &outcome);
         }
         self.baseline_cpu += CostNanos(500_000);
-        self.next_relaunch.insert(app, index + 1);
 
         let measurement = RelaunchMeasurement {
             app,
+            kind: RelaunchKind::Warm,
             latency,
             io_stall,
             pages_accessed: trace.hot_accesses.len(),
@@ -567,12 +708,103 @@ impl MobileSystem {
         measurement
     }
 
+    /// A relaunch of a **killed** application: the process must be created
+    /// from scratch, so the user pays the per-profile cold-start cost
+    /// (process creation, application init) plus the rebuilding of the
+    /// launch data set — none of it can be served from the zpool or flash,
+    /// because the kill freed the entire footprint.
+    fn do_cold_relaunch(&mut self, app: AppName) -> RelaunchMeasurement {
+        let workload = self.workloads[&app].clone();
+        // Process re-creation and application initialisation: app CPU that a
+        // warm relaunch never pays, from the calibrated profile.
+        let init = workload.profile.cold_start_cost(self.config.scale);
+        self.clock.advance(init);
+        self.baseline_cpu += init;
+
+        self.scheme.on_foreground(workload.app);
+        self.procs.on_foreground(app);
+        let mut latency = init;
+        let mut io_stall = CostNanos::zero();
+        let mut found_in: HashMap<PageLocation, usize> = HashMap::new();
+        for spec in &workload.pages {
+            self.scheme
+                .register_page(spec.page, &mut self.clock, &self.ctx);
+        }
+        for &page in &workload.relaunches[0].hot_accesses {
+            let outcome = self
+                .scheme
+                .access(page, AccessKind::Launch, &mut self.clock, &self.ctx);
+            latency += outcome.latency;
+            io_stall += outcome.io_stall;
+            *found_in.entry(outcome.found_in).or_insert(0) += 1;
+            self.note_stall(&outcome);
+        }
+        self.note_io_stall(app, io_stall);
+        self.baseline_cpu += CostNanos(1_000_000);
+        self.launched.insert(app);
+
+        let measurement = RelaunchMeasurement {
+            app,
+            kind: RelaunchKind::Cold,
+            latency,
+            io_stall,
+            pages_accessed: workload.relaunches[0].hot_accesses.len(),
+            found_in,
+        };
+        self.measurements.push(measurement.clone());
+        measurement
+    }
+
+    /// Kill `app`: the scheme frees its entire footprint across DRAM, the
+    /// zpool and flash (in-flight writes retire harmlessly), and the app's
+    /// next relaunch is re-costed as a cold launch. Called by lmkd; also
+    /// public so invariant tests and experiments can kill explicitly.
+    /// Killing a process that is already dead releases whatever the scheme
+    /// still holds (normally nothing) without recording another kill.
+    pub fn kill_app(&mut self, app: AppName) -> ReleasedFootprint {
+        let id = self.workloads[&app].app;
+        let footprint = self.scheme.release_app(id, &mut self.clock, &self.ctx);
+        if !self.procs.is_killed(app) {
+            self.procs.on_kill(app);
+            self.kill_log.push((self.clock.now().as_nanos(), app));
+        }
+        footprint
+    }
+
     /// Attribute `stall` to `app`'s I/O stall ledger (zero stalls are not
     /// recorded, so the map only lists applications that actually waited).
     fn note_io_stall(&mut self, app: AppName, stall: CostNanos) {
         if stall > CostNanos::zero() {
             *self.io_stalls.entry(app).or_default() += stall;
         }
+    }
+
+    /// Feed the PSI signal: every access that missed DRAM is a memory stall
+    /// for its entire latency (fault handling, decompression, flash reads
+    /// and in-flight-write stalls — reclaim run on the fault path included).
+    ///
+    /// A fault on *lost* data (plain ZRAM dropped the compressed entry on
+    /// zpool overflow) additionally charges the cost of re-creating the
+    /// data: on a real device dirty anonymous pages cannot be silently
+    /// discarded — the application would have to rebuild them (re-reading
+    /// assets from storage at the very least), work the relaunch-latency
+    /// ledger's legacy minor-fault model does not include but the pressure
+    /// signal must see, or dropping data would read as *relieving* memory
+    /// pressure.
+    fn note_stall(&mut self, outcome: &AccessOutcome) {
+        match outcome.found_in {
+            PageLocation::Dram => {}
+            PageLocation::Absent => {
+                self.memory_stall += outcome.latency + self.ctx.timing.flash_read(PAGE_SIZE);
+            }
+            _ => self.memory_stall += outcome.latency,
+        }
+    }
+
+    /// Record both ledgers for one access outcome.
+    fn note_outcome(&mut self, app: AppName, outcome: &AccessOutcome) {
+        self.note_stall(outcome);
+        self.note_io_stall(app, outcome.io_stall);
     }
 
     fn do_idle(&mut self, millis: u64) {
@@ -699,6 +931,7 @@ mod tests {
     fn full_scale_extrapolation_multiplies_by_scale() {
         let m = RelaunchMeasurement {
             app: AppName::Twitter,
+            kind: RelaunchKind::Warm,
             latency: CostNanos(2_000_000), // 2 ms at scale
             io_stall: CostNanos::zero(),
             pages_accessed: 10,
@@ -762,6 +995,66 @@ mod tests {
             "a 30 % pressure spike should shrink residency"
         );
         assert!(system.stats().compression_ops > 0);
+    }
+
+    #[test]
+    fn killed_apps_relaunch_cold_with_the_profile_cold_start_cost() {
+        let mut system = MobileSystem::new(SchemeSpec::Zram, quick_config());
+        system.launch(AppName::Twitter);
+        system.background(AppName::Twitter);
+        let warm = system.relaunch(AppName::Twitter, 0);
+        assert_eq!(warm.kind, RelaunchKind::Warm);
+        system.background(AppName::Twitter);
+
+        let footprint = system.kill_app(AppName::Twitter);
+        assert!(footprint.total_pages() > 0);
+        assert_eq!(system.app_state(AppName::Twitter), Some(AppState::Killed));
+        assert_eq!(system.kills(), 1);
+        let pages: Vec<ariadne_mem::PageId> = system
+            .workload(AppName::Twitter)
+            .pages
+            .iter()
+            .map(|p| p.page)
+            .collect();
+        for page in pages {
+            assert_eq!(system.scheme().location_of(page), PageLocation::Absent);
+        }
+
+        let cold = system.relaunch(AppName::Twitter, 1);
+        assert_eq!(cold.kind, RelaunchKind::Cold);
+        assert!(
+            cold.latency >= AppName::Twitter.profile().cold_start_cost(512),
+            "a cold launch pays at least the process/init cost"
+        );
+        assert!(cold.latency > warm.latency);
+        assert_eq!(system.app_state(AppName::Twitter), Some(AppState::Alive));
+        assert!(system.average_relaunch_millis_of(RelaunchKind::Cold) > 0.0);
+        assert_eq!(system.measurements_of(RelaunchKind::Warm).len(), 1);
+    }
+
+    #[test]
+    fn lmkd_is_inert_when_the_scenario_does_not_arm_it() {
+        let scenario = TimedScenario::concurrent_relaunch_storm();
+        assert!(!scenario.lmkd);
+        let mut system = MobileSystem::new(SchemeSpec::Zram, quick_config());
+        system.run_timed(&scenario);
+        assert_eq!(system.kills(), 0);
+        assert_eq!(system.psi_ppm(), 0, "PSI is only sampled under lmkd");
+        assert!(system
+            .measurements()
+            .iter()
+            .all(|m| m.kind == RelaunchKind::Warm));
+    }
+
+    #[test]
+    fn memory_stall_accumulates_only_off_the_dram_fast_path() {
+        let mut dram = MobileSystem::new(SchemeSpec::Dram, quick_config());
+        dram.run_scenario(&Scenario::relaunch_study(AppName::Youtube));
+        assert_eq!(dram.memory_stall(), CostNanos::zero());
+
+        let mut zram = MobileSystem::new(SchemeSpec::Zram, quick_config());
+        zram.run_scenario(&Scenario::relaunch_study(AppName::Youtube));
+        assert!(zram.memory_stall() > CostNanos::zero());
     }
 
     #[test]

@@ -10,9 +10,11 @@ use ariadne_sim::{MobileSystem, SchemeSpec, SimulationConfig};
 use ariadne_trace::TimedScenario;
 
 /// A small but representative selection: a baseline figure, a
-/// characterization table, the multi-app concurrent experiment and the
-/// writeback study (whose runs carry in-flight asynchronous flash I/O).
-const NAMES: [&str; 4] = ["fig2", "table1", "multiapp", "writeback"];
+/// characterization table, the multi-app concurrent experiment, the
+/// writeback study (whose runs carry in-flight asynchronous flash I/O) and
+/// the lifecycle study (kill storm: lmkd kills and cold launches landing
+/// while flash writes are still in flight).
+const NAMES: [&str; 5] = ["fig2", "table1", "multiapp", "writeback", "lifecycle"];
 
 #[test]
 fn identical_seed_and_scale_produce_byte_identical_tables() {
@@ -85,6 +87,49 @@ fn in_flight_io_replays_are_deterministic() {
             assert_eq!(first.io_completions(), second.io_completions());
             assert_eq!(first.events_processed(), second.events_processed());
         }
+    }
+}
+
+/// The kill storm mixes lmkd kills (PSI sampling, `release_app` freeing
+/// slots whose write commands are still queued) with cold launches and
+/// asynchronous writeback; two replays must agree byte-for-byte on every
+/// ledger, including which apps died and when.
+#[test]
+fn kill_storm_replays_with_in_flight_io_are_deterministic() {
+    let scenario = TimedScenario::kill_storm();
+    assert!(scenario.lmkd);
+    let config = SimulationConfig::new(0xD5)
+        .with_scale(512)
+        .with_zpool_shrink(16);
+    for spec in [
+        SchemeSpec::Swap,
+        SchemeSpec::Zram,
+        SchemeSpec::Zswap,
+        SchemeSpec::ariadne_ehl(SizeConfig::k1_k2_k16()),
+    ] {
+        let mut first = MobileSystem::new(spec, config);
+        first.run_timed(&scenario);
+        let mut second = MobileSystem::new(spec, config);
+        second.run_timed(&scenario);
+        assert_eq!(
+            first.kill_log(),
+            second.kill_log(),
+            "{spec}: kill decisions diverge"
+        );
+        assert_eq!(first.psi_ppm(), second.psi_ppm(), "{spec}: PSI diverges");
+        assert_eq!(
+            first.measurements(),
+            second.measurements(),
+            "{spec}: measurements diverge"
+        );
+        assert_eq!(first.stats(), second.stats(), "{spec}: stats diverge");
+        assert_eq!(first.cpu(), second.cpu(), "{spec}: CPU ledgers diverge");
+        assert_eq!(first.events_processed(), second.events_processed());
+        first.scheme().leak_check().expect("first replay leak-free");
+        second
+            .scheme()
+            .leak_check()
+            .expect("second replay leak-free");
     }
 }
 

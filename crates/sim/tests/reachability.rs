@@ -8,8 +8,8 @@
 
 use ariadne_core::SizeConfig;
 use ariadne_mem::{PageId, PageLocation};
-use ariadne_sim::{MobileSystem, SchemeSpec, SimulationConfig};
-use ariadne_trace::TimedScenario;
+use ariadne_sim::{AppState, MobileSystem, RelaunchKind, SchemeSpec, SimulationConfig};
+use ariadne_trace::{AppName, TimedScenario};
 use ariadne_zram::AccessKind;
 
 fn config() -> SimulationConfig {
@@ -85,6 +85,102 @@ fn every_registered_page_stays_readable_through_the_storm() {
         }
         if !data_loss_allowed {
             assert_eq!(lost, 0, "{spec}: {lost} registered pages were lost");
+        }
+    }
+}
+
+/// The `release_app` obligation of the `SwapScheme` contract, pinned for
+/// all five schemes with asynchronous flash I/O still in flight: after a
+/// kill, none of the victim's pages is reachable anywhere in the hierarchy,
+/// the victim's slots and zpool bytes are reclaimed (a second release finds
+/// nothing), survivors keep their data, and the flash device's `leak_check`
+/// stays green through the orphaned in-flight commands retiring.
+#[test]
+fn release_app_frees_every_page_and_leaks_nothing_across_schemes() {
+    let scenario = TimedScenario::kill_storm();
+    for (spec, _) in all_specs() {
+        // A vendor-sized zpool keeps compressed data overflowing to flash,
+        // so kills land while write commands are still in flight.
+        let mut system = MobileSystem::new(spec, config().with_zpool_shrink(16));
+        system.enqueue(&scenario);
+        // Run roughly half the storm so plenty of data sits in every tier.
+        for _ in 0..scenario.events.len() / 2 {
+            if system.step().is_none() {
+                break;
+            }
+        }
+        let launched = system.launched_apps();
+        assert!(launched.len() >= 2, "{spec}: the storm launched apps");
+        let victim = launched[0];
+        let victim_pages: Vec<PageId> = system
+            .workload(victim)
+            .pages
+            .iter()
+            .map(|p| p.page)
+            .collect();
+        let survivor = launched[1];
+        let survivor_resident: Vec<PageId> = system
+            .workload(survivor)
+            .pages
+            .iter()
+            .map(|p| p.page)
+            .filter(|p| system.scheme().location_of(*p) != PageLocation::Absent)
+            .collect();
+
+        let footprint = system.kill_app(victim);
+        assert!(
+            footprint.total_pages() > 0,
+            "{spec}: the kill must free a real footprint"
+        );
+        for &page in &victim_pages {
+            assert_eq!(
+                system.scheme().location_of(page),
+                PageLocation::Absent,
+                "{spec}: page {page:?} survived the kill"
+            );
+        }
+        for &page in &survivor_resident {
+            assert_ne!(
+                system.scheme().location_of(page),
+                PageLocation::Absent,
+                "{spec}: the kill leaked into {survivor}'s data"
+            );
+        }
+        system.scheme().leak_check().unwrap_or_else(|violation| {
+            panic!("{spec}: leak check failed right after the kill: {violation}")
+        });
+        // Everything is reclaimed: a second release finds nothing.
+        assert!(
+            system.kill_app(victim).is_empty(),
+            "{spec}: the first release left slots or zpool bytes behind"
+        );
+
+        // Drain the rest of the storm (orphaned in-flight commands retire,
+        // the killed app cold-launches) and re-check the invariants.
+        while system.step().is_some() {}
+        system.scheme().leak_check().unwrap_or_else(|violation| {
+            panic!("{spec}: leak check failed after the storm drained: {violation}")
+        });
+    }
+}
+
+/// Killed apps transition `Killed → Alive` through a cold launch that makes
+/// every page reachable again, for every scheme.
+#[test]
+fn killed_apps_come_back_fully_reachable_after_a_cold_launch() {
+    for (spec, _) in all_specs() {
+        let mut system = MobileSystem::new(spec, config());
+        system.launch(AppName::Twitter);
+        system.background(AppName::Twitter);
+        system.kill_app(AppName::Twitter);
+        assert_eq!(system.app_state(AppName::Twitter), Some(AppState::Killed));
+
+        let measurement = system.relaunch(AppName::Twitter, 0);
+        assert_eq!(measurement.kind, RelaunchKind::Cold, "{spec}");
+        assert_eq!(system.app_state(AppName::Twitter), Some(AppState::Alive));
+        for page in registered_pages(&system) {
+            let outcome = system.touch(page, AccessKind::Execution);
+            assert_ne!(outcome.found_in, PageLocation::Absent, "{spec}: {page:?}");
         }
     }
 }

@@ -1,6 +1,7 @@
 //! Per-application workload profiles, calibrated to the paper's published
 //! characterization of the ten evaluated applications.
 
+use ariadne_compress::CostNanos;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -175,6 +176,21 @@ impl AppProfile {
     pub fn anon_bytes_10s(&self) -> usize {
         self.anon_mb_10s as usize * 1024 * 1024
     }
+
+    /// Simulated cost of a full **cold** start at workload scale `scale`:
+    /// process creation plus application initialisation (class loading,
+    /// view inflation, first-frame rendering), which a warm relaunch skips
+    /// entirely. This is what a kill costs the user on the next launch —
+    /// the full-scale value is ~300 ms of fixed process/runtime setup plus
+    /// ~2 ms per MB of the 10-second anonymous volume, in line with the
+    /// cold-versus-warm gaps Android launch studies report. Like relaunch
+    /// latencies, the cost scales with the workload denominator so
+    /// full-scale numbers are recovered by multiplying by `scale`.
+    #[must_use]
+    pub fn cold_start_cost(&self, scale: usize) -> CostNanos {
+        let full = 300_000_000u128 + u128::from(self.anon_mb_10s) * 2_000_000;
+        CostNanos(full / scale.max(1) as u128)
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +239,18 @@ mod tests {
             .sum::<f64>()
             / AppName::ALL.len() as f64;
         assert!((avg - 0.70).abs() < 0.03, "average similarity {avg}");
+    }
+
+    #[test]
+    fn cold_start_cost_scales_and_tracks_data_volume() {
+        let yt = AppProfile::for_app(AppName::Youtube);
+        let full = yt.cold_start_cost(1);
+        // 300 ms base + 177 MB * 2 ms.
+        assert_eq!(full.as_nanos(), 300_000_000 + 177 * 2_000_000);
+        assert_eq!(yt.cold_start_cost(64).as_nanos(), full.as_nanos() / 64);
+        // Bigger apps cold-start slower.
+        let ff = AppProfile::for_app(AppName::Firefox);
+        assert!(ff.cold_start_cost(1) > yt.cold_start_cost(1));
     }
 
     #[test]

@@ -71,6 +71,12 @@ pub struct TimedScenario {
     /// Legacy conversions leave this off so they replay with byte-identical
     /// semantics to the synchronous driver.
     pub background_drains: bool,
+    /// Whether the low-memory killer (lmkd) is armed for this scenario: the
+    /// engine then samples PSI-style memory pressure and may kill cached
+    /// background apps, turning their next relaunch into a cold launch.
+    /// Legacy conversions and the default builder leave it off so existing
+    /// scenarios replay unchanged.
+    pub lmkd: bool,
 }
 
 impl TimedScenario {
@@ -204,6 +210,40 @@ impl TimedScenario {
             .with_background_drains()
             .build()
     }
+
+    /// The canonical *kill* workload used by the `lifecycle` experiment, the
+    /// release-app invariant tests and the `kill_storm` example: six
+    /// applications launched in an overlapping storm, a foreground memory
+    /// hog (BangDream, the heaviest app) allocating in critical bursts,
+    /// background churn that keeps faulting while pressure is high — the
+    /// stalls that feed the PSI signal — and a final relaunch sweep over all
+    /// six stormed apps, so every app lmkd killed along the way comes back
+    /// as a measured *cold* launch. The low-memory killer is armed.
+    #[must_use]
+    pub fn kill_storm() -> Self {
+        let storm = [
+            AppName::Twitter,
+            AppName::Youtube,
+            AppName::TikTok,
+            AppName::Firefox,
+            AppName::Edge,
+            AppName::GoogleMaps,
+        ];
+        let churn = [AppName::Firefox, AppName::Edge, AppName::GoogleMaps];
+        let mut builder = ScenarioBuilder::new("kill-storm")
+            .kill_storm(&storm, AppName::BangDream, 120, 55)
+            .after_millis(120)
+            .background_churn(&churn, 150, 2)
+            .after_millis(150);
+        for &app in &storm {
+            builder = builder.relaunch(app, 1).after_millis(100);
+        }
+        builder = builder.after_millis(50);
+        for &app in &storm {
+            builder = builder.background(app);
+        }
+        builder.with_background_drains().build()
+    }
 }
 
 impl Scenario {
@@ -233,6 +273,7 @@ impl Scenario {
                 })
                 .collect(),
             background_drains: false,
+            lmkd: false,
         }
     }
 }
@@ -250,6 +291,7 @@ pub struct ScenarioBuilder {
     cursor_millis: u64,
     events: Vec<(u64, ScenarioEvent)>,
     background_drains: bool,
+    lmkd: bool,
 }
 
 impl ScenarioBuilder {
@@ -262,6 +304,7 @@ impl ScenarioBuilder {
             cursor_millis: 0,
             events: Vec::new(),
             background_drains: false,
+            lmkd: false,
         }
     }
 
@@ -421,11 +464,57 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Memory hog: `app` cold-launches in the foreground and then allocates
+    /// aggressively — `bursts` pressure spikes of `dram_percent`, spaced
+    /// `interval_millis` apart (a camera burst, a game loading level data).
+    /// This is the pattern that drives the system past what the zpool can
+    /// absorb. The cursor ends on the last burst.
+    #[must_use]
+    pub fn memory_hog(
+        self,
+        app: AppName,
+        bursts: usize,
+        interval_millis: u64,
+        dram_percent: u8,
+    ) -> Self {
+        self.launch(app)
+            .after_millis(interval_millis)
+            .pressure_wave(bursts, interval_millis, dram_percent)
+    }
+
+    /// Kill storm: launch `apps` in an overlapping storm (filling memory),
+    /// then let `hog` squeeze them out with three critical allocation
+    /// bursts of `dram_percent` — and arm the low-memory killer, so schemes
+    /// that cannot absorb the pressure see their cached apps killed and pay
+    /// cold launches on the next relaunch. The cursor ends on the hog's
+    /// last burst.
+    #[must_use]
+    pub fn kill_storm(
+        self,
+        apps: &[AppName],
+        hog: AppName,
+        stagger_millis: u64,
+        dram_percent: u8,
+    ) -> Self {
+        self.launch_storm(apps, stagger_millis)
+            .after_millis(stagger_millis)
+            .memory_hog(hog, 3, stagger_millis, dram_percent)
+            .with_lmkd()
+    }
+
     /// Allow the engine to schedule deferred background work (writeback
     /// flushes, pre-decompression drains) for this scenario.
     #[must_use]
     pub fn with_background_drains(mut self) -> Self {
         self.background_drains = true;
+        self
+    }
+
+    /// Arm the low-memory killer for this scenario: the engine samples
+    /// PSI-style pressure after app events and may kill cached apps.
+    #[must_use]
+    pub fn with_lmkd(mut self) -> Self {
+        self.lmkd = true;
         self
     }
 
@@ -446,6 +535,7 @@ impl ScenarioBuilder {
                 })
                 .collect(),
             background_drains: self.background_drains,
+            lmkd: self.lmkd,
         }
     }
 }
@@ -604,6 +694,77 @@ mod tests {
                 && matches!(w[1].event, ScenarioEvent::Relaunch { .. })
                 && w[0].at_nanos == w[1].at_nanos
         }));
+    }
+
+    #[test]
+    fn memory_hog_launches_then_bursts() {
+        let scenario = ScenarioBuilder::new("hog")
+            .memory_hog(AppName::BangDream, 3, 100, 60)
+            .build();
+        assert!(matches!(
+            scenario.events[0].event,
+            ScenarioEvent::Launch(AppName::BangDream)
+        ));
+        let spikes: Vec<u64> = scenario
+            .events
+            .iter()
+            .filter(|e| matches!(e.event, ScenarioEvent::Pressure { dram_percent: 60 }))
+            .map(TimedEvent::at_millis)
+            .collect();
+        assert_eq!(spikes, vec![100, 200, 300]);
+        assert!(!scenario.lmkd, "memory_hog alone does not arm lmkd");
+    }
+
+    #[test]
+    fn kill_storm_combinator_arms_lmkd_over_a_storm_and_hog() {
+        let apps = [AppName::Twitter, AppName::Youtube];
+        let scenario = ScenarioBuilder::new("ks")
+            .kill_storm(&apps, AppName::BangDream, 100, 50)
+            .build();
+        assert!(scenario.lmkd);
+        assert!(scenario.has_overlap());
+        assert!(scenario
+            .events
+            .iter()
+            .any(|e| matches!(e.event, ScenarioEvent::Launch(AppName::BangDream))));
+        assert!(scenario
+            .events
+            .iter()
+            .any(|e| matches!(e.event, ScenarioEvent::Pressure { dram_percent: 50 })));
+    }
+
+    #[test]
+    fn kill_storm_preset_relaunches_every_stormed_app() {
+        let storm = TimedScenario::kill_storm();
+        assert!(storm.lmkd);
+        assert!(storm.background_drains);
+        assert!(storm.has_overlap());
+        assert!(storm.apps().len() >= 7, "six stormed apps plus the hog");
+        // The relaunch sweep revisits all six stormed apps (the churn adds
+        // more), and the sweep lands after the hog's last pressure burst.
+        assert!(storm.relaunch_count() >= 6);
+        let last_spike = storm
+            .events
+            .iter()
+            .filter(|e| matches!(e.event, ScenarioEvent::Pressure { .. }))
+            .map(|e| e.at_nanos)
+            .max()
+            .unwrap();
+        let last_relaunch = storm
+            .events
+            .iter()
+            .filter(|e| matches!(e.event, ScenarioEvent::Relaunch { .. }))
+            .map(|e| e.at_nanos)
+            .max()
+            .unwrap();
+        assert!(last_relaunch > last_spike);
+    }
+
+    #[test]
+    fn legacy_timelines_never_arm_lmkd() {
+        assert!(!Scenario::relaunch_study(AppName::Edge).timeline().lmkd);
+        assert!(!TimedScenario::concurrent_relaunch_storm().lmkd);
+        assert!(!TimedScenario::writeback_storm().lmkd);
     }
 
     #[test]

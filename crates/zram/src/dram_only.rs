@@ -8,8 +8,8 @@
 //! configuration").
 
 use crate::scheme::{
-    AccessKind, AccessOutcome, MemoryConfig, MemoryPressure, ReclaimOutcome, SchemeContext,
-    SchemeStats, SwapScheme,
+    AccessKind, AccessOutcome, MemoryConfig, MemoryPressure, ReclaimOutcome, ReleasedFootprint,
+    SchemeContext, SchemeStats, SwapScheme,
 };
 use crate::swap_scheme_identity;
 use ariadne_mem::{AppId, CpuActivity, MainMemory, PageId, PageLocation, ReclaimRequest, SimClock};
@@ -96,6 +96,22 @@ impl SwapScheme for DramOnlyScheme {
     fn on_foreground(&mut self, _app: AppId) {}
 
     fn on_background(&mut self, _app: AppId) {}
+
+    fn release_app(
+        &mut self,
+        app: AppId,
+        clock: &mut SimClock,
+        ctx: &SchemeContext,
+    ) -> ReleasedFootprint {
+        let evicted = self.dram.evict_app(app);
+        let cost = ctx.timing.lru_ops(evicted.len());
+        clock.charge_cpu(CpuActivity::Other, cost);
+        self.stats.cpu.charge(CpuActivity::Other, cost);
+        ReleasedFootprint {
+            dram_pages: evicted.len(),
+            ..ReleasedFootprint::default()
+        }
+    }
 
     fn location_of(&self, page: PageId) -> PageLocation {
         if self.dram.contains(page) {

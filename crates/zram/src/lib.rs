@@ -30,7 +30,7 @@ pub mod zram;
 pub use dram_only::DramOnlyScheme;
 pub use scheme::{
     AccessKind, AccessOutcome, MemoryConfig, MemoryPressure, PressureLevel, ReclaimOutcome,
-    SchemeContext, SchemeStats, SwapScheme, WritebackPolicy,
+    ReleasedFootprint, SchemeContext, SchemeStats, SwapScheme, WritebackPolicy,
 };
 pub use swap::FlashSwapScheme;
 pub use writeback::ZpoolWriteback;

@@ -80,6 +80,38 @@ pub struct ReclaimOutcome {
     pub bytes_freed: usize,
 }
 
+/// What [`SwapScheme::release_app`] freed when a process was killed: the
+/// victim's entire footprint across every tier of the hierarchy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReleasedFootprint {
+    /// Resident pages evicted from DRAM.
+    pub dram_pages: usize,
+    /// Compressed zpool entries invalidated.
+    pub zpool_entries: usize,
+    /// Pages those zpool entries covered.
+    pub zpool_pages: usize,
+    /// Flash swap slots freed (at rest or with their write still in flight).
+    pub flash_slots: usize,
+    /// Pages those flash objects covered.
+    pub flash_pages: usize,
+    /// Pages dropped from the pre-decompression buffer (Ariadne only).
+    pub buffered_pages: usize,
+}
+
+impl ReleasedFootprint {
+    /// Total pages released across all tiers.
+    #[must_use]
+    pub fn total_pages(&self) -> usize {
+        self.dram_pages + self.zpool_pages + self.flash_pages + self.buffered_pages
+    }
+
+    /// `true` when the kill freed nothing (the app held no data).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total_pages() == 0 && self.zpool_entries == 0 && self.flash_slots == 0
+    }
+}
+
 /// How a scheme behaves when its zpool runs out of space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum WritebackPolicy {
@@ -450,6 +482,34 @@ pub trait SwapScheme {
     /// imperative replays byte-identical. Returns the commands retired.
     fn complete_io(&mut self, _now_nanos: u128) -> usize {
         0
+    }
+
+    /// The process of `app` was killed (by lmkd or the user): free the
+    /// app's **entire** footprint — resident DRAM pages, compressed zpool
+    /// entries, flash swap slots (including objects whose write command is
+    /// still in flight, which must retire harmlessly afterwards) and any
+    /// scheme-private caches (Ariadne's hotness lists and pre-decompression
+    /// buffer). After this returns, no page of `app` may be reachable
+    /// (`location_of` reports [`PageLocation::Absent`]) and
+    /// [`SwapScheme::leak_check`] must still pass. Required for every
+    /// scheme: forgetting a tier silently inflates effective memory
+    /// capacity, which is exactly what the lifecycle experiments measure.
+    fn release_app(
+        &mut self,
+        app: AppId,
+        clock: &mut SimClock,
+        ctx: &SchemeContext,
+    ) -> ReleasedFootprint;
+
+    /// Verify the scheme's internal slot/index invariants (today: the flash
+    /// device's [`leak_check`](ariadne_mem::FlashDevice::leak_check)).
+    /// Schemes without a flash device keep the default `Ok`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    fn leak_check(&self) -> Result<(), String> {
+        Ok(())
     }
 
     /// Where `page` currently lives.

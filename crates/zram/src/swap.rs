@@ -8,7 +8,8 @@
 //! a flash read) and wears out the flash.
 
 use crate::scheme::{
-    AccessKind, AccessOutcome, MemoryConfig, ReclaimOutcome, SchemeContext, SchemeStats, SwapScheme,
+    AccessKind, AccessOutcome, MemoryConfig, ReclaimOutcome, ReleasedFootprint, SchemeContext,
+    SchemeStats, SwapScheme,
 };
 use crate::swap_scheme_identity;
 use crate::writeback::charge_fault_io;
@@ -245,6 +246,36 @@ impl SwapScheme for FlashSwapScheme {
         if self.foreground == Some(app) {
             self.foreground = None;
         }
+    }
+
+    fn release_app(
+        &mut self,
+        app: AppId,
+        clock: &mut SimClock,
+        ctx: &SchemeContext,
+    ) -> ReleasedFootprint {
+        let evicted = self.dram.evict_app(app);
+        for page in &evicted {
+            self.lru.remove(page);
+        }
+        let (flash_slots, flash_pages) = self.flash.release_app(app, clock.now().as_nanos());
+        self.stats.flash = self.flash.stats();
+        let cost = ctx.timing.lru_ops(evicted.len() + flash_pages);
+        clock.charge_cpu(CpuActivity::Other, cost);
+        self.stats.cpu.charge(CpuActivity::Other, cost);
+        if self.foreground == Some(app) {
+            self.foreground = None;
+        }
+        ReleasedFootprint {
+            dram_pages: evicted.len(),
+            flash_slots,
+            flash_pages,
+            ..ReleasedFootprint::default()
+        }
+    }
+
+    fn leak_check(&self) -> Result<(), String> {
+        self.flash.leak_check()
     }
 
     fn next_io_completion(&self) -> Option<u128> {

@@ -12,7 +12,7 @@
 
 use crate::scheme::{
     AccessKind, AccessOutcome, MemoryConfig, MemoryPressure, PressureLevel, ReclaimOutcome,
-    SchemeContext, SchemeStats, SwapScheme, WritebackPolicy,
+    ReleasedFootprint, SchemeContext, SchemeStats, SwapScheme, WritebackPolicy,
 };
 use crate::swap_scheme_identity;
 use crate::writeback::{charge_fault_io, ZpoolWriteback};
@@ -391,6 +391,42 @@ impl SwapScheme for ZramScheme {
         flushed
     }
 
+    fn release_app(
+        &mut self,
+        app: AppId,
+        clock: &mut SimClock,
+        ctx: &SchemeContext,
+    ) -> ReleasedFootprint {
+        let evicted = self.dram.evict_app(app);
+        for page in &evicted {
+            self.lru.remove(page);
+        }
+        let (zpool_entries, zpool_pages) = self.zpool.release_app(app);
+        let (flash_slots, flash_pages) = self.flash.release_app(app, clock.now().as_nanos());
+        self.stats.zpool = self.zpool.stats();
+        self.stats.flash = self.flash.stats();
+        let cost = ctx
+            .timing
+            .lru_ops(evicted.len() + zpool_pages + flash_pages);
+        clock.charge_cpu(CpuActivity::Other, cost);
+        self.stats.cpu.charge(CpuActivity::Other, cost);
+        if self.foreground == Some(app) {
+            self.foreground = None;
+        }
+        ReleasedFootprint {
+            dram_pages: evicted.len(),
+            zpool_entries,
+            zpool_pages,
+            flash_slots,
+            flash_pages,
+            buffered_pages: 0,
+        }
+    }
+
+    fn leak_check(&self) -> Result<(), String> {
+        self.flash.leak_check()
+    }
+
     fn next_io_completion(&self) -> Option<u128> {
         self.flash.next_completion()
     }
@@ -650,6 +686,71 @@ mod tests {
         scheme.reclaim(reclaim_request(8), &mut clock, &ctx);
         assert_eq!(scheme.deferred_pages(), 0);
         assert_eq!(scheme.drain_deferred(64, &mut clock, &ctx), 0);
+    }
+
+    #[test]
+    fn release_app_frees_dram_zpool_and_flash_footprint() {
+        let workloads = vec![
+            WorkloadBuilder::new(1).scale(1024).build(AppName::Twitter),
+            WorkloadBuilder::new(1).scale(1024).build(AppName::Youtube),
+        ];
+        let ctx = SchemeContext::new(1, &workloads);
+        let mut clock = SimClock::new();
+        let config = tiny_config(4096, 4).with_writeback(WritebackPolicy::WritebackToFlash);
+        let mut scheme = ZramScheme::new(config);
+        let twitter: Vec<PageId> = workloads[0].pages.iter().map(|p| p.page).take(48).collect();
+        let youtube: Vec<PageId> = workloads[1].pages.iter().map(|p| p.page).take(8).collect();
+        for &page in twitter.iter().chain(&youtube) {
+            scheme.register_page(page, &mut clock, &ctx);
+        }
+        // Compress enough of Twitter that data spreads over zpool and flash.
+        scheme.reclaim(reclaim_request(32), &mut clock, &ctx);
+        assert!(scheme.stats().flash.writes > 0);
+
+        let victim = twitter[0].app();
+        let footprint = scheme.release_app(victim, &mut clock, &ctx);
+        assert!(footprint.dram_pages > 0);
+        assert!(footprint.zpool_pages > 0 || footprint.flash_pages > 0);
+        for &page in &twitter {
+            assert_eq!(scheme.location_of(page), PageLocation::Absent);
+        }
+        for &page in &youtube {
+            assert_ne!(
+                scheme.location_of(page),
+                PageLocation::Absent,
+                "the survivor's pages must be untouched"
+            );
+        }
+        scheme.leak_check().unwrap();
+        // A second release finds nothing left.
+        assert!(scheme.release_app(victim, &mut clock, &ctx).is_empty());
+    }
+
+    #[test]
+    fn release_app_with_in_flight_writeback_leaves_no_leaks() {
+        let workloads = vec![WorkloadBuilder::new(1).scale(1024).build(AppName::Twitter)];
+        let ctx = SchemeContext::new(1, &workloads);
+        let mut clock = SimClock::new();
+        let pages: Vec<PageId> = workloads[0].pages.iter().map(|p| p.page).collect();
+        let config = tiny_config(4096, 4).with_writeback(WritebackPolicy::WritebackToFlash);
+        let mut scheme = ZramScheme::new(config);
+        for &page in pages.iter().take(48) {
+            scheme.register_page(page, &mut clock, &ctx);
+        }
+        scheme.reclaim(reclaim_request(32), &mut clock, &ctx);
+        // Writeback commands are still in flight at this instant.
+        assert!(scheme.next_io_completion().is_some());
+
+        scheme.release_app(pages[0].app(), &mut clock, &ctx);
+        scheme.leak_check().unwrap();
+        // The orphaned commands retire harmlessly.
+        while let Some(at) = scheme.next_io_completion() {
+            scheme.complete_io(at);
+        }
+        scheme.leak_check().unwrap();
+        for &page in pages.iter().take(48) {
+            assert_eq!(scheme.location_of(page), PageLocation::Absent);
+        }
     }
 
     #[test]

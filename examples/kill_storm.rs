@@ -1,0 +1,78 @@
+//! Ariadne surviving a memory hog that forces kills under ZRAM.
+//!
+//! Runs the canonical kill-storm scenario — six apps launched in an
+//! overlapping storm, a foreground memory hog allocating in critical
+//! bursts, background churn, then a relaunch sweep — with the low-memory
+//! killer armed, for all five schemes. Schemes whose relaunches stall
+//! (SWAP re-reads everything from flash; ZRAM decompresses on demand and
+//! drops data on zpool overflow) push the PSI signal over lmkd's threshold
+//! and lose cached apps; every killed app comes back as a *cold* launch.
+//! Ariadne keeps its relaunch stalls low enough to ride out the same storm
+//! with more of its apps alive.
+//!
+//! ```text
+//! cargo run --release --example kill_storm
+//! ```
+
+use ariadne::sim::experiments::lifecycle::evaluated_schemes;
+use ariadne::sim::experiments::runner::run_cells;
+use ariadne::sim::{MobileSystem, RelaunchKind, SimulationConfig};
+use ariadne::trace::TimedScenario;
+
+fn main() {
+    let scenario = TimedScenario::kill_storm();
+    assert!(scenario.lmkd, "the storm arms the low-memory killer");
+    println!(
+        "kill storm: {} events over {} ms across {} apps (lmkd armed)\n",
+        scenario.events.len(),
+        scenario.duration_millis(),
+        scenario.apps().len()
+    );
+
+    // One OS thread per scheme; a vendor-sized zpool (1/16) that the hog
+    // genuinely drives past what it can absorb.
+    let config = SimulationConfig::new(42)
+        .with_scale(256)
+        .with_zpool_shrink(16);
+    let rows = run_cells(evaluated_schemes(), |spec| {
+        let mut system = MobileSystem::new(spec, config);
+        system.run_timed(&scenario);
+        (
+            spec.label(),
+            system.kills(),
+            system.measurements_of(RelaunchKind::Cold).len(),
+            system.average_relaunch_millis_of(RelaunchKind::Warm),
+            system.average_relaunch_millis_of(RelaunchKind::Cold),
+            system.alive_apps(),
+        )
+    });
+
+    println!(
+        "{:<24} {:>6} {:>6} {:>12} {:>12} {:>6}",
+        "scheme", "kills", "cold", "avg warm", "avg cold", "alive"
+    );
+    let mut kills_by_scheme = Vec::new();
+    for (scheme, kills, cold, warm_ms, cold_ms, alive) in rows {
+        println!(
+            "{scheme:<24} {kills:>6} {cold:>6} {warm_ms:>10.2}ms {cold_ms:>10.2}ms {alive:>6}"
+        );
+        kills_by_scheme.push((scheme, kills));
+    }
+
+    let kills_of = |name: &str| {
+        kills_by_scheme
+            .iter()
+            .find(|(scheme, _)| scheme == name)
+            .map(|(_, kills)| *kills)
+            .unwrap_or(0)
+    };
+    assert!(
+        kills_of("ZRAM") > kills_of("Ariadne-EHL-1K-2K-16K"),
+        "ZRAM must lose strictly more apps than Ariadne in this storm"
+    );
+    println!(
+        "\nAriadne lost {} app(s) where ZRAM lost {} — fewer kills, fewer cold launches.",
+        kills_of("Ariadne-EHL-1K-2K-16K"),
+        kills_of("ZRAM"),
+    );
+}

@@ -56,6 +56,34 @@
 //! system.run_timed(&scenario);
 //! assert_eq!(system.measurements().len(), 2);
 //! ```
+//!
+//! # Process lifecycle (lmkd kills and cold launches)
+//!
+//! When a scheme cannot absorb memory pressure, the low-memory killer
+//! terminates cached background apps — their entire footprint is freed
+//! through `SwapScheme::release_app` and the next relaunch is re-costed
+//! as a full cold launch:
+//!
+//! ```
+//! use ariadne::sim::{AppState, MobileSystem, RelaunchKind, SchemeSpec, SimulationConfig};
+//! use ariadne::trace::AppName;
+//!
+//! let config = SimulationConfig::new(42).with_scale(512);
+//! let mut system = MobileSystem::new(SchemeSpec::Zram, config);
+//! system.launch(AppName::Twitter);
+//! system.background(AppName::Twitter);
+//!
+//! // What lmkd does when the PSI stall signal crosses its threshold
+//! // (scenarios built with `.with_lmkd()` arm it on the event queue):
+//! let freed = system.kill_app(AppName::Twitter);
+//! assert!(freed.total_pages() > 0);
+//! assert_eq!(system.app_state(AppName::Twitter), Some(AppState::Killed));
+//!
+//! // The process is gone: the next relaunch pays the full cold launch.
+//! let measurement = system.relaunch(AppName::Twitter, 0);
+//! assert_eq!(measurement.kind, RelaunchKind::Cold);
+//! assert_eq!(system.app_state(AppName::Twitter), Some(AppState::Alive));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

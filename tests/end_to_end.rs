@@ -144,10 +144,17 @@ fn experiment_harness_produces_a_table_for_every_catalog_entry() {
         scale: 512,
         quick: true,
     };
-    for name in ["table1", "fig5", "table3", "multiapp", "writeback"] {
+    for name in [
+        "table1",
+        "fig5",
+        "table3",
+        "multiapp",
+        "writeback",
+        "lifecycle",
+    ] {
         let table = experiments::run_by_name(name, &opts)
             .unwrap_or_else(|| panic!("experiment {name} missing"));
         assert!(table.row_count() > 0, "{name} produced no rows");
     }
-    assert_eq!(experiments::catalog().len(), 16);
+    assert_eq!(experiments::catalog().len(), 17);
 }
