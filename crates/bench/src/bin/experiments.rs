@@ -1,37 +1,45 @@
 //! Regenerates every table and figure of the Ariadne paper's evaluation.
 //!
 //! ```text
-//! experiments [--quick] [--scale N] [--seed N] [--json] [--serial] [--list] [EXPERIMENT ...]
+//! experiments [--quick] [--scale N] [--seed N] [--json] [--serial] [--list]
+//!             [--no-oracle] [--bench-json PATH] [--bench-compare BASELINE]
+//!             [EXPERIMENT ...]
 //! ```
 //!
-//! With no experiment names, all fifteen experiments run in paper order.
-//! Independent experiments run in parallel (one OS thread each, merged in a
-//! fixed order, so output is byte-identical to `--serial`). `--quick` uses
-//! fewer applications and a larger scale factor (useful for a fast smoke
-//! run); `--scale` overrides the workload/memory scale denominator (64 is
-//! the default and what `EXPERIMENTS.md` records); `--json` emits one
-//! machine-readable JSON document instead of plain-text tables (for
-//! BENCH_*.json trajectory tracking); `--list` prints the catalog (honouring
-//! `--json`).
+//! With no experiment names, all experiments run in paper order.
+//! Independent experiments run in parallel (capped at the host's available
+//! parallelism, merged in a fixed order, so output is byte-identical to
+//! `--serial`). `--quick` uses fewer applications and a larger scale factor
+//! (useful for a fast smoke run); `--scale` overrides the workload/memory
+//! scale denominator (64 is the default and what `EXPERIMENTS.md` records);
+//! `--json` emits one machine-readable JSON document instead of plain-text
+//! tables; `--list` prints the catalog (honouring `--json`).
+//!
+//! The perf harness: `--bench-json PATH` times every experiment cell (host
+//! wall-clock; the run is forced serial so each cell's time is its own) and
+//! writes the `BENCH_*.json` trajectory document; `--bench-compare BASELINE`
+//! additionally fails the run when any cell regresses more than 2× over the
+//! recorded baseline. `--no-oracle` disables the memoized compression
+//! oracle — output is byte-identical, only wall-clock changes, which is
+//! exactly what the harness measures.
 
+use ariadne_bench::perf::{self, BenchCell, BenchReport};
 use ariadne_sim::experiments::{catalog, runner, ExperimentOptions};
 use ariadne_sim::report::json_string;
 use std::process::ExitCode;
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct OutputOptions {
     json: bool,
     serial: bool,
     list: bool,
+    bench_json: Option<String>,
+    bench_compare: Option<String>,
 }
 
 fn parse_args() -> Result<(ExperimentOptions, OutputOptions, Vec<String>), String> {
     let mut opts = ExperimentOptions::full();
-    let mut output = OutputOptions {
-        json: false,
-        serial: false,
-        list: false,
-    };
+    let mut output = OutputOptions::default();
     let mut names = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -54,19 +62,31 @@ fn parse_args() -> Result<(ExperimentOptions, OutputOptions, Vec<String>), Strin
                     .parse::<u64>()
                     .map_err(|_| format!("invalid seed `{value}`"))?;
             }
+            "--no-oracle" => opts.oracle = false,
             "--json" => output.json = true,
             "--serial" => output.serial = true,
             "--list" => output.list = true,
+            "--bench-json" => {
+                output.bench_json = Some(args.next().ok_or("--bench-json needs a path")?);
+            }
+            "--bench-compare" => {
+                output.bench_compare =
+                    Some(args.next().ok_or("--bench-compare needs a baseline path")?);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--quick] [--scale N] [--seed N] [--json] [--serial] \
-                     [--list] [EXPERIMENT ...]"
+                     [--list] [--no-oracle] [--bench-json PATH] [--bench-compare BASELINE] \
+                     [EXPERIMENT ...]"
                 );
                 std::process::exit(0);
             }
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
             name => names.push(name.to_string()),
         }
+    }
+    if output.bench_compare.is_some() && output.bench_json.is_none() {
+        return Err("--bench-compare requires --bench-json (it compares the timed run)".into());
     }
     Ok((opts, output, names))
 }
@@ -111,7 +131,25 @@ fn main() -> ExitCode {
         names
     };
 
-    let results: Vec<(String, Option<ariadne_sim::Table>)> = if output.serial {
+    // The perf harness forces a serial run so each cell's wall-clock is its
+    // own (parallel neighbours would otherwise share the cores).
+    let mut bench_cells: Vec<BenchCell> = Vec::new();
+    let results: Vec<(String, Option<ariadne_sim::Table>)> = if output.bench_json.is_some() {
+        selected
+            .iter()
+            .map(|name| {
+                let (table, millis) =
+                    perf::time_cell(|| ariadne_sim::experiments::run_by_name(name, &opts));
+                if table.is_some() {
+                    bench_cells.push(BenchCell {
+                        name: name.clone(),
+                        millis,
+                    });
+                }
+                (name.clone(), table)
+            })
+            .collect()
+    } else if output.serial {
         selected
             .iter()
             .map(|name| {
@@ -163,6 +201,52 @@ fn main() -> ExitCode {
                 Some(table) => println!("{table}"),
                 None => {
                     eprintln!("error: unknown experiment `{name}` (use --list)");
+                    failures += 1;
+                }
+            }
+        }
+    }
+    if let Some(path) = &output.bench_json {
+        let report = BenchReport {
+            seed: opts.seed,
+            scale: opts.scale,
+            mode: if opts.quick { "quick" } else { "full" }.to_string(),
+            oracle: opts.oracle,
+            cells: bench_cells,
+        };
+        if let Err(error) = std::fs::write(path, report.to_json()) {
+            eprintln!("error: cannot write {path}: {error}");
+            failures += 1;
+        } else {
+            eprintln!(
+                "bench: {} cells, {:.0} ms total, written to {path}",
+                report.cells.len(),
+                report.total_millis()
+            );
+        }
+        if let Some(baseline_path) = &output.bench_compare {
+            match std::fs::read_to_string(baseline_path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| BenchReport::from_json(&text))
+            {
+                Ok(baseline) => {
+                    if let Err(message) = report.comparable_with(&baseline) {
+                        eprintln!("error: {message}");
+                        failures += 1;
+                    } else {
+                        let regressions =
+                            perf::regressions(&report, &baseline, perf::DEFAULT_REGRESSION_FACTOR);
+                        for message in &regressions {
+                            eprintln!("bench regression: {message}");
+                        }
+                        if regressions.is_empty() {
+                            eprintln!("bench: no cell regressed over {baseline_path}");
+                        }
+                        failures += regressions.len();
+                    }
+                }
+                Err(error) => {
+                    eprintln!("error: cannot read baseline {baseline_path}: {error}");
                     failures += 1;
                 }
             }

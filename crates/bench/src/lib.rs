@@ -1,26 +1,33 @@
 //! Shared helpers for the Ariadne benchmark suite.
 //!
 //! The actual entry points are the `experiments` binary (regenerates every
-//! table and figure of the paper via `ariadne-sim`) and the Criterion
-//! benches under `benches/` (real wall-clock throughput of the codecs and of
-//! the simulator itself).
+//! table and figure of the paper via `ariadne-sim`, and doubles as the
+//! wall-clock perf harness via `--bench-json` / `--bench-compare`) and the
+//! Criterion benches under `benches/` (real wall-clock throughput of the
+//! codecs and of the simulator itself).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use ariadne_mem::{AppId, PageId, Pfn};
+pub mod perf;
+
+use ariadne_mem::{AppId, PageId, Pfn, PAGE_SIZE};
 use ariadne_trace::{AppName, PageDataGenerator};
 
 /// Build a corpus of synthetic anonymous-page bytes for benchmarking the
-/// codecs (`pages` pages drawn from the given application's profile).
+/// codecs (`pages` pages drawn from the given application's profile). One
+/// up-front allocation; pages are synthesized in place.
 #[must_use]
 pub fn anonymous_corpus(app: AppName, pages: usize, seed: u64) -> Vec<u8> {
     let generator = PageDataGenerator::new(seed);
     let profile = app.profile();
-    let mut corpus = Vec::with_capacity(pages * 4096);
+    let mut corpus = vec![0u8; pages * PAGE_SIZE];
     for pfn in 0..pages {
         let page = PageId::new(AppId::new(app.uid()), Pfn::new(pfn as u64));
-        corpus.extend(generator.page_bytes(&profile, page));
+        let buf: &mut [u8; PAGE_SIZE] = (&mut corpus[pfn * PAGE_SIZE..(pfn + 1) * PAGE_SIZE])
+            .try_into()
+            .expect("page-sized slice");
+        generator.fill_page_bytes(&profile, page, buf);
     }
     corpus
 }

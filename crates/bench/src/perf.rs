@@ -1,0 +1,340 @@
+//! The wall-clock perf-tracking harness behind `experiments --bench-json`.
+//!
+//! Every run of the harness records, per experiment cell, the *host*
+//! wall-clock milliseconds the cell took (simulated time is a different
+//! axis entirely and already byte-pinned by the determinism tests). The
+//! resulting `BENCH_*.json` files form the repository's performance
+//! trajectory: `BENCH_PR5.json` is the first recorded baseline, and the CI
+//! bench-smoke step fails when any cell regresses more than
+//! [`DEFAULT_REGRESSION_FACTOR`]× over its recorded baseline.
+//!
+//! The JSON produced here is written and parsed by this module only (the
+//! workspace deliberately carries no JSON dependency), so the parser is a
+//! minimal exact-shape reader for the writer's output, with tests pinning
+//! the round trip.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// A cell's cost must stay under `baseline × factor`; 2× absorbs host noise
+/// while still catching real regressions.
+pub const DEFAULT_REGRESSION_FACTOR: f64 = 2.0;
+
+/// One timed experiment cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCell {
+    /// The experiment identifier (e.g. `fig10`).
+    pub name: String,
+    /// Host wall-clock the cell took, in milliseconds.
+    pub millis: f64,
+}
+
+/// Everything one harness run records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Seed the experiments ran with.
+    pub seed: u64,
+    /// Scale denominator the experiments ran with.
+    pub scale: usize,
+    /// `quick` or `full`.
+    pub mode: String,
+    /// Whether the memoized compression oracle was active.
+    pub oracle: bool,
+    /// Per-cell wall-clock, in run order.
+    pub cells: Vec<BenchCell>,
+}
+
+impl BenchReport {
+    /// Total wall-clock across all cells, in milliseconds.
+    #[must_use]
+    pub fn total_millis(&self) -> f64 {
+        self.cells.iter().map(|c| c.millis).sum()
+    }
+
+    /// The recorded cell named `name`, if present.
+    #[must_use]
+    pub fn cell(&self, name: &str) -> Option<&BenchCell> {
+        self.cells.iter().find(|c| c.name == name)
+    }
+
+    /// Serialize to the `BENCH_*.json` format (deterministic key order).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"seed\":{},\"scale\":{},\"mode\":\"{}\",\"oracle\":{},\"cells\":[",
+            self.seed, self.scale, self.mode, self.oracle
+        );
+        for (i, cell) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"millis\":{:.3}}}",
+                cell.name, cell.millis
+            );
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Parse a `BENCH_*.json` document produced by [`BenchReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let field = |key: &str| -> Result<String, String> {
+            let marker = format!("\"{key}\":");
+            let start = text
+                .find(&marker)
+                .ok_or_else(|| format!("missing field `{key}`"))?
+                + marker.len();
+            let rest = &text[start..];
+            let end = rest
+                .find([',', '}'])
+                .ok_or_else(|| format!("unterminated field `{key}`"))?;
+            Ok(rest[..end].trim().trim_matches('"').to_string())
+        };
+        let seed = field("seed")?
+            .parse::<u64>()
+            .map_err(|e| format!("bad seed: {e}"))?;
+        let scale = field("scale")?
+            .parse::<usize>()
+            .map_err(|e| format!("bad scale: {e}"))?;
+        let mode = field("mode")?;
+        let oracle = field("oracle")?
+            .parse::<bool>()
+            .map_err(|e| format!("bad oracle flag: {e}"))?;
+
+        let cells_key = text
+            .find("\"cells\":")
+            .ok_or_else(|| "missing field `cells`".to_string())?;
+        let cells_at = text[cells_key..]
+            .find('[')
+            .ok_or_else(|| "field `cells` is not an array".to_string())?
+            + cells_key;
+        let mut cells = Vec::new();
+        let mut rest = &text[cells_at + 1..];
+        while let Some(obj_start) = rest.find('{') {
+            let obj_end = rest[obj_start..]
+                .find('}')
+                .ok_or_else(|| "unterminated cell object".to_string())?
+                + obj_start;
+            let obj = &rest[obj_start..=obj_end];
+            let take = |key: &str| -> Result<String, String> {
+                let marker = format!("\"{key}\":");
+                let at = obj
+                    .find(&marker)
+                    .ok_or_else(|| format!("cell missing `{key}` in `{obj}`"))?
+                    + marker.len();
+                let tail = &obj[at..];
+                let end = tail.find([',', '}']).unwrap_or(tail.len());
+                Ok(tail[..end].trim().trim_matches('"').to_string())
+            };
+            cells.push(BenchCell {
+                name: take("name")?,
+                millis: take("millis")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad millis: {e}"))?,
+            });
+            rest = &rest[obj_end + 1..];
+        }
+        Ok(BenchReport {
+            seed,
+            scale,
+            mode,
+            oracle,
+            cells,
+        })
+    }
+}
+
+/// Time one closure, returning `(its result, wall-clock milliseconds)`.
+pub fn time_cell<T>(run: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let result = run();
+    (result, start.elapsed().as_secs_f64() * 1000.0)
+}
+
+impl BenchReport {
+    /// Whether `baseline` was recorded under the same conditions as this
+    /// run. Wall-clock is only comparable for matching (mode, scale, seed,
+    /// oracle) — a full-mode or `--no-oracle` run measured against the
+    /// committed quick-mode oracle-on baseline would report a wall of bogus
+    /// regressions, so the harness refuses instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatching field.
+    pub fn comparable_with(&self, baseline: &BenchReport) -> Result<(), String> {
+        let fields = [
+            ("mode", self.mode.clone(), baseline.mode.clone()),
+            ("scale", self.scale.to_string(), baseline.scale.to_string()),
+            ("seed", self.seed.to_string(), baseline.seed.to_string()),
+            (
+                "oracle",
+                self.oracle.to_string(),
+                baseline.oracle.to_string(),
+            ),
+        ];
+        for (name, current, recorded) in fields {
+            if current != recorded {
+                return Err(format!(
+                    "baseline {name} mismatch: this run used {name}={current}, \
+                     the baseline recorded {name}={recorded} — wall-clock is \
+                     not comparable across configurations"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compare a fresh run against a recorded baseline. Returns one message per
+/// regression: a cell whose wall-clock exceeds `baseline × factor`. Cells
+/// missing from the baseline are ignored (new experiments start their own
+/// trajectory); cells missing from the current run are ignored likewise.
+#[must_use]
+pub fn regressions(current: &BenchReport, baseline: &BenchReport, factor: f64) -> Vec<String> {
+    let mut messages = Vec::new();
+    for cell in &current.cells {
+        let Some(base) = baseline.cell(&cell.name) else {
+            continue;
+        };
+        // Sub-millisecond baselines are pure noise; hold them to a 1 ms
+        // floor so a 0.2 ms → 0.5 ms jitter does not fail the build.
+        let limit = (base.millis * factor).max(1.0);
+        if cell.millis > limit {
+            messages.push(format!(
+                "{}: {:.1} ms exceeds {:.1} ms ({}x over the {:.1} ms baseline)",
+                cell.name, cell.millis, limit, factor, base.millis
+            ));
+        }
+    }
+    messages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> BenchReport {
+        BenchReport {
+            seed: 7,
+            scale: 256,
+            mode: "quick".to_string(),
+            oracle: true,
+            cells: vec![
+                BenchCell {
+                    name: "fig10".to_string(),
+                    millis: 123.456,
+                },
+                BenchCell {
+                    name: "lifecycle".to_string(),
+                    millis: 42.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let original = report();
+        let parsed = BenchReport::from_json(&original.to_json()).unwrap();
+        assert_eq!(parsed, original);
+        assert!((parsed.total_millis() - 165.456).abs() < 1e-9);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected_with_a_reason() {
+        assert!(BenchReport::from_json("{}").unwrap_err().contains("seed"));
+        assert!(
+            BenchReport::from_json("{\"seed\":1,\"scale\":2,\"mode\":\"q\",\"oracle\":true}")
+                .unwrap_err()
+                .contains("cells")
+        );
+    }
+
+    #[test]
+    fn pretty_printed_json_with_spaces_still_parses() {
+        let text = "{\"seed\": 7, \"scale\": 256, \"mode\": \"quick\", \"oracle\": true, \
+                    \"cells\": [{\"name\": \"fig10\", \"millis\": 123.456}, \
+                    {\"name\": \"lifecycle\", \"millis\": 42.0}]}";
+        let parsed = BenchReport::from_json(text).unwrap();
+        assert_eq!(parsed, report());
+    }
+
+    #[test]
+    fn regressions_flag_only_cells_beyond_the_factor() {
+        let baseline = report();
+        let mut current = report();
+        current.cells[0].millis = 123.456 * 2.1; // beyond 2x
+        current.cells[1].millis = 42.0 * 1.9; // within 2x
+        current.cells.push(BenchCell {
+            name: "brand-new".to_string(),
+            millis: 9999.0, // no baseline: ignored
+        });
+        let messages = regressions(&current, &baseline, DEFAULT_REGRESSION_FACTOR);
+        assert_eq!(messages.len(), 1);
+        assert!(messages[0].starts_with("fig10:"));
+    }
+
+    #[test]
+    fn mismatched_recording_conditions_are_not_comparable() {
+        let base = report();
+        assert!(base.comparable_with(&report()).is_ok());
+        let full = BenchReport {
+            mode: "full".to_string(),
+            ..report()
+        };
+        assert!(full.comparable_with(&base).unwrap_err().contains("mode"));
+        let no_oracle = BenchReport {
+            oracle: false,
+            ..report()
+        };
+        assert!(no_oracle
+            .comparable_with(&base)
+            .unwrap_err()
+            .contains("oracle"));
+        let rescaled = BenchReport {
+            scale: 64,
+            ..report()
+        };
+        assert!(rescaled
+            .comparable_with(&base)
+            .unwrap_err()
+            .contains("scale"));
+    }
+
+    #[test]
+    fn tiny_baselines_get_a_noise_floor() {
+        let baseline = BenchReport {
+            cells: vec![BenchCell {
+                name: "t".to_string(),
+                millis: 0.2,
+            }],
+            ..report()
+        };
+        let current = BenchReport {
+            cells: vec![BenchCell {
+                name: "t".to_string(),
+                millis: 0.9, // 4.5x but under the 1 ms floor
+            }],
+            ..report()
+        };
+        assert!(regressions(&current, &baseline, 2.0).is_empty());
+    }
+
+    #[test]
+    fn time_cell_reports_positive_wall_clock() {
+        let (value, millis) = time_cell(|| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            7
+        });
+        assert_eq!(value, 7);
+        assert!(millis >= 1.0);
+    }
+}

@@ -23,6 +23,19 @@ pub trait Codec: fmt::Debug + Send + Sync {
     /// codec-specific constraint (none of the bundled codecs have any).
     fn compress(&self, input: &[u8]) -> Result<Vec<u8>, CompressError>;
 
+    /// Compress `input`, appending the encoded bytes to `out` instead of
+    /// allocating a fresh buffer. Callers that compress in a loop clear and
+    /// reuse one scratch buffer, which keeps the hot path allocation-free;
+    /// the bytes appended are identical to what [`Codec::compress`] returns.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Codec::compress`].
+    fn compress_into(&self, input: &[u8], out: &mut Vec<u8>) -> Result<(), CompressError> {
+        out.extend_from_slice(&self.compress(input)?);
+        Ok(())
+    }
+
     /// Decompress `input`, which must have been produced by
     /// [`Codec::compress`] on the same codec, into a buffer of exactly
     /// `decompressed_len` bytes.

@@ -255,9 +255,14 @@ impl Bdi {
 impl Codec for Bdi {
     fn compress(&self, input: &[u8]) -> Result<Vec<u8>, CompressError> {
         let mut out = Vec::with_capacity(input.len() / 2 + 8);
+        self.compress_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    fn compress_into(&self, input: &[u8], out: &mut Vec<u8>) -> Result<(), CompressError> {
         let mut chunks = input.chunks_exact(SEGMENT);
         for seg in &mut chunks {
-            Self::encode_segment(seg, &mut out);
+            Self::encode_segment(seg, out);
         }
         let tail = chunks.remainder();
         if !tail.is_empty() {
@@ -265,7 +270,7 @@ impl Codec for Bdi {
             out.push(tail.len() as u8);
             out.extend_from_slice(tail);
         }
-        Ok(out)
+        Ok(())
     }
 
     fn decompress(&self, input: &[u8], decompressed_len: usize) -> Result<Vec<u8>, CompressError> {

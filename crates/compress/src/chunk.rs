@@ -160,6 +160,19 @@ impl CompressedChunk {
     }
 }
 
+/// The sizes measured by [`ChunkedCodec::compressed_len_only`] — everything
+/// the swap schemes need from a compression run when the payload itself is
+/// never stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompressedLen {
+    /// Total length of the original data.
+    pub original_len: usize,
+    /// Stored length (compressed, counting raw-stored chunks at full size).
+    pub compressed_len: usize,
+    /// Number of chunks the data split into.
+    pub chunk_count: usize,
+}
+
 /// The result of compressing a buffer with a [`ChunkedCodec`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompressedImage {
@@ -289,6 +302,39 @@ impl ChunkedCodec {
         })
     }
 
+    /// Compute the stored (compressed) size `data` would occupy without
+    /// building a [`CompressedImage`]: each chunk is compressed into the
+    /// caller's `scratch` buffer (cleared and reused per chunk), and only the
+    /// winning length — compressed, or raw when compression would expand the
+    /// chunk — is accumulated. The result is bit-identical to
+    /// `self.compress(data)?.compressed_len()` while keeping the hot path
+    /// free of per-chunk allocations; a pinning test enforces the identity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`CompressError`] from the underlying codec.
+    pub fn compressed_len_only(
+        &self,
+        data: &[u8],
+        scratch: &mut Vec<u8>,
+    ) -> Result<CompressedLen, CompressError> {
+        let mut compressed_len = 0usize;
+        let mut chunk_count = 0usize;
+        for piece in data.chunks(self.chunk_size.bytes()) {
+            scratch.clear();
+            self.codec.compress_into(piece, scratch)?;
+            // Same storage decision as `compress`: raw storage wins whenever
+            // compression failed to shrink the chunk.
+            compressed_len += scratch.len().min(piece.len());
+            chunk_count += 1;
+        }
+        Ok(CompressedLen {
+            original_len: data.len(),
+            compressed_len,
+            chunk_count,
+        })
+    }
+
     /// Decompress an entire image back into the original bytes.
     ///
     /// # Errors
@@ -395,6 +441,40 @@ mod tests {
                 let image = codec.compress(&data).unwrap();
                 assert_eq!(codec.decompress(&image).unwrap(), data, "{alg} {size}");
             }
+        }
+    }
+
+    #[test]
+    fn compressed_len_only_is_bit_identical_to_a_full_compression() {
+        let data = sample_data(40_000);
+        let mut scratch = Vec::new();
+        for alg in Algorithm::ALL {
+            for size in [
+                ChunkSize::new(128).unwrap(),
+                ChunkSize::k4(),
+                ChunkSize::k64(),
+            ] {
+                let codec = ChunkedCodec::new(alg, size);
+                let image = codec.compress(&data).unwrap();
+                let lens = codec.compressed_len_only(&data, &mut scratch).unwrap();
+                assert_eq!(lens.compressed_len, image.compressed_len(), "{alg} {size}");
+                assert_eq!(lens.original_len, image.original_len(), "{alg} {size}");
+                assert_eq!(lens.chunk_count, image.chunk_count(), "{alg} {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn compress_into_appends_exactly_what_compress_returns() {
+        let data = sample_data(10_000);
+        for alg in Algorithm::ALL {
+            let codec = alg.codec();
+            let fresh = codec.compress(&data).unwrap();
+            // Pre-seeded scratch: compress_into must append, not overwrite.
+            let mut scratch = vec![0xEEu8; 3];
+            codec.compress_into(&data, &mut scratch).unwrap();
+            assert_eq!(&scratch[..3], &[0xEE; 3], "{alg}");
+            assert_eq!(&scratch[3..], fresh.as_slice(), "{alg}");
         }
     }
 

@@ -54,7 +54,7 @@ mod stats;
 
 pub use algorithm::{Algorithm, Codec};
 pub use bdi::Bdi;
-pub use chunk::{ChunkSize, ChunkedCodec, CompressedChunk, CompressedImage};
+pub use chunk::{ChunkSize, ChunkedCodec, CompressedChunk, CompressedImage, CompressedLen};
 pub use error::CompressError;
 pub use latency::{CostNanos, LatencyModel, LatencyParams};
 pub use lz4::Lz4;

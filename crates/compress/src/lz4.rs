@@ -92,16 +92,21 @@ impl Lz4 {
 
 impl Codec for Lz4 {
     fn compress(&self, input: &[u8]) -> Result<Vec<u8>, CompressError> {
+        let mut out = Vec::with_capacity(input.len() / 2 + 16);
+        self.compress_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    fn compress_into(&self, input: &[u8], out: &mut Vec<u8>) -> Result<(), CompressError> {
         let n = input.len();
-        let mut out = Vec::with_capacity(n / 2 + 16);
         if n == 0 {
             // A block consisting of a single token with zero literals.
             out.push(0);
-            return Ok(out);
+            return Ok(());
         }
         if n < MF_LIMIT + 1 {
-            Self::emit_sequence(&mut out, input, None, 0);
-            return Ok(out);
+            Self::emit_sequence(out, input, None, 0);
+            return Ok(());
         }
 
         let mut table = vec![usize::MAX; 1 << HASH_LOG];
@@ -132,7 +137,7 @@ impl Codec for Lz4 {
             }
 
             let offset = (pos - candidate) as u16;
-            Self::emit_sequence(&mut out, &input[anchor..pos], Some(match_len), offset);
+            Self::emit_sequence(out, &input[anchor..pos], Some(match_len), offset);
 
             pos += match_len;
             anchor = pos;
@@ -146,8 +151,8 @@ impl Codec for Lz4 {
         }
 
         // Trailing literals.
-        Self::emit_sequence(&mut out, &input[anchor..], None, 0);
-        Ok(out)
+        Self::emit_sequence(out, &input[anchor..], None, 0);
+        Ok(())
     }
 
     fn decompress(&self, input: &[u8], decompressed_len: usize) -> Result<Vec<u8>, CompressError> {

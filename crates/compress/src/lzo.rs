@@ -131,11 +131,16 @@ impl Lzo {
 
 impl Codec for Lzo {
     fn compress(&self, input: &[u8]) -> Result<Vec<u8>, CompressError> {
+        let mut out = Vec::with_capacity(input.len() / 2 + 16);
+        self.compress_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    fn compress_into(&self, input: &[u8], out: &mut Vec<u8>) -> Result<(), CompressError> {
         let n = input.len();
-        let mut out = Vec::with_capacity(n / 2 + 16);
         if n < MIN_MATCH + 1 {
-            Self::emit_literals(&mut out, input);
-            return Ok(out);
+            Self::emit_literals(out, input);
+            return Ok(());
         }
 
         let mut head = vec![usize::MAX; 1 << HASH_LOG];
@@ -182,8 +187,8 @@ impl Codec for Lzo {
                         insert(&mut head, &mut prev, pos);
                     }
 
-                    Self::emit_literals(&mut out, &input[anchor..start]);
-                    Self::emit_match(&mut out, use_len, use_dist);
+                    Self::emit_literals(out, &input[anchor..start]);
+                    Self::emit_match(out, use_len, use_dist);
 
                     // Index the positions covered by the match.
                     let end = start + use_len;
@@ -197,8 +202,8 @@ impl Codec for Lzo {
                 }
             }
         }
-        Self::emit_literals(&mut out, &input[anchor..]);
-        Ok(out)
+        Self::emit_literals(out, &input[anchor..]);
+        Ok(())
     }
 
     fn decompress(&self, input: &[u8], decompressed_len: usize) -> Result<Vec<u8>, CompressError> {

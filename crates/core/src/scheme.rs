@@ -18,7 +18,7 @@ use crate::config::{AriadneConfig, HotListMode};
 use crate::hotness::HotnessOrg;
 use crate::identification::{IdentificationMetrics, IdentificationTracker};
 use crate::predecomp::PreDecompBuffer;
-use ariadne_compress::{ChunkSize, ChunkedCodec, CostNanos};
+use ariadne_compress::{ChunkSize, CostNanos};
 use ariadne_mem::{
     AppId, CpuActivity, FlashDevice, Hotness, MainMemory, PageId, PageLocation, ReclaimRequest,
     SimClock, Zpool, ZpoolHandle, PAGE_SIZE,
@@ -125,20 +125,22 @@ impl AriadneScheme {
         clock: &mut SimClock,
         ctx: &SchemeContext,
     ) -> CostNanos {
-        let bytes = ctx.pages_bytes(&group.pages);
-        let codec = ChunkedCodec::new(self.algorithm(), group.chunk_size);
-        let image = codec.compress(&bytes).expect("compression cannot fail");
-        let compressed_len = image.compressed_len();
-        let cost = ctx
-            .latency
-            .compression_cost(self.algorithm(), group.chunk_size, bytes.len());
+        // The oracle memoizes the codec run per (pages, algorithm, chunk
+        // size): a group evicted, faulted back and evicted again is a hash
+        // lookup, not a synthesis + codec pass. Sizes are bit-identical.
+        let outcome = ctx.compress_pages(&group.pages, self.algorithm(), group.chunk_size);
+        self.stats.record_oracle(&outcome);
+        let compressed_len = outcome.compressed_len;
+        let cost =
+            ctx.latency
+                .compression_cost(self.algorithm(), group.chunk_size, outcome.original_len);
 
         let writeback_latency = self.make_zpool_room(compressed_len, clock, ctx);
         if self
             .zpool
             .store(
                 group.pages.clone(),
-                bytes.len(),
+                outcome.original_len,
                 compressed_len,
                 group.chunk_size,
                 group.hotness,
@@ -153,7 +155,7 @@ impl AriadneScheme {
 
         self.stats.compression_ops += 1;
         self.stats.pages_compressed += group.pages.len();
-        self.stats.bytes_before_compression += bytes.len();
+        self.stats.bytes_before_compression += outcome.original_len;
         self.stats.bytes_after_compression += compressed_len;
         self.stats.compression_time += cost;
         self.stats

@@ -11,7 +11,7 @@ use crate::error::MemError;
 use crate::page::{Hotness, PageId};
 use ariadne_compress::ChunkSize;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 /// Size of one zpool block (and of one zram sector) in bytes.
@@ -135,6 +135,11 @@ pub struct Zpool {
     next_sector: u64,
     entries: HashMap<ZpoolHandle, ZpoolEntry>,
     page_index: HashMap<PageId, ZpoolHandle>,
+    /// Per-application handle index: which entries hold data of each app.
+    /// Keeps `release_app` (kill storms) linear in the victim's own entries
+    /// instead of scanning the whole table per kill. Handles are kept in a
+    /// `BTreeSet` so release order is deterministic.
+    app_index: HashMap<crate::page::AppId, BTreeSet<ZpoolHandle>>,
     stores: usize,
     removals: usize,
 }
@@ -235,6 +240,7 @@ impl Zpool {
         self.used += bytes;
         for page in &entry.pages {
             self.page_index.insert(*page, handle);
+            self.app_index.entry(page.app()).or_default().insert(handle);
         }
         self.entries.insert(handle, entry);
         self.stores += 1;
@@ -272,6 +278,12 @@ impl Zpool {
         self.used -= entry.blocks() * ZPOOL_BLOCK_SIZE;
         for page in &entry.pages {
             self.page_index.remove(page);
+            if let Some(handles) = self.app_index.get_mut(&page.app()) {
+                handles.remove(&handle);
+                if handles.is_empty() {
+                    self.app_index.remove(&page.app());
+                }
+            }
         }
         self.removals += 1;
         Ok(entry)
@@ -279,13 +291,14 @@ impl Zpool {
 
     /// Remove every entry belonging to `app` (its process was killed) and
     /// free the blocks. Returns `(entries removed, pages released)`.
+    ///
+    /// Served by the per-app handle index: the cost is proportional to the
+    /// victim's own entries, not to the pool size, so lmkd kill storms stay
+    /// linear instead of going quadratic in zpool entries.
     pub fn release_app(&mut self, app: crate::page::AppId) -> (usize, usize) {
-        let doomed: Vec<ZpoolHandle> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| e.pages.iter().any(|p| p.app() == app))
-            .map(|(handle, _)| *handle)
-            .collect();
+        let Some(doomed) = self.app_index.remove(&app) else {
+            return (0, 0);
+        };
         let mut pages = 0usize;
         for handle in &doomed {
             let entry = self.entries.remove(handle).expect("doomed handle is live");
@@ -298,6 +311,16 @@ impl Zpool {
             self.used -= entry.blocks() * ZPOOL_BLOCK_SIZE;
             for page in &entry.pages {
                 self.page_index.remove(page);
+                // Defensive: if an entry ever mixed applications, drop the
+                // other apps' cross-references so their index stays clean.
+                if page.app() != app {
+                    if let Some(handles) = self.app_index.get_mut(&page.app()) {
+                        handles.remove(handle);
+                        if handles.is_empty() {
+                            self.app_index.remove(&page.app());
+                        }
+                    }
+                }
             }
             pages += entry.pages.len();
             self.removals += 1;
@@ -488,6 +511,36 @@ mod tests {
         assert_eq!(pool.stats().removals, 2);
         // Releasing again finds nothing.
         assert_eq!(pool.release_app(AppId::new(1)), (0, 0));
+    }
+
+    #[test]
+    fn app_index_stays_consistent_across_interleaved_operations() {
+        let mut pool = Zpool::new(1 << 20);
+        // Two apps, interleaved stores; remove some entries by handle before
+        // the kills so the index has seen every mutation path.
+        let h1 = store_one(&mut pool, 1, 1, 2048);
+        let _h2 = store_one(&mut pool, 2, 1, 2048);
+        let _h3 = store_one(&mut pool, 1, 2, 2048);
+        pool.store(
+            vec![page(2, 2), page(2, 3)],
+            8192,
+            3000,
+            ChunkSize::k16(),
+            Hotness::Cold,
+        )
+        .unwrap();
+        pool.remove(h1).unwrap();
+
+        // App 1 has one entry left, app 2 has two (one multi-page).
+        assert_eq!(pool.release_app(AppId::new(1)), (1, 1));
+        assert!(!pool.contains(page(1, 2)));
+        assert_eq!(pool.release_app(AppId::new(1)), (0, 0));
+        assert_eq!(pool.release_app(AppId::new(2)), (2, 3));
+        assert!(pool.is_empty());
+        assert_eq!(pool.used_bytes(), 0);
+        // Re-storing after a full drain works and releases again cleanly.
+        store_one(&mut pool, 1, 9, 1024);
+        assert_eq!(pool.release_app(AppId::new(1)), (1, 1));
     }
 
     #[test]

@@ -6,8 +6,9 @@ use super::ExperimentOptions;
 use crate::energy::EnergyModel;
 use crate::report::{fmt_unit, Table};
 use crate::schemes::SchemeSpec;
-use crate::system::{MobileSystem, SimulationConfig};
+use crate::system::MobileSystem;
 use ariadne_trace::{Scenario, ScenarioKind};
+use ariadne_zram::OracleHandle;
 
 const BASELINE_SCHEMES: [SchemeSpec; 3] = [SchemeSpec::Dram, SchemeSpec::Zram, SchemeSpec::Swap];
 
@@ -19,11 +20,13 @@ pub fn fig2(opts: &ExperimentOptions) -> Table {
         "Figure 2: relaunch latency under DRAM / ZRAM / SWAP (ms)",
         &["app", "DRAM", "ZRAM", "SWAP"],
     );
-    let config = SimulationConfig::new(opts.seed).with_scale(opts.scale);
+    let config = opts.base_config();
+    let oracle = OracleHandle::enabled(opts.oracle);
     for app in opts.reported_apps() {
         let mut cells = vec![app.to_string()];
         for spec in BASELINE_SCHEMES {
             let mut system = MobileSystem::new(spec, config);
+            system.attach_oracle(&oracle);
             system.run_scenario(&Scenario::relaunch_study(app));
             cells.push(fmt_unit(system.average_relaunch_millis(), "ms"));
         }
@@ -41,12 +44,14 @@ pub fn fig3(opts: &ExperimentOptions) -> Table {
         "Figure 3: reclaim (kswapd) CPU usage (s)",
         &["scheme", "reclaim CPU", "normalized to SWAP"],
     );
-    let config = SimulationConfig::new(opts.seed).with_scale(opts.scale);
+    let config = opts.base_config();
+    let oracle = OracleHandle::enabled(opts.oracle);
     let rounds = if opts.quick { 1 } else { 2 };
     let scenario = Scenario::heavy_switching(rounds);
     let mut results = Vec::new();
     for spec in BASELINE_SCHEMES {
         let mut system = MobileSystem::new(spec, config);
+        system.attach_oracle(&oracle);
         system.run_scenario(&scenario);
         let cpu_seconds = system.cpu().reclaim_related().as_secs_f64() * opts.scale as f64;
         results.push((spec.label(), cpu_seconds));
@@ -74,7 +79,8 @@ pub fn table2(opts: &ExperimentOptions) -> Table {
         "Table 2: energy consumption (J, 60 s window)",
         &["workload", "scheme", "energy", "normalized"],
     );
-    let config = SimulationConfig::new(opts.seed).with_scale(opts.scale);
+    let config = opts.base_config();
+    let oracle = OracleHandle::enabled(opts.oracle);
     let model = EnergyModel::pixel7();
     let rounds = if opts.quick { 1 } else { 2 };
     for (kind, scenario) in [
@@ -91,6 +97,7 @@ pub fn table2(opts: &ExperimentOptions) -> Table {
         let mut energies = Vec::new();
         for spec in BASELINE_SCHEMES {
             let mut system = MobileSystem::new(spec, config);
+            system.attach_oracle(&oracle);
             system.run_scenario(&scenario);
             let energy = model.energy_joules(
                 60.0,

@@ -4,12 +4,13 @@
 use super::ExperimentOptions;
 use crate::report::{fmt_unit, Table};
 use crate::schemes::SchemeSpec;
-use crate::system::{MobileSystem, SimulationConfig};
-use ariadne_compress::{Algorithm, ChunkSize, ChunkedCodec, LatencyModel};
+use crate::system::MobileSystem;
+use ariadne_compress::{Algorithm, ChunkSize, ChunkedCodec, CompressionRatio, LatencyModel};
 use ariadne_mem::{Hotness, PageId, PAGE_SIZE};
 use ariadne_trace::{
     measure_consecutive_probability, AppName, PageDataGenerator, Scenario, WorkloadBuilder,
 };
+use ariadne_zram::OracleHandle;
 use std::collections::HashMap;
 
 /// Table 1: anonymous data volume (MB) of five applications, 10 s and 5 min
@@ -45,9 +46,11 @@ pub fn fig4(opts: &ExperimentOptions) -> Table {
         "Figure 4: hotness share per compression-order decile (ZRAM)",
         &["app", "part", "hot", "warm", "cold"],
     );
-    let config = SimulationConfig::new(opts.seed).with_scale(opts.scale);
+    let config = opts.base_config();
+    let oracle = OracleHandle::enabled(opts.oracle);
     for app in opts.reported_apps() {
         let mut system = MobileSystem::new(SchemeSpec::Zram, config);
+        system.attach_oracle(&oracle);
         system.run_scenario(&Scenario::relaunch_study(app));
         let log = system.stats().compression_log.clone();
         if log.is_empty() {
@@ -125,18 +128,24 @@ pub fn fig6(opts: &ExperimentOptions) -> Table {
         "Figure 6: chunk-size sweep (576 MB equivalent)",
         &["algorithm", "chunk", "CompTime", "DecompTime", "CompRatio"],
     );
-    // Sample corpus: pages from several applications, interleaved.
+    // Sample corpus: pages from several applications, interleaved. One
+    // up-front allocation; pages are synthesized in place.
     let sample_pages_per_app = if opts.quick { 64 } else { 512 };
     let generator = PageDataGenerator::new(opts.seed);
-    let mut corpus = Vec::new();
-    for app in opts.reported_apps() {
+    let apps = opts.reported_apps();
+    let mut corpus = vec![0u8; apps.len() * sample_pages_per_app * PAGE_SIZE];
+    for (app_index, app) in apps.iter().enumerate() {
         let profile = app.profile();
         for pfn in 0..sample_pages_per_app {
             let page = PageId::new(
                 ariadne_mem::AppId::new(app.uid()),
                 ariadne_mem::Pfn::new(pfn as u64),
             );
-            corpus.extend(generator.page_bytes(&profile, page));
+            let at = (app_index * sample_pages_per_app + pfn) * PAGE_SIZE;
+            let buf: &mut [u8; PAGE_SIZE] = (&mut corpus[at..at + PAGE_SIZE])
+                .try_into()
+                .expect("page-sized slice");
+            generator.fill_page_bytes(&profile, page, buf);
         }
     }
 
@@ -151,11 +160,18 @@ pub fn fig6(opts: &ExperimentOptions) -> Table {
     } else {
         ChunkSize::figure6_sweep()
     };
+    let mut scratch = Vec::new();
     for algorithm in [Algorithm::Lz4, Algorithm::Lzo] {
         for &chunk in &sweep {
+            // The size-only entry point skips building a CompressedImage:
+            // one reused per-chunk scratch buffer instead of an allocation
+            // per chunk (the 128 B sweep alone is ~80k chunks here).
             let codec = ChunkedCodec::new(algorithm, chunk);
-            let image = codec.compress(&corpus).expect("compression cannot fail");
-            let ratio = image.stats().ratio().value();
+            let lens = codec
+                .compressed_len_only(&corpus, &mut scratch)
+                .expect("compression cannot fail");
+            let ratio =
+                CompressionRatio::from_sizes(lens.original_len, lens.compressed_len).value();
             let comp = model.compression_cost(algorithm, chunk, full_corpus_bytes);
             let decomp = model.decompression_cost(algorithm, chunk, full_corpus_bytes);
             table.push_row(vec![
@@ -179,9 +195,11 @@ pub fn table3(opts: &ExperimentOptions) -> Table {
         "Table 3: probability of consecutive zpool accesses during relaunch",
         &["app", "2 consecutive", "4 consecutive"],
     );
-    let config = SimulationConfig::new(opts.seed).with_scale(opts.scale);
+    let config = opts.base_config();
+    let oracle = OracleHandle::enabled(opts.oracle);
     for app in opts.reported_apps() {
         let mut system = MobileSystem::new(SchemeSpec::Zram, config);
+        system.attach_oracle(&oracle);
         system.run_scenario(&Scenario::relaunch_study(app));
         let trace = &system.stats().swapin_sector_trace;
         let p2 = measure_consecutive_probability(trace, 2);

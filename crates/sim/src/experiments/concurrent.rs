@@ -11,7 +11,6 @@ use super::runner::{run_grid, GridCell};
 use super::ExperimentOptions;
 use crate::report::{fmt_unit, Table};
 use crate::schemes::SchemeSpec;
-use crate::system::SimulationConfig;
 use ariadne_core::SizeConfig;
 use ariadne_trace::TimedScenario;
 
@@ -44,7 +43,7 @@ pub fn multiapp(opts: &ExperimentOptions) -> Table {
             "reclaim CPU",
         ],
     );
-    let config = SimulationConfig::new(opts.seed).with_scale(opts.scale);
+    let config = opts.base_config();
     let scenario = TimedScenario::concurrent_relaunch_storm();
     let cells: Vec<GridCell> = evaluated_schemes()
         .into_iter()

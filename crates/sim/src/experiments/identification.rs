@@ -3,9 +3,10 @@
 use super::ExperimentOptions;
 use crate::report::{fmt_unit, Table};
 use crate::schemes::SchemeSpec;
-use crate::system::{MobileSystem, SimulationConfig};
+use crate::system::MobileSystem;
 use ariadne_core::{AriadneScheme, SizeConfig};
 use ariadne_trace::{AppName, Scenario, ScenarioEvent, ScenarioKind};
+use ariadne_zram::OracleHandle;
 
 /// Build a scenario that relaunches `target` several times with other
 /// applications launched in between (so hot-list predictions are exercised
@@ -48,11 +49,13 @@ pub fn fig14(opts: &ExperimentOptions) -> Table {
         "Figure 14: hot-data identification quality",
         &["app", "coverage", "accuracy"],
     );
-    let config = SimulationConfig::new(opts.seed).with_scale(opts.scale);
+    let config = opts.base_config();
+    let oracle = OracleHandle::enabled(opts.oracle);
     let rounds = if opts.quick { 3 } else { 4 };
     for app in opts.reported_apps() {
         let mut system =
             MobileSystem::new(SchemeSpec::ariadne_ehl(SizeConfig::k1_k2_k16()), config);
+        system.attach_oracle(&oracle);
         system.run_scenario(&repeated_relaunch_scenario(app, rounds));
         let target_id = system.workload(app).app;
         let ariadne = system

@@ -16,10 +16,11 @@ use super::runner::run_cells;
 use super::ExperimentOptions;
 use crate::report::{fmt_unit, Table};
 use crate::schemes::SchemeSpec;
-use crate::system::{MobileSystem, RelaunchKind, SimulationConfig};
+use crate::system::{MobileSystem, RelaunchKind};
 use ariadne_core::SizeConfig;
 use ariadne_mem::{PageLocation, PAGE_SIZE};
 use ariadne_trace::TimedScenario;
+use ariadne_zram::OracleHandle;
 
 /// The five schemes the lifecycle experiment compares.
 #[must_use]
@@ -66,15 +67,15 @@ pub fn lifecycle(opts: &ExperimentOptions) -> Table {
         ],
     );
     let scenario = TimedScenario::kill_storm();
-    let seed = opts.seed;
+    let base = opts.base_config();
+    let oracle = OracleHandle::enabled(opts.oracle);
     let scale = opts.scale;
     let rows = run_cells(evaluated_schemes(), |spec| {
         // A vendor-sized zpool (1/16 of the paper's 3 GB) that the storm
         // drives past what it can absorb.
-        let config = SimulationConfig::new(seed)
-            .with_scale(scale)
-            .with_zpool_shrink(16);
+        let config = base.with_zpool_shrink(16);
         let mut system = MobileSystem::new(spec, config);
+        system.attach_oracle(&oracle);
         system.run_timed(&scenario);
         let full_scale = scale as f64;
         vec![

@@ -28,6 +28,10 @@ pub struct ExperimentOptions {
     pub scale: usize,
     /// Quick mode: fewer applications and smaller samples, for CI and tests.
     pub quick: bool,
+    /// Whether simulations use the memoized compression oracle. Output is
+    /// byte-identical either way (pinned by `tests/oracle_equivalence.rs`);
+    /// the switch exists so the perf harness can measure the saving.
+    pub oracle: bool,
 }
 
 impl ExperimentOptions {
@@ -38,6 +42,7 @@ impl ExperimentOptions {
             seed: 0x0A71_AD4E,
             scale: 64,
             quick: false,
+            oracle: true,
         }
     }
 
@@ -48,7 +53,25 @@ impl ExperimentOptions {
             seed: 0x0A71_AD4E,
             scale: 256,
             quick: true,
+            oracle: true,
         }
+    }
+
+    /// Disable (or re-enable) the memoized compression oracle.
+    #[must_use]
+    pub fn with_oracle(mut self, oracle: bool) -> Self {
+        self.oracle = oracle;
+        self
+    }
+
+    /// The simulation configuration every experiment starts from: seed and
+    /// scale from these options, plus the oracle switch. Experiments layer
+    /// their own overrides (I/O model, zpool shrink, lmkd) on top.
+    #[must_use]
+    pub fn base_config(&self) -> crate::system::SimulationConfig {
+        crate::system::SimulationConfig::new(self.seed)
+            .with_scale(self.scale)
+            .with_oracle(self.oracle)
     }
 
     /// The applications whose per-app results are reported (the paper plots

@@ -3,13 +3,16 @@
 //! Experiment cells — a [`SchemeSpec`] × scenario pair, or a whole named
 //! experiment table — are independent simulations: each constructs its own
 //! [`MobileSystem`] from a seeded [`SimulationConfig`], so no state is
-//! shared between cells. The runner exploits that by spawning **one OS
-//! thread per cell** (there is no work stealing and no shared queue to
-//! introduce scheduling nondeterminism) and then joining the threads **in
-//! spawn order**, which merges results into a fixed order regardless of
-//! which thread finished first. Output is therefore byte-identical to the
-//! serial path for the same `(seed, scale)` — the determinism regression
-//! test in `tests/determinism.rs` pins exactly that.
+//! shared between cells. The runner exploits that by spawning cells onto
+//! their own OS threads (there is no work stealing and no shared queue to
+//! introduce scheduling nondeterminism), **capped at the host's available
+//! parallelism**: cells are split into deterministic chunks of at most that
+//! many threads, each chunk is spawned and joined **in spawn order**, and
+//! only then does the next chunk start. The merge order is therefore a pure
+//! function of the input order — byte-identical to the serial path for the
+//! same `(seed, scale)` — while a 100-cell grid no longer spawns 100
+//! simultaneous OS threads. The determinism regression tests in
+//! `tests/determinism.rs` pin both properties.
 
 use super::ExperimentOptions;
 use crate::report::Table;
@@ -18,25 +21,46 @@ use crate::system::{MobileSystem, SimulationConfig};
 use ariadne_mem::CpuActivity;
 use ariadne_trace::TimedScenario;
 
-/// Run `run` over every cell on its own OS thread and merge the results in
-/// input order. Panics in a cell propagate to the caller.
+/// The cap on simultaneously live experiment threads: the host's available
+/// parallelism (falling back to 8 when the platform cannot report it —
+/// over-subscribing slightly is harmless, unbounded spawning is not).
+#[must_use]
+pub fn max_parallel_cells() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(8)
+        .max(1)
+}
+
+/// Run `run` over every cell, at most [`max_parallel_cells`] threads at a
+/// time, and merge the results in input order (chunked spawn-order joins
+/// keep the merge deterministic). Panics in a cell propagate to the caller.
 pub fn run_cells<I, O, F>(cells: Vec<I>, run: F) -> Vec<O>
 where
     I: Send,
     O: Send,
     F: Fn(I) -> O + Sync,
 {
-    std::thread::scope(|scope| {
-        let run = &run;
-        let handles: Vec<_> = cells
-            .into_iter()
-            .map(|cell| scope.spawn(move || run(cell)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|handle| handle.join().expect("experiment cell panicked"))
-            .collect()
-    })
+    let cap = max_parallel_cells();
+    let mut outputs = Vec::with_capacity(cells.len());
+    let run = &run;
+    let mut remaining = cells.into_iter();
+    loop {
+        let chunk: Vec<I> = remaining.by_ref().take(cap).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunk
+                .into_iter()
+                .map(|cell| scope.spawn(move || run(cell)))
+                .collect();
+            for handle in handles {
+                outputs.push(handle.join().expect("experiment cell panicked"));
+            }
+        });
+    }
+    outputs
 }
 
 /// One cell of a scheme × scenario grid.
@@ -79,8 +103,13 @@ pub struct GridOutcome {
 /// return the outcomes in cell order.
 #[must_use]
 pub fn run_grid(config: SimulationConfig, cells: Vec<GridCell>) -> Vec<GridOutcome> {
+    // One oracle for the whole grid: every cell is built from the same
+    // `(seed, scale)`, so the page bytes cell B compresses are the ones
+    // cell A already compressed.
+    let oracle = ariadne_zram::OracleHandle::enabled(config.oracle);
     run_cells(cells, |cell| {
         let mut system = MobileSystem::new(cell.spec, config);
+        system.attach_oracle(&oracle);
         system.run_timed(&cell.scenario);
         let stats = system.stats();
         let reclaim_cpu = system.cpu().total_for(CpuActivity::ReclaimScan)
@@ -133,6 +162,30 @@ mod tests {
         });
         let order: Vec<u64> = outputs.iter().map(|(n, _, _)| *n).collect();
         assert_eq!(order, inputs);
+    }
+
+    #[test]
+    fn run_cells_never_exceeds_available_parallelism() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cap = max_parallel_cells();
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        // Far more cells than the cap: the chunked spawner must throttle.
+        let cells: Vec<usize> = (0..cap * 4 + 3).collect();
+        let outputs = run_cells(cells.clone(), |n| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            live.fetch_sub(1, Ordering::SeqCst);
+            n * 2
+        });
+        assert!(
+            peak.load(Ordering::SeqCst) <= cap,
+            "peak {} threads exceeded the cap {cap}",
+            peak.load(Ordering::SeqCst)
+        );
+        let expected: Vec<usize> = cells.iter().map(|n| n * 2).collect();
+        assert_eq!(outputs, expected, "merge order must stay the input order");
     }
 
     #[test]

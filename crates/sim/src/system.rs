@@ -53,6 +53,11 @@ pub struct SimulationConfig {
     /// Thresholds and pacing of the low-memory killer. Only consulted when
     /// the scenario arms lmkd ([`TimedScenario::lmkd`]).
     pub lmkd: LmkdConfig,
+    /// Whether the memoized compression oracle is active. Results are
+    /// byte-identical either way (pinned by tests); disabling it only
+    /// forces every compression through a cold codec run, which is what the
+    /// perf harness compares against.
+    pub oracle: bool,
 }
 
 impl SimulationConfig {
@@ -66,6 +71,7 @@ impl SimulationConfig {
             io: FlashIoConfig::ufs31(),
             zpool_shrink: 1,
             lmkd: LmkdConfig::default(),
+            oracle: true,
         }
     }
 
@@ -95,6 +101,13 @@ impl SimulationConfig {
     #[must_use]
     pub fn with_lmkd(mut self, lmkd: LmkdConfig) -> Self {
         self.lmkd = lmkd;
+        self
+    }
+
+    /// Enable or disable the memoized compression oracle (on by default).
+    #[must_use]
+    pub fn with_oracle(mut self, oracle: bool) -> Self {
+        self.oracle = oracle;
         self
     }
 
@@ -207,7 +220,8 @@ impl MobileSystem {
     #[must_use]
     pub fn new(spec: SchemeSpec, config: SimulationConfig) -> Self {
         let workload_list = config.workloads();
-        let ctx = SchemeContext::new(config.seed, &workload_list);
+        let ctx =
+            SchemeContext::new(config.seed, &workload_list).with_oracle_enabled(config.oracle);
         let scheme = spec.build(config.memory());
         MobileSystem {
             config,
@@ -289,6 +303,28 @@ impl MobileSystem {
     #[must_use]
     pub fn cpu(&self) -> &CpuBreakdown {
         self.clock.cpu()
+    }
+
+    /// Lifetime counters of this system's compression oracle.
+    #[must_use]
+    pub fn oracle_stats(&self) -> ariadne_zram::OracleStats {
+        self.ctx.oracle_stats()
+    }
+
+    /// Join the shared compression oracle behind `handle`, replacing this
+    /// system's private one. Within one experiment every system is built
+    /// from the same `(seed, scale)` — identical page bytes — so sharing
+    /// lets the ZRAM run for app B reuse what the run for app A already
+    /// compressed. Must not be shared between systems with different seeds;
+    /// call before the first event runs.
+    pub fn attach_oracle(&mut self, handle: &ariadne_zram::OracleHandle) {
+        self.ctx = self.ctx.clone().with_oracle_handle(handle);
+    }
+
+    /// A handle to this system's oracle (for sharing with later systems).
+    #[must_use]
+    pub fn oracle_handle(&self) -> ariadne_zram::OracleHandle {
+        self.ctx.oracle_handle()
     }
 
     /// CPU time of the workload itself (application execution, independent of

@@ -49,6 +49,32 @@ fn parallel_runner_output_is_byte_identical_to_serial() {
     }
 }
 
+/// The runner caps live threads at the host's available parallelism and
+/// joins in chunked spawn order; with far more cells than cores the merge
+/// must still be byte-identical to the serial path, in input order.
+#[test]
+fn chunked_parallel_runner_is_byte_identical_with_more_cells_than_cores() {
+    let opts = ExperimentOptions::quick();
+    let cap = runner::max_parallel_cells();
+    // Repeat the catalog selection until the cell count clearly exceeds the
+    // thread cap, so several chunks are exercised.
+    let mut names: Vec<String> = Vec::new();
+    while names.len() <= cap * 2 {
+        names.extend(NAMES.iter().map(|n| (*n).to_string()));
+    }
+    let parallel = runner::run_named_parallel(&names, &opts);
+    assert_eq!(parallel.len(), names.len());
+    for (slot, (name, table)) in parallel.iter().enumerate() {
+        assert_eq!(name, &names[slot], "merge order must be the input order");
+        let serial = run_by_name(name, &opts).expect("known experiment");
+        assert_eq!(
+            table.as_ref().expect("known experiment").to_json(),
+            serial.to_json(),
+            "{name} (cell {slot}): chunked parallel and serial output diverge"
+        );
+    }
+}
+
 /// The writeback-heavy scenario keeps flash write commands in flight while
 /// relaunches fault against them; replays must still be byte-identical
 /// across repeated runs, for every I/O model.

@@ -124,9 +124,23 @@ impl PageDataGenerator {
 
     /// Generate the 4 KiB contents of `page` for an application described by
     /// `profile`.
+    ///
+    /// Thin allocating wrapper over [`PageDataGenerator::fill_page_bytes`];
+    /// hot paths (the compression oracle, the codec benchmarks) use the
+    /// fill variant with a reused buffer instead.
     #[must_use]
     pub fn page_bytes(&self, profile: &AppProfile, page: PageId) -> Vec<u8> {
-        let mut out = Vec::with_capacity(PAGE_SIZE);
+        let mut out = vec![0u8; PAGE_SIZE];
+        let buf: &mut [u8; PAGE_SIZE] = out.as_mut_slice().try_into().expect("PAGE_SIZE buffer");
+        self.fill_page_bytes(profile, page, buf);
+        out
+    }
+
+    /// Synthesise the contents of `page` into a caller-provided buffer
+    /// without allocating. Every byte of `out` is overwritten, so the buffer
+    /// may be reused across calls; the bytes written are identical to what
+    /// [`PageDataGenerator::page_bytes`] returns.
+    pub fn fill_page_bytes(&self, profile: &AppProfile, page: PageId, out: &mut [u8; PAGE_SIZE]) {
         for region_index in 0..PAGE_SIZE / REGION_SIZE {
             let class = self.region_class(profile, page, region_index);
             // Template pooling: draw the region's template id from a small
@@ -138,10 +152,9 @@ impl PageDataGenerator {
                 .wrapping_add(page.pfn().value())
                 .wrapping_add((region_index as u64) << 32);
             let template = splitmix64(&mut state) % 24;
-            self.fill_region(&mut out, class, page, template, region_index);
+            let region = &mut out[region_index * REGION_SIZE..(region_index + 1) * REGION_SIZE];
+            self.fill_region(region, class, page, template, region_index);
         }
-        debug_assert_eq!(out.len(), PAGE_SIZE);
-        out
     }
 
     /// Total bytes of anonymous data generated for `pages` pages.
@@ -150,17 +163,21 @@ impl PageDataGenerator {
         pages * PAGE_SIZE
     }
 
+    /// Write exactly [`REGION_SIZE`] bytes of `class`-typed content into
+    /// `out` (a region-sized slice of the page buffer). Index-based writes
+    /// keep the hot synthesis path free of intermediate allocations.
     fn fill_region(
         &self,
-        out: &mut Vec<u8>,
+        out: &mut [u8],
         class: ContentClass,
         page: PageId,
         template: u64,
         region_index: usize,
     ) {
+        debug_assert_eq!(out.len(), REGION_SIZE);
         let app_seed = u64::from(page.app().value());
         match class {
-            ContentClass::Zeros => out.extend_from_slice(&[0u8; REGION_SIZE]),
+            ContentClass::Zeros => out.fill(0),
             ContentClass::Pointers => {
                 // 16 pointers of 8 bytes: shared arena base per (app, template),
                 // deltas grow with the slot index.
@@ -170,7 +187,7 @@ impl PageDataGenerator {
                     + (region_index as u64 % 4) * 0x800;
                 for slot in 0..REGION_SIZE / 8 {
                     let ptr = base + (slot as u64) * 64 + (template % 8) * 8;
-                    out.extend_from_slice(&ptr.to_le_bytes());
+                    out[slot * 8..slot * 8 + 8].copy_from_slice(&ptr.to_le_bytes());
                 }
             }
             ContentClass::SmallIntegers => {
@@ -178,7 +195,7 @@ impl PageDataGenerator {
                 let base = (template * 17 + 100) as u32;
                 for slot in 0..REGION_SIZE / 4 {
                     let value = base + (slot as u32 % 7);
-                    out.extend_from_slice(&value.to_le_bytes());
+                    out[slot * 4..slot * 4 + 4].copy_from_slice(&value.to_le_bytes());
                 }
             }
             ContentClass::Text => {
@@ -197,7 +214,7 @@ impl PageDataGenerator {
                 while written < REGION_SIZE {
                     let word = WORDS[idx % WORDS.len()];
                     let take = word.len().min(REGION_SIZE - written);
-                    out.extend_from_slice(&word[..take]);
+                    out[written..written + take].copy_from_slice(&word[..take]);
                     written += take;
                     idx += 1;
                 }
@@ -206,11 +223,12 @@ impl PageDataGenerator {
                 // Four 32-byte records: shared template header plus a small
                 // per-record payload.
                 for record in 0..REGION_SIZE / 32 {
+                    let at = record * 32;
                     let header = (0xDEAD_0000u32 + template as u32 * 8).to_le_bytes();
-                    out.extend_from_slice(&header);
-                    out.extend_from_slice(&(template as u32).to_le_bytes());
-                    out.extend_from_slice(&(record as u32).to_le_bytes());
-                    out.extend_from_slice(&[(template % 251) as u8; 20]);
+                    out[at..at + 4].copy_from_slice(&header);
+                    out[at + 4..at + 8].copy_from_slice(&(template as u32).to_le_bytes());
+                    out[at + 8..at + 12].copy_from_slice(&(record as u32).to_le_bytes());
+                    out[at + 12..at + 32].fill((template % 251) as u8);
                 }
             }
             ContentClass::Media => {
@@ -221,8 +239,9 @@ impl PageDataGenerator {
                     .wrapping_add(app_seed << 32)
                     .wrapping_add(page.pfn().value().wrapping_mul(31))
                     .wrapping_add(region_index as u64);
-                for _ in 0..REGION_SIZE / 8 {
-                    out.extend_from_slice(&splitmix64(&mut state).to_le_bytes());
+                for slot in 0..REGION_SIZE / 8 {
+                    out[slot * 8..slot * 8 + 8]
+                        .copy_from_slice(&splitmix64(&mut state).to_le_bytes());
                 }
             }
         }
@@ -248,6 +267,19 @@ mod tests {
         let b = generator.page_bytes(&profile, page(AppName::Twitter, 3));
         assert_eq!(a, b);
         assert_eq!(a.len(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn fill_page_bytes_matches_the_allocating_wrapper() {
+        let generator = PageDataGenerator::new(7);
+        let profile = AppName::Twitter.profile();
+        // A dirty, reused buffer must be fully overwritten.
+        let mut buf = [0xAAu8; PAGE_SIZE];
+        for pfn in 0..16u64 {
+            let p = page(AppName::Twitter, pfn);
+            generator.fill_page_bytes(&profile, p, &mut buf);
+            assert_eq!(buf.as_slice(), generator.page_bytes(&profile, p).as_slice());
+        }
     }
 
     #[test]

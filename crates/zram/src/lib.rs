@@ -22,12 +22,14 @@
 #![warn(missing_docs)]
 
 pub mod dram_only;
+pub mod oracle;
 pub mod scheme;
 pub mod swap;
 pub mod writeback;
 pub mod zram;
 
 pub use dram_only::DramOnlyScheme;
+pub use oracle::{CodecScratch, CompressionOracle, OracleHandle, OracleOutcome, OracleStats};
 pub use scheme::{
     AccessKind, AccessOutcome, MemoryConfig, MemoryPressure, PressureLevel, ReclaimOutcome,
     ReleasedFootprint, SchemeContext, SchemeStats, SwapScheme, WritebackPolicy,

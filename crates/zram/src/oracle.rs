@@ -1,0 +1,619 @@
+//! The memoized compression oracle.
+//!
+//! Every page in the workspace is synthesized deterministically: the bytes of
+//! a page are a pure function of `(seed, profile, page)`. Compressing the
+//! same page (or the same multi-page group) with the same algorithm and chunk
+//! size therefore produces a bit-identical result every time — yet the
+//! schemes used to re-pay page synthesis, a fresh buffer per page and a full
+//! codec run on every relaunch storm, kswapd wake and zpool-overflow
+//! writeback. [`CompressionOracle`] exploits the immutability: results are
+//! memoized under `(pages, algorithm, chunk size)`, so repeated compressions
+//! of unchanged data cost one hash lookup instead of a codec run.
+//!
+//! Three properties make the cache safe and fast:
+//!
+//! * **Bit-identity** — a hit returns exactly what a cold codec run would
+//!   (the cold run itself goes through the zero-allocation
+//!   [`compressed_len_only`](ariadne_compress::ChunkedCodec::compressed_len_only)
+//!   path); property tests pin this across every algorithm × chunk size.
+//! * **Zero allocation in steady state** — the probe key, the page-synthesis
+//!   buffer and the per-chunk codec scratch are all reused; only the first
+//!   sighting of a group allocates (to clone the key into the map).
+//! * **Bounded memory** — entries are kept in strict LRU order with a
+//!   configurable entry cap, and payload caching (storing the whole
+//!   [`CompressedImage`], off by default) is governed by a byte budget.
+//!
+//! The oracle only memoizes *results* (sizes, and optionally payloads); the
+//! simulated latency of a compression is still charged by the schemes from
+//! the calibrated cost model, so experiment output is byte-identical with
+//! the oracle on or off — only the host wall-clock changes.
+
+use ariadne_compress::{Algorithm, ChunkSize, ChunkedCodec, CompressedImage};
+use ariadne_mem::{PageId, PAGE_SIZE};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Cache key: the exact page group plus the codec configuration. Two groups
+/// with the same pages in a different order are different keys (the
+/// concatenated bytes differ), which is exactly what correctness requires.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct OracleKey {
+    algorithm: Algorithm,
+    chunk_size: ChunkSize,
+    pages: Vec<PageId>,
+}
+
+/// One memoized compression result.
+#[derive(Debug, Clone)]
+struct Slot {
+    /// LRU tick of the most recent use (key into the order map).
+    tick: u64,
+    original_len: usize,
+    compressed_len: usize,
+    chunk_count: usize,
+    /// The full compressed image, kept only while the payload byte budget
+    /// allows (metadata survives payload eviction).
+    image: Option<CompressedImage>,
+}
+
+/// What one oracle consultation produced. The sizes are bit-identical
+/// whether the result came from the cache or from a cold codec run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleOutcome {
+    /// Bytes of original (uncompressed) data.
+    pub original_len: usize,
+    /// Bytes the compressed image would occupy.
+    pub compressed_len: usize,
+    /// Number of chunks the data split into.
+    pub chunk_count: usize,
+    /// Whether the result was served from the cache.
+    pub hit: bool,
+}
+
+/// Lifetime counters of one oracle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Consultations served from the cache.
+    pub hits: usize,
+    /// Consultations that ran the codec.
+    pub misses: usize,
+    /// Original bytes whose synthesis + compression a hit avoided.
+    pub bytes_saved: usize,
+    /// Entries evicted by the LRU entry cap.
+    pub evictions: usize,
+    /// Payloads dropped to stay within the payload byte budget.
+    pub payload_evictions: usize,
+}
+
+/// Reusable synthesis + codec state for cold compression runs: the group
+/// byte buffer, the per-chunk codec scratch and one boxed codec per
+/// `(algorithm, chunk size)` pair. The oracle owns one for its own
+/// single-threaded convenience path; `SchemeContext` keeps one per thread
+/// so cold runs never execute under the shared oracle lock.
+#[derive(Debug, Default)]
+pub struct CodecScratch {
+    data: Vec<u8>,
+    chunk: Vec<u8>,
+    codecs: HashMap<(Algorithm, ChunkSize), ChunkedCodec>,
+}
+
+impl CodecScratch {
+    /// Synthesize `pages` via `fill` and compress them, reusing this
+    /// scratch's buffers. Returns the sizes and, when `want_image`, the full
+    /// [`CompressedImage`] (the only allocating variant).
+    pub fn compress(
+        &mut self,
+        pages: &[PageId],
+        algorithm: Algorithm,
+        chunk_size: ChunkSize,
+        want_image: bool,
+        fill: &mut dyn FnMut(PageId, &mut [u8; PAGE_SIZE]),
+    ) -> (ariadne_compress::CompressedLen, Option<CompressedImage>) {
+        let original_len = pages.len() * PAGE_SIZE;
+        self.data.clear();
+        self.data.resize(original_len, 0);
+        for (index, &page) in pages.iter().enumerate() {
+            let buf: &mut [u8; PAGE_SIZE] = (&mut self.data
+                [index * PAGE_SIZE..(index + 1) * PAGE_SIZE])
+                .try_into()
+                .expect("page-sized slice");
+            fill(page, buf);
+        }
+        let codec = self
+            .codecs
+            .entry((algorithm, chunk_size))
+            .or_insert_with(|| ChunkedCodec::new(algorithm, chunk_size));
+        if want_image {
+            let image = codec.compress(&self.data).expect("compression cannot fail");
+            let lens = ariadne_compress::CompressedLen {
+                original_len: image.original_len(),
+                compressed_len: image.compressed_len(),
+                chunk_count: image.chunk_count(),
+            };
+            (lens, Some(image))
+        } else {
+            let lens = codec
+                .compressed_len_only(&self.data, &mut self.chunk)
+                .expect("compression cannot fail");
+            (lens, None)
+        }
+    }
+}
+
+/// Deterministic memoization layer over the chunked codecs (see the module
+/// documentation).
+///
+/// ```
+/// use ariadne_zram::SchemeContext;
+/// use ariadne_compress::{Algorithm, ChunkSize};
+/// use ariadne_trace::{AppName, WorkloadBuilder};
+///
+/// let workloads = vec![WorkloadBuilder::new(1).scale(1024).build(AppName::Twitter)];
+/// let ctx = SchemeContext::new(1, &workloads);
+/// let page = workloads[0].pages[0].page;
+/// let cold = ctx.compress_pages(&[page], Algorithm::Lzo, ChunkSize::k4());
+/// let hit = ctx.compress_pages(&[page], Algorithm::Lzo, ChunkSize::k4());
+/// assert!(!cold.hit && hit.hit);
+/// assert_eq!(cold.compressed_len, hit.compressed_len);
+/// ```
+#[derive(Debug)]
+pub struct CompressionOracle {
+    enabled: bool,
+    max_entries: usize,
+    payload_budget: usize,
+    payload_bytes: usize,
+    tick: u64,
+    entries: HashMap<OracleKey, Slot>,
+    /// LRU order: tick → key. Ticks are unique, so the lowest tick is always
+    /// the least recently used entry; eviction order is fully deterministic.
+    order: BTreeMap<u64, OracleKey>,
+    /// The ticks (in LRU order) of the slots that still hold a payload, so
+    /// payload eviction pops the oldest payload directly instead of
+    /// rescanning already-stripped entries.
+    payload_ticks: BTreeSet<u64>,
+    /// Reused probe key: hits and the probe itself allocate nothing.
+    key_scratch: OracleKey,
+    /// Synthesis + codec scratch for the single-threaded convenience path
+    /// ([`CompressionOracle::compress_pages`]).
+    scratch: CodecScratch,
+    stats: OracleStats,
+}
+
+impl CompressionOracle {
+    /// Default cap on memoized entries. Each entry is a few hundred bytes of
+    /// metadata, so the cap bounds the oracle to a few MiB of host memory.
+    pub const DEFAULT_MAX_ENTRIES: usize = 1 << 16;
+
+    /// Create an enabled oracle with the default entry cap and payload
+    /// caching disabled (metadata only — what the swap schemes consume).
+    #[must_use]
+    pub fn new() -> Self {
+        CompressionOracle {
+            enabled: true,
+            max_entries: Self::DEFAULT_MAX_ENTRIES,
+            payload_budget: 0,
+            payload_bytes: 0,
+            tick: 0,
+            entries: HashMap::new(),
+            order: BTreeMap::new(),
+            payload_ticks: BTreeSet::new(),
+            key_scratch: OracleKey {
+                algorithm: Algorithm::Lzo,
+                chunk_size: ChunkSize::k4(),
+                pages: Vec::new(),
+            },
+            scratch: CodecScratch::default(),
+            stats: OracleStats::default(),
+        }
+    }
+
+    /// Create a disabled oracle: every consultation runs the codec (still
+    /// through the zero-allocation scratch path) and nothing is cached. Used
+    /// to pin that results are byte-identical with memoization on or off.
+    #[must_use]
+    pub fn disabled() -> Self {
+        CompressionOracle {
+            enabled: false,
+            ..CompressionOracle::new()
+        }
+    }
+
+    /// Override the LRU entry cap (at least 1).
+    #[must_use]
+    pub fn with_max_entries(mut self, max_entries: usize) -> Self {
+        self.max_entries = max_entries.max(1);
+        self
+    }
+
+    /// Enable payload caching: full [`CompressedImage`]s are kept alongside
+    /// the metadata while their total compressed size fits in `bytes`.
+    #[must_use]
+    pub fn with_payload_budget(mut self, bytes: usize) -> Self {
+        self.payload_budget = bytes;
+        self
+    }
+
+    /// Whether memoization is active.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Number of memoized entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Compressed bytes currently held by cached payloads.
+    #[must_use]
+    pub fn payload_bytes(&self) -> usize {
+        self.payload_bytes
+    }
+
+    /// Lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> OracleStats {
+        self.stats
+    }
+
+    /// Probe the cache for `(pages, algorithm, chunk_size)`. A hit updates
+    /// the LRU order and the hit/bytes-saved counters; a miss (or a disabled
+    /// oracle) returns `None` without touching anything, so callers can run
+    /// the codec **outside** the oracle lock and [`CompressionOracle::admit`]
+    /// the result afterwards.
+    pub fn lookup(
+        &mut self,
+        pages: &[PageId],
+        algorithm: Algorithm,
+        chunk_size: ChunkSize,
+    ) -> Option<OracleOutcome> {
+        if !self.enabled {
+            return None;
+        }
+        self.key_scratch.algorithm = algorithm;
+        self.key_scratch.chunk_size = chunk_size;
+        self.key_scratch.pages.clear();
+        self.key_scratch.pages.extend_from_slice(pages);
+        let slot = self.entries.get_mut(&self.key_scratch)?;
+        self.tick += 1;
+        let key = self
+            .order
+            .remove(&slot.tick)
+            .expect("every live slot has an order entry");
+        self.order.insert(self.tick, key);
+        if slot.image.is_some() {
+            self.payload_ticks.remove(&slot.tick);
+            self.payload_ticks.insert(self.tick);
+        }
+        slot.tick = self.tick;
+        self.stats.hits += 1;
+        self.stats.bytes_saved += slot.original_len;
+        Some(OracleOutcome {
+            original_len: slot.original_len,
+            compressed_len: slot.compressed_len,
+            chunk_count: slot.chunk_count,
+            hit: true,
+        })
+    }
+
+    /// Whether a cold run should build the full [`CompressedImage`] so it
+    /// can be admitted as a cached payload.
+    #[must_use]
+    pub fn caches_payloads(&self) -> bool {
+        self.enabled && self.payload_budget > 0
+    }
+
+    /// Record a cold compression result computed by the caller (typically
+    /// outside the oracle lock, via [`CodecScratch::compress`]). Counts the
+    /// miss and inserts the entry unless a concurrent caller admitted the
+    /// same key first — duplicate computes of the same key are bit-identical
+    /// by construction, so dropping the copy is harmless.
+    pub fn admit(
+        &mut self,
+        pages: &[PageId],
+        algorithm: Algorithm,
+        chunk_size: ChunkSize,
+        lens: ariadne_compress::CompressedLen,
+        image: Option<CompressedImage>,
+    ) -> OracleOutcome {
+        let outcome = OracleOutcome {
+            original_len: lens.original_len,
+            compressed_len: lens.compressed_len,
+            chunk_count: lens.chunk_count,
+            hit: false,
+        };
+        if !self.enabled {
+            return outcome;
+        }
+        self.stats.misses += 1;
+        self.key_scratch.algorithm = algorithm;
+        self.key_scratch.chunk_size = chunk_size;
+        self.key_scratch.pages.clear();
+        self.key_scratch.pages.extend_from_slice(pages);
+        if self.entries.contains_key(&self.key_scratch) {
+            return outcome;
+        }
+        let image = image.filter(|i| i.compressed_len() <= self.payload_budget);
+        self.payload_bytes += image.as_ref().map_or(0, CompressedImage::compressed_len);
+        self.tick += 1;
+        if image.is_some() {
+            self.payload_ticks.insert(self.tick);
+        }
+        let key = self.key_scratch.clone();
+        self.order.insert(self.tick, key.clone());
+        self.entries.insert(
+            key,
+            Slot {
+                tick: self.tick,
+                original_len: lens.original_len,
+                compressed_len: lens.compressed_len,
+                chunk_count: lens.chunk_count,
+                image,
+            },
+        );
+        self.enforce_budgets();
+        outcome
+    }
+
+    /// Compress the concatenated contents of `pages` with `(algorithm,
+    /// chunk_size)`, serving from the cache when possible. `fill` synthesizes
+    /// one page into the reused group buffer on a miss (it is not called on
+    /// hits — that is the point). Single-threaded convenience over
+    /// [`CompressionOracle::lookup`] / [`CompressionOracle::admit`]; lock
+    /// holders that can compute outside the lock should use those directly.
+    pub fn compress_pages(
+        &mut self,
+        pages: &[PageId],
+        algorithm: Algorithm,
+        chunk_size: ChunkSize,
+        fill: &mut dyn FnMut(PageId, &mut [u8; PAGE_SIZE]),
+    ) -> OracleOutcome {
+        if let Some(hit) = self.lookup(pages, algorithm, chunk_size) {
+            return hit;
+        }
+        let want_image = self.caches_payloads();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let (lens, image) = scratch.compress(pages, algorithm, chunk_size, want_image, fill);
+        self.scratch = scratch;
+        self.admit(pages, algorithm, chunk_size, lens, image)
+    }
+
+    /// The cached compressed image for a group, if payload caching kept it.
+    #[must_use]
+    pub fn cached_image(
+        &self,
+        pages: &[PageId],
+        algorithm: Algorithm,
+        chunk_size: ChunkSize,
+    ) -> Option<&CompressedImage> {
+        let key = OracleKey {
+            algorithm,
+            chunk_size,
+            pages: pages.to_vec(),
+        };
+        self.entries.get(&key)?.image.as_ref()
+    }
+
+    /// Evict (a) whole entries beyond the LRU cap and (b) payloads beyond
+    /// the payload byte budget, both oldest-first. The payload walk pops
+    /// from the payload-tick index, so its cost is proportional to the
+    /// payloads actually evicted, not to the cache size.
+    fn enforce_budgets(&mut self) {
+        while self.entries.len() > self.max_entries {
+            let (tick, key) = self
+                .order
+                .pop_first()
+                .expect("non-empty cache has an order entry");
+            let slot = self
+                .entries
+                .remove(&key)
+                .expect("order entries name live slots");
+            if slot.image.is_some() {
+                self.payload_ticks.remove(&tick);
+            }
+            self.payload_bytes -= slot
+                .image
+                .as_ref()
+                .map_or(0, CompressedImage::compressed_len);
+            self.stats.evictions += 1;
+        }
+        while self.payload_bytes > self.payload_budget {
+            let Some(tick) = self.payload_ticks.pop_first() else {
+                break;
+            };
+            let key = &self.order[&tick];
+            let slot = self.entries.get_mut(key).expect("live slot");
+            let image = slot.image.take().expect("payload tick names a payload");
+            self.payload_bytes -= image.compressed_len();
+            self.stats.payload_evictions += 1;
+        }
+    }
+}
+
+impl Default for CompressionOracle {
+    fn default() -> Self {
+        CompressionOracle::new()
+    }
+}
+
+/// A cloneable handle to one shared [`CompressionOracle`].
+///
+/// Within one experiment, every simulated system is built from the same
+/// `(seed, scale)` — the synthesized bytes of a page are identical across
+/// all of them — so the oracle pays off most when *shared across systems*:
+/// the ZRAM column of Figure 10 compresses the same pages once per run of
+/// five apps instead of five times. Experiments create one handle and attach
+/// it to every system they build; systems with different seeds must never
+/// share a handle (their page contents differ).
+///
+/// Sharing across concurrently running systems is safe for results (hits
+/// and misses report bit-identical sizes, and simulated costs never depend
+/// on the cache), but the hit/miss *counters* then depend on thread
+/// interleaving — which is why experiment tables never include them.
+#[derive(Debug, Clone)]
+pub struct OracleHandle(pub(crate) std::sync::Arc<std::sync::Mutex<CompressionOracle>>);
+
+impl OracleHandle {
+    /// Wrap an oracle in a shareable handle.
+    #[must_use]
+    pub fn new(oracle: CompressionOracle) -> Self {
+        OracleHandle(std::sync::Arc::new(std::sync::Mutex::new(oracle)))
+    }
+
+    /// An enabled ([`CompressionOracle::new`]) or disabled
+    /// ([`CompressionOracle::disabled`]) oracle behind a fresh handle.
+    #[must_use]
+    pub fn enabled(enabled: bool) -> Self {
+        if enabled {
+            OracleHandle::new(CompressionOracle::new())
+        } else {
+            OracleHandle::new(CompressionOracle::disabled())
+        }
+    }
+
+    /// Lifetime counters of the shared oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock was poisoned by a panicking thread.
+    #[must_use]
+    pub fn stats(&self) -> OracleStats {
+        self.0.lock().expect("oracle lock poisoned").stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ariadne_mem::{AppId, Pfn};
+
+    fn page(pfn: u64) -> PageId {
+        PageId::new(AppId::new(1), Pfn::new(pfn))
+    }
+
+    /// A synthetic filler with recognizable, deterministic per-page content.
+    fn fill(page: PageId, buf: &mut [u8; PAGE_SIZE]) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = ((page.pfn().value() as usize * 31 + i / 64) % 251) as u8;
+        }
+    }
+
+    #[test]
+    fn hits_return_the_cold_result_bit_for_bit() {
+        let mut oracle = CompressionOracle::new();
+        let pages = [page(1), page(2), page(3), page(4)];
+        let cold = oracle.compress_pages(&pages, Algorithm::Lzo, ChunkSize::k16(), &mut fill);
+        let hit = oracle.compress_pages(&pages, Algorithm::Lzo, ChunkSize::k16(), &mut fill);
+        assert!(!cold.hit && hit.hit);
+        assert_eq!(cold.original_len, hit.original_len);
+        assert_eq!(cold.compressed_len, hit.compressed_len);
+        assert_eq!(cold.chunk_count, hit.chunk_count);
+        assert_eq!(oracle.stats().hits, 1);
+        assert_eq!(oracle.stats().misses, 1);
+        assert_eq!(oracle.stats().bytes_saved, 4 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn different_keys_do_not_collide() {
+        let mut oracle = CompressionOracle::new();
+        let a = oracle.compress_pages(&[page(1)], Algorithm::Lzo, ChunkSize::k4(), &mut fill);
+        let b = oracle.compress_pages(&[page(1)], Algorithm::Lz4, ChunkSize::k4(), &mut fill);
+        let c = oracle.compress_pages(&[page(1)], Algorithm::Lzo, ChunkSize::k1(), &mut fill);
+        let d = oracle.compress_pages(&[page(2)], Algorithm::Lzo, ChunkSize::k4(), &mut fill);
+        assert!(!a.hit && !b.hit && !c.hit && !d.hit);
+        assert_eq!(oracle.len(), 4);
+    }
+
+    #[test]
+    fn disabled_oracle_caches_nothing_but_reports_identical_sizes() {
+        let mut enabled = CompressionOracle::new();
+        let mut disabled = CompressionOracle::disabled();
+        let pages = [page(7), page(9)];
+        let on = enabled.compress_pages(&pages, Algorithm::Lz4, ChunkSize::k4(), &mut fill);
+        let off = disabled.compress_pages(&pages, Algorithm::Lz4, ChunkSize::k4(), &mut fill);
+        assert_eq!(on.compressed_len, off.compressed_len);
+        let off2 = disabled.compress_pages(&pages, Algorithm::Lz4, ChunkSize::k4(), &mut fill);
+        assert!(!off2.hit, "disabled oracle never hits");
+        assert!(disabled.is_empty());
+        assert_eq!(disabled.stats().misses, 0, "disabled oracle counts nothing");
+    }
+
+    #[test]
+    fn lru_cap_evicts_the_least_recently_used_entry() {
+        let mut oracle = CompressionOracle::new().with_max_entries(2);
+        oracle.compress_pages(&[page(1)], Algorithm::Lzo, ChunkSize::k4(), &mut fill);
+        oracle.compress_pages(&[page(2)], Algorithm::Lzo, ChunkSize::k4(), &mut fill);
+        // Touch page 1 so page 2 becomes the LRU victim.
+        let hit = oracle.compress_pages(&[page(1)], Algorithm::Lzo, ChunkSize::k4(), &mut fill);
+        assert!(hit.hit);
+        oracle.compress_pages(&[page(3)], Algorithm::Lzo, ChunkSize::k4(), &mut fill);
+        assert_eq!(oracle.len(), 2);
+        assert_eq!(oracle.stats().evictions, 1);
+        let page1 = oracle.compress_pages(&[page(1)], Algorithm::Lzo, ChunkSize::k4(), &mut fill);
+        assert!(page1.hit, "page 1 survived (recently used)");
+        let page2 = oracle.compress_pages(&[page(2)], Algorithm::Lzo, ChunkSize::k4(), &mut fill);
+        assert!(!page2.hit, "page 2 was the LRU victim");
+    }
+
+    #[test]
+    fn lookup_admit_round_trip_and_duplicate_admits_are_harmless() {
+        let mut oracle = CompressionOracle::new();
+        let pages = [page(5), page(6)];
+        assert!(oracle
+            .lookup(&pages, Algorithm::Lzo, ChunkSize::k4())
+            .is_none());
+
+        // Compute outside the oracle (the two-phase context path) and admit.
+        let mut scratch = CodecScratch::default();
+        let (lens, image) =
+            scratch.compress(&pages, Algorithm::Lzo, ChunkSize::k4(), false, &mut fill);
+        assert!(image.is_none(), "payload caching is off by default");
+        let admitted = oracle.admit(&pages, Algorithm::Lzo, ChunkSize::k4(), lens, image);
+        assert!(!admitted.hit);
+
+        // A concurrent duplicate compute admits the same key again: counted
+        // as a miss, entry kept once, later lookups hit.
+        let (lens2, _) =
+            scratch.compress(&pages, Algorithm::Lzo, ChunkSize::k4(), false, &mut fill);
+        assert_eq!(lens, lens2, "duplicate computes are bit-identical");
+        oracle.admit(&pages, Algorithm::Lzo, ChunkSize::k4(), lens2, None);
+        assert_eq!(oracle.len(), 1);
+        assert_eq!(oracle.stats().misses, 2);
+        let hit = oracle
+            .lookup(&pages, Algorithm::Lzo, ChunkSize::k4())
+            .expect("admitted entry must hit");
+        assert_eq!(hit.compressed_len, lens.compressed_len);
+    }
+
+    #[test]
+    fn payload_budget_keeps_and_drops_whole_images() {
+        let mut oracle = CompressionOracle::new().with_payload_budget(2 * PAGE_SIZE);
+        let pages = [page(1)];
+        oracle.compress_pages(&pages, Algorithm::Lzo, ChunkSize::k4(), &mut fill);
+        let image = oracle
+            .cached_image(&pages, Algorithm::Lzo, ChunkSize::k4())
+            .expect("payload cached within budget")
+            .clone();
+        // The cached payload is the real compression of the real bytes.
+        let mut data = vec![0u8; PAGE_SIZE];
+        fill(pages[0], (&mut data[..]).try_into().unwrap());
+        let codec = ChunkedCodec::new(Algorithm::Lzo, ChunkSize::k4());
+        assert_eq!(codec.decompress(&image).unwrap(), data);
+        assert_eq!(image, codec.compress(&data).unwrap());
+
+        // Fill past the byte budget: old payloads are dropped, metadata stays.
+        for pfn in 10..40 {
+            oracle.compress_pages(&[page(pfn)], Algorithm::Lzo, ChunkSize::k4(), &mut fill);
+        }
+        assert!(oracle.payload_bytes() <= 2 * PAGE_SIZE);
+        assert!(oracle.stats().payload_evictions > 0);
+        let hit = oracle.compress_pages(&pages, Algorithm::Lzo, ChunkSize::k4(), &mut fill);
+        assert!(hit.hit, "metadata survives payload eviction");
+    }
+}

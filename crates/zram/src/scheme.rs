@@ -6,7 +6,8 @@
 //! drives schemes exclusively through this trait, so the baseline-versus-
 //! Ariadne comparisons of the paper's evaluation are apples-to-apples.
 
-use ariadne_compress::{Algorithm, CostNanos, LatencyModel};
+use crate::oracle::{CodecScratch, CompressionOracle, OracleHandle, OracleOutcome, OracleStats};
+use ariadne_compress::{Algorithm, ChunkSize, CostNanos, LatencyModel};
 use ariadne_mem::{
     AppId, CpuBreakdown, FlashIoConfig, FlashStats, MainMemory, MemTimingModel, PageId,
     PageLocation, ReclaimReason, ReclaimRequest, SimClock, Watermarks, ZpoolStats, PAGE_SIZE,
@@ -15,6 +16,15 @@ use ariadne_trace::{AppProfile, AppWorkload, PageDataGenerator};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex};
+
+thread_local! {
+    /// Per-thread synthesis + codec scratch for cold oracle runs, so misses
+    /// never execute under the shared oracle lock (see
+    /// [`SchemeContext::compress_pages`]).
+    static CODEC_SCRATCH: std::cell::RefCell<CodecScratch> =
+        std::cell::RefCell::new(CodecScratch::default());
+}
 
 /// Implements the [`SwapScheme`] identity boilerplate (`as_any`,
 /// `as_any_mut` and optionally `name`) inside a `impl SwapScheme for ...`
@@ -230,12 +240,15 @@ impl MemoryPressure {
     }
 }
 
-/// Read-only context handed to schemes: page contents, application profiles
-/// and the latency models.
+/// Read-only context handed to schemes: page contents, application profiles,
+/// the latency models and the shared [`CompressionOracle`].
 #[derive(Debug, Clone)]
 pub struct SchemeContext {
     data: PageDataGenerator,
     profiles: HashMap<AppId, AppProfile>,
+    /// The memoized compression oracle shared by every consumer of this
+    /// context (clones share the same cache).
+    oracle: Arc<Mutex<CompressionOracle>>,
     /// Memory-hierarchy latency constants.
     pub timing: MemTimingModel,
     /// Compression-latency cost model.
@@ -246,12 +259,13 @@ pub struct SchemeContext {
 }
 
 impl SchemeContext {
-    /// Build a context for the given workloads.
+    /// Build a context for the given workloads (oracle enabled).
     #[must_use]
     pub fn new(seed: u64, workloads: &[AppWorkload]) -> Self {
         SchemeContext {
             data: PageDataGenerator::new(seed),
             profiles: workloads.iter().map(|w| (w.app, w.profile)).collect(),
+            oracle: Arc::new(Mutex::new(CompressionOracle::new())),
             timing: MemTimingModel::pixel7(),
             latency: LatencyModel::pixel7(),
             drain_batch_pages: 32,
@@ -263,6 +277,41 @@ impl SchemeContext {
     pub fn with_drain_batch_pages(mut self, pages: usize) -> Self {
         self.drain_batch_pages = pages.max(1);
         self
+    }
+
+    /// Replace the oracle (e.g. [`CompressionOracle::disabled`] to pin that
+    /// results are byte-identical with memoization off, or one with a
+    /// payload budget). The context gets its own fresh cache.
+    #[must_use]
+    pub fn with_oracle(mut self, oracle: CompressionOracle) -> Self {
+        self.oracle = Arc::new(Mutex::new(oracle));
+        self
+    }
+
+    /// Enable or disable memoization, keeping everything else. Results are
+    /// byte-identical either way; only host wall-clock changes.
+    #[must_use]
+    pub fn with_oracle_enabled(self, enabled: bool) -> Self {
+        if enabled {
+            self.with_oracle(CompressionOracle::new())
+        } else {
+            self.with_oracle(CompressionOracle::disabled())
+        }
+    }
+
+    /// Attach a shared oracle: this context joins the cache behind `handle`
+    /// (see [`OracleHandle`] for when sharing is sound).
+    #[must_use]
+    pub fn with_oracle_handle(mut self, handle: &OracleHandle) -> Self {
+        self.oracle = std::sync::Arc::clone(&handle.0);
+        self
+    }
+
+    /// A handle to this context's oracle, for sharing it with other systems
+    /// built from the same seed.
+    #[must_use]
+    pub fn oracle_handle(&self) -> OracleHandle {
+        OracleHandle(std::sync::Arc::clone(&self.oracle))
     }
 
     /// The synthetic contents of `page`.
@@ -280,6 +329,22 @@ impl SchemeContext {
         self.data.page_bytes(profile, page)
     }
 
+    /// Synthesize the contents of `page` into a caller-provided buffer
+    /// without allocating (the zero-allocation variant of
+    /// [`SchemeContext::page_bytes`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page belongs to an application that was not part of the
+    /// workloads this context was built from.
+    pub fn fill_page_bytes(&self, page: PageId, out: &mut [u8; PAGE_SIZE]) {
+        let profile = self
+            .profiles
+            .get(&page.app())
+            .unwrap_or_else(|| panic!("no profile registered for {}", page.app()));
+        self.data.fill_page_bytes(profile, page, out);
+    }
+
     /// Concatenated contents of several pages (what a multi-page compression
     /// chunk operates on).
     #[must_use]
@@ -289,6 +354,83 @@ impl SchemeContext {
             out.extend(self.page_bytes(*page));
         }
         out
+    }
+
+    /// Compress the concatenated contents of `pages` through the shared
+    /// [`CompressionOracle`]: a repeat of an earlier `(pages, algorithm,
+    /// chunk_size)` consultation is served from the cache without
+    /// re-synthesizing or re-compressing a single byte. The sizes returned
+    /// are bit-identical to a cold codec run either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a page belongs to an application that was not part of the
+    /// workloads this context was built from, or if the oracle lock was
+    /// poisoned by a panicking thread.
+    #[must_use]
+    pub fn compress_pages(
+        &self,
+        pages: &[PageId],
+        algorithm: Algorithm,
+        chunk_size: ChunkSize,
+    ) -> OracleOutcome {
+        // Two-phase consultation so the shared lock is never held across a
+        // codec run: probe under the lock, compute a miss on this thread's
+        // own scratch with the lock released (parallel cells of a shared
+        // grid stay parallel on cold caches), then admit the result. Two
+        // threads may compute the same key concurrently; the results are
+        // bit-identical by construction and `admit` keeps the first.
+        let want_image = {
+            let mut oracle = self.oracle.lock().expect("oracle lock poisoned");
+            if let Some(hit) = oracle.lookup(pages, algorithm, chunk_size) {
+                return hit;
+            }
+            oracle.caches_payloads()
+        };
+        let (lens, image) = CODEC_SCRATCH.with(|scratch| {
+            scratch.borrow_mut().compress(
+                pages,
+                algorithm,
+                chunk_size,
+                want_image,
+                &mut |page, buf| self.fill_page_bytes(page, buf),
+            )
+        });
+        self.oracle
+            .lock()
+            .expect("oracle lock poisoned")
+            .admit(pages, algorithm, chunk_size, lens, image)
+    }
+
+    /// Lifetime counters of the shared oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the oracle lock was poisoned by a panicking thread.
+    #[must_use]
+    pub fn oracle_stats(&self) -> OracleStats {
+        self.oracle.lock().expect("oracle lock poisoned").stats()
+    }
+
+    /// A clone of the compressed image the oracle cached for `(pages,
+    /// algorithm, chunk_size)`, if payload caching kept one. Tests use this
+    /// to pin that cached payloads are bit-identical to fresh codec runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the oracle lock was poisoned by a panicking thread.
+    #[must_use]
+    pub fn cached_image(
+        &self,
+        pages: &[PageId],
+        algorithm: Algorithm,
+        chunk_size: ChunkSize,
+    ) -> Option<ariadne_compress::CompressedImage> {
+        self.oracle
+            .lock()
+            .expect("oracle lock poisoned")
+            .cached_image(pages, algorithm, chunk_size)
+            .cloned()
     }
 
     /// The profile of `app`, if it is part of the workload set.
@@ -339,6 +481,14 @@ pub struct SchemeStats {
     /// writeback (a measure of writeback throttling, not of user-visible
     /// latency unless the submitter was a direct reclaim).
     pub io_queue_stall_time: CostNanos,
+    /// Compressions served from the memoized [`CompressionOracle`] without
+    /// running the codec.
+    pub oracle_hits: usize,
+    /// Compressions that had to run the codec (cold oracle consultations).
+    pub oracle_misses: usize,
+    /// Original bytes whose synthesis and compression an oracle hit avoided
+    /// (host-CPU work saved; simulated costs are charged identically).
+    pub oracle_bytes_saved: usize,
     /// Order in which pages were first compressed (the Figure 4 analysis
     /// sorts compressed data by compression time).
     pub compression_log: Vec<PageId>,
@@ -364,6 +514,17 @@ impl SchemeStats {
     #[must_use]
     pub fn compression_cpu(&self) -> CostNanos {
         self.compression_time + self.decompression_time
+    }
+
+    /// Record one [`CompressionOracle`] consultation in the hit/miss/
+    /// bytes-saved ledger (called by the schemes after every compression).
+    pub fn record_oracle(&mut self, outcome: &OracleOutcome) {
+        if outcome.hit {
+            self.oracle_hits += 1;
+            self.oracle_bytes_saved += outcome.original_len;
+        } else {
+            self.oracle_misses += 1;
+        }
     }
 }
 
@@ -560,6 +721,52 @@ mod tests {
         assert_eq!(ctx.pages_bytes(&[page, page]).len(), 2 * PAGE_SIZE);
         assert!(ctx.profile(page.app()).is_some());
         assert!(ctx.profile(AppId::new(1)).is_none());
+    }
+
+    #[test]
+    fn context_oracle_serves_repeat_compressions_from_the_cache() {
+        let workloads = vec![WorkloadBuilder::new(1).scale(1024).build(AppName::Twitter)];
+        let ctx = SchemeContext::new(1, &workloads);
+        let pages: Vec<PageId> = workloads[0].pages.iter().map(|p| p.page).take(4).collect();
+        let cold = ctx.compress_pages(&pages, Algorithm::Lzo, ChunkSize::k16());
+        let warm = ctx.compress_pages(&pages, Algorithm::Lzo, ChunkSize::k16());
+        assert!(!cold.hit && warm.hit);
+        assert_eq!(cold.compressed_len, warm.compressed_len);
+        assert_eq!(cold.original_len, 4 * PAGE_SIZE);
+        // Clones share the cache; a disabled context gets a fresh one but
+        // reports the same sizes.
+        let clone_hit = ctx
+            .clone()
+            .compress_pages(&pages, Algorithm::Lzo, ChunkSize::k16());
+        assert!(clone_hit.hit);
+        let off = ctx.clone().with_oracle_enabled(false).compress_pages(
+            &pages,
+            Algorithm::Lzo,
+            ChunkSize::k16(),
+        );
+        assert!(!off.hit);
+        assert_eq!(off.compressed_len, cold.compressed_len);
+        assert_eq!(ctx.oracle_stats().hits, 2);
+    }
+
+    #[test]
+    fn stats_record_oracle_consultations() {
+        let mut stats = SchemeStats::default();
+        stats.record_oracle(&OracleOutcome {
+            original_len: PAGE_SIZE,
+            compressed_len: 1000,
+            chunk_count: 1,
+            hit: false,
+        });
+        stats.record_oracle(&OracleOutcome {
+            original_len: PAGE_SIZE,
+            compressed_len: 1000,
+            chunk_count: 1,
+            hit: true,
+        });
+        assert_eq!(stats.oracle_hits, 1);
+        assert_eq!(stats.oracle_misses, 1);
+        assert_eq!(stats.oracle_bytes_saved, PAGE_SIZE);
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Property tests for the memoized compression oracle: a cache hit must be
+//! bit-identical to a cold codec run, for every algorithm × chunk size ×
+//! page group, with the oracle enabled, disabled, or payload-caching.
+
+use ariadne_compress::{Algorithm, ChunkSize, ChunkedCodec};
+use ariadne_mem::{PageId, PAGE_SIZE};
+use ariadne_trace::{AppName, WorkloadBuilder};
+use ariadne_zram::{CompressionOracle, SchemeContext};
+use proptest::prelude::*;
+
+/// The workload pages oracle groups are drawn from (two apps, so groups can
+/// come from either profile).
+fn harness() -> (SchemeContext, Vec<PageId>) {
+    let workloads = vec![
+        WorkloadBuilder::new(9).scale(1024).build(AppName::Twitter),
+        WorkloadBuilder::new(9).scale(1024).build(AppName::Youtube),
+    ];
+    let ctx = SchemeContext::new(9, &workloads);
+    let pages: Vec<PageId> = workloads
+        .iter()
+        .flat_map(|w| w.pages.iter().map(|p| p.page))
+        .collect();
+    (ctx, pages)
+}
+
+fn algorithm(index: u8) -> Algorithm {
+    Algorithm::ALL[index as usize % Algorithm::ALL.len()]
+}
+
+fn chunk_size(index: u8) -> ChunkSize {
+    let sweep = ChunkSize::figure6_sweep();
+    sweep[index as usize % sweep.len()]
+}
+
+/// Map raw picks onto a same-app page group (entries never mix apps), with
+/// duplicates removed (a page is stored at most once per group).
+fn group(pages: &[PageId], picks: &[u16]) -> Vec<PageId> {
+    let app = pages[picks[0] as usize % pages.len()].app();
+    let mut out: Vec<PageId> = Vec::new();
+    for &pick in picks {
+        let page = pages[pick as usize % pages.len()];
+        if page.app() == app && !out.contains(&page) {
+            out.push(page);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // The core bit-identity contract: for any group, algorithm and chunk
+    // size, (a) a cold oracle run, (b) a cache hit, (c) a disabled-oracle
+    // run and (d) a direct `ChunkedCodec::compress` of the synthesized
+    // bytes all report the same sizes.
+    #[test]
+    fn oracle_hits_are_bit_identical_to_cold_codec_runs(
+        picks in proptest::collection::vec(proptest::prelude::any::<u16>(), 1..6),
+        alg_pick in 0u8..3,
+        chunk_pick in 0u8..11,
+    ) {
+        let (ctx, pages) = harness();
+        let group = group(&pages, &picks);
+        let algorithm = algorithm(alg_pick);
+        let chunk_size = chunk_size(chunk_pick);
+
+        let cold = ctx.compress_pages(&group, algorithm, chunk_size);
+        let hit = ctx.compress_pages(&group, algorithm, chunk_size);
+        prop_assert!(!cold.hit && hit.hit);
+
+        let off = ctx
+            .clone()
+            .with_oracle_enabled(false)
+            .compress_pages(&group, algorithm, chunk_size);
+        prop_assert!(!off.hit);
+
+        let image = ChunkedCodec::new(algorithm, chunk_size)
+            .compress(&ctx.pages_bytes(&group))
+            .expect("compression cannot fail");
+
+        for outcome in [&cold, &hit, &off] {
+            prop_assert_eq!(outcome.original_len, group.len() * PAGE_SIZE);
+            prop_assert_eq!(outcome.original_len, image.original_len());
+            prop_assert_eq!(outcome.compressed_len, image.compressed_len());
+            prop_assert_eq!(outcome.chunk_count, image.chunk_count());
+        }
+    }
+
+    // Payload caching: the cached image is the genuine compression of the
+    // genuine page bytes — it decompresses back to them exactly and equals
+    // a fresh codec run chunk for chunk.
+    #[test]
+    fn cached_payloads_are_the_real_compressed_images(
+        picks in proptest::collection::vec(proptest::prelude::any::<u16>(), 1..4),
+        alg_pick in 0u8..3,
+        chunk_pick in 0u8..11,
+    ) {
+        let (ctx, pages) = harness();
+        let ctx = ctx.with_oracle(CompressionOracle::new().with_payload_budget(1 << 20));
+        let group = group(&pages, &picks);
+        let algorithm = algorithm(alg_pick);
+        let chunk_size = chunk_size(chunk_pick);
+
+        let outcome = ctx.compress_pages(&group, algorithm, chunk_size);
+        let bytes = ctx.pages_bytes(&group);
+        let codec = ChunkedCodec::new(algorithm, chunk_size);
+        let fresh = codec.compress(&bytes).expect("compression cannot fail");
+        prop_assert_eq!(outcome.compressed_len, fresh.compressed_len());
+
+        let cached = ctx
+            .cached_image(&group, algorithm, chunk_size)
+            .expect("payload cached within the 1 MiB budget");
+        prop_assert_eq!(&cached, &fresh);
+        prop_assert_eq!(codec.decompress(&cached).expect("roundtrip"), bytes);
+    }
+}
+
+/// Deterministic (non-property) pin: the oracle serves hits across *clones*
+/// of a context — the sharing the schemes rely on — and its counters add up.
+#[test]
+fn shared_oracle_counts_hits_across_context_clones() {
+    let (ctx, pages) = harness();
+    let group: Vec<PageId> = pages.iter().take(4).copied().collect();
+    let clone = ctx.clone();
+    let first = ctx.compress_pages(&group, Algorithm::Lzo, ChunkSize::k16());
+    let second = clone.compress_pages(&group, Algorithm::Lzo, ChunkSize::k16());
+    assert!(!first.hit && second.hit);
+    assert_eq!(first.compressed_len, second.compressed_len);
+    let stats = ctx.oracle_stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1));
+    assert_eq!(stats.bytes_saved, 4 * PAGE_SIZE);
+}

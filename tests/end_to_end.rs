@@ -143,6 +143,7 @@ fn experiment_harness_produces_a_table_for_every_catalog_entry() {
         seed: 1,
         scale: 512,
         quick: true,
+        oracle: true,
     };
     for name in [
         "table1",
