@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! experiments [--quick] [--scale N] [--seed N] [--json] [--serial] [--list]
-//!             [--no-oracle] [--bench-json PATH] [--bench-compare BASELINE]
-//!             [EXPERIMENT ...]
+//!             [--no-oracle] [--thermal-off] [--bench-json PATH]
+//!             [--bench-compare BASELINE] [EXPERIMENT ...]
 //! ```
 //!
 //! With no experiment names, all experiments run in paper order.
@@ -22,6 +22,11 @@
 //! recorded baseline. `--no-oracle` disables the memoized compression
 //! oracle — output is byte-identical, only wall-clock changes, which is
 //! exactly what the harness measures.
+//!
+//! `--thermal-off` forces the thermal model off in every experiment. For
+//! everything except `lifetime` (whose default is the sustained-load
+//! model) output is byte-identical to a default run — CI diffs the two
+//! JSON documents to pin that.
 
 use ariadne_bench::perf::{self, BenchCell, BenchReport};
 use ariadne_sim::experiments::{catalog, runner, ExperimentOptions};
@@ -63,6 +68,9 @@ fn parse_args() -> Result<(ExperimentOptions, OutputOptions, Vec<String>), Strin
                     .map_err(|_| format!("invalid seed `{value}`"))?;
             }
             "--no-oracle" => opts.oracle = false,
+            "--thermal-off" => {
+                opts.thermal = Some(ariadne_compress::ThermalConfig::off());
+            }
             "--json" => output.json = true,
             "--serial" => output.serial = true,
             "--list" => output.list = true,
@@ -76,8 +84,8 @@ fn parse_args() -> Result<(ExperimentOptions, OutputOptions, Vec<String>), Strin
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--quick] [--scale N] [--seed N] [--json] [--serial] \
-                     [--list] [--no-oracle] [--bench-json PATH] [--bench-compare BASELINE] \
-                     [EXPERIMENT ...]"
+                     [--list] [--no-oracle] [--thermal-off] [--bench-json PATH] \
+                     [--bench-compare BASELINE] [EXPERIMENT ...]"
                 );
                 std::process::exit(0);
             }

@@ -4,9 +4,11 @@
 //! wall-clock milliseconds the cell took (simulated time is a different
 //! axis entirely and already byte-pinned by the determinism tests). The
 //! resulting `BENCH_*.json` files form the repository's performance
-//! trajectory: `BENCH_PR5.json` is the first recorded baseline, and the CI
-//! bench-smoke step fails when any cell regresses more than
-//! [`DEFAULT_REGRESSION_FACTOR`]× over its recorded baseline.
+//! trajectory: `BENCH_PR5.json` is the first recorded baseline,
+//! `BENCH_PR6.json` the next point on the curve, and the CI bench-smoke
+//! step fails when any cell regresses more than
+//! [`DEFAULT_REGRESSION_FACTOR`]× over its recorded baseline (cells new
+//! since the baseline are recorded but not gated).
 //!
 //! The JSON produced here is written and parsed by this module only (the
 //! workspace deliberately carries no JSON dependency), so the parser is a

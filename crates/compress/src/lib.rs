@@ -51,6 +51,7 @@ mod latency;
 mod lz4;
 mod lzo;
 mod stats;
+mod thermal;
 
 pub use algorithm::{Algorithm, Codec};
 pub use bdi::Bdi;
@@ -60,6 +61,7 @@ pub use latency::{CostNanos, LatencyModel, LatencyParams};
 pub use lz4::Lz4;
 pub use lzo::Lzo;
 pub use stats::{CompressionRatio, CompressionStats};
+pub use thermal::{ThermalConfig, ThermalModel};
 
 /// The page size used throughout the workspace (4 KiB, as on the Pixel 7).
 pub const PAGE_SIZE: usize = 4096;

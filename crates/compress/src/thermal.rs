@@ -1,0 +1,264 @@
+//! Thermal / CPU-frequency throttling model for sustained compression load.
+//!
+//! A phone that compresses continuously heats up, the governor drops the
+//! CPU frequency, and every further (de)compression takes longer — the
+//! regime behind the paper's CPU-usage-under-throttling claim. The model
+//! here is a deliberately simple exponentially-smoothed heat state:
+//!
+//! * every (de)compression charge adds its **base** cost to a heat
+//!   accumulator;
+//! * the accumulator decays with time constant [`ThermalConfig::tau_nanos`]
+//!   between charges (integer arithmetic, so replays are deterministic);
+//! * the current heat, relative to [`ThermalConfig::saturation_nanos`],
+//!   inflates the next charge by up to [`ThermalConfig::max_extra_ppm`]
+//!   parts per million.
+//!
+//! Inflation is computed from the heat accumulated *before* the current
+//! operation, so a cold CPU's first operation is never inflated, and a
+//! disabled model (the default) returns every base cost untouched —
+//! byte-identical to a workspace that has never heard of thermals. The
+//! model is charged through `SchemeContext` in `ariadne-zram`, which every
+//! scheme shares, so no scheme can dodge the throttle.
+
+use crate::latency::CostNanos;
+use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+
+/// Knobs of the thermal throttling model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThermalConfig {
+    /// Whether throttling is modelled at all. Off by default; when off the
+    /// model is a transparent pass-through and no state is kept.
+    pub enabled: bool,
+    /// Exponential-decay time constant of the heat state, in simulated
+    /// nanoseconds: after `tau_nanos` of idle time roughly half the heat
+    /// has dissipated.
+    pub tau_nanos: u128,
+    /// Heat level (accumulated busy-nanoseconds) at which throttling
+    /// saturates at [`ThermalConfig::max_extra_ppm`].
+    pub saturation_nanos: u128,
+    /// Maximum cost inflation, in parts per million of the base cost
+    /// (500_000 = a fully heat-soaked CPU runs 1.5× slower).
+    pub max_extra_ppm: u64,
+}
+
+impl ThermalConfig {
+    /// The disabled model: every cost passes through untouched.
+    #[must_use]
+    pub fn off() -> Self {
+        ThermalConfig {
+            enabled: false,
+            tau_nanos: 0,
+            saturation_nanos: 0,
+            max_extra_ppm: 0,
+        }
+    }
+
+    /// A phone-like sustained-load profile: heat halves after ~100 ms of
+    /// idle simulated time, saturates after ~50 ms of accumulated
+    /// compression work, and a saturated CPU runs 1.5× slower.
+    #[must_use]
+    pub fn sustained() -> Self {
+        ThermalConfig {
+            enabled: true,
+            tau_nanos: 100_000_000,
+            saturation_nanos: 50_000_000,
+            max_extra_ppm: 500_000,
+        }
+    }
+}
+
+impl Default for ThermalConfig {
+    fn default() -> Self {
+        ThermalConfig::off()
+    }
+}
+
+/// The exponentially-smoothed thermal state.
+///
+/// Interior mutability (`Cell`) because the charge sites only hold a shared
+/// `&SchemeContext`; all fields are `Copy`, so the model stays `Clone`.
+#[derive(Debug, Clone)]
+pub struct ThermalModel {
+    config: ThermalConfig,
+    /// Accumulated busy-nanoseconds of compression work, post-decay.
+    heat: Cell<u128>,
+    /// Simulated instant of the last charge (for the decay step).
+    last_update: Cell<u128>,
+    /// Lifetime sum of inflation added on top of base costs.
+    extra_nanos: Cell<u128>,
+}
+
+impl ThermalModel {
+    /// Build a model with the given knobs (cold state).
+    #[must_use]
+    pub fn new(config: ThermalConfig) -> Self {
+        ThermalModel {
+            config,
+            heat: Cell::new(0),
+            last_update: Cell::new(0),
+            extra_nanos: Cell::new(0),
+        }
+    }
+
+    /// The knobs in effect.
+    #[must_use]
+    pub fn config(&self) -> ThermalConfig {
+        self.config
+    }
+
+    /// Whether the model actually inflates anything.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.config.enabled
+    }
+
+    /// The current heat level, in accumulated busy-nanoseconds (post-decay
+    /// as of the last charge).
+    #[must_use]
+    pub fn heat_nanos(&self) -> u128 {
+        self.heat.get()
+    }
+
+    /// Lifetime nanoseconds of inflation charged on top of base costs —
+    /// the "thermal-inflated CPU time" column of the lifetime experiment.
+    #[must_use]
+    pub fn extra_nanos(&self) -> CostNanos {
+        CostNanos(self.extra_nanos.get())
+    }
+
+    /// The current throttle, in parts per million of extra cost, without
+    /// advancing any state.
+    #[must_use]
+    pub fn throttle_ppm(&self) -> u64 {
+        if !self.config.enabled || self.config.saturation_nanos == 0 {
+            return 0;
+        }
+        let raw = self
+            .heat
+            .get()
+            .saturating_mul(u128::from(self.config.max_extra_ppm))
+            / self.config.saturation_nanos;
+        raw.min(u128::from(self.config.max_extra_ppm)) as u64
+    }
+
+    /// Charge one (de)compression of base cost `base` at simulated instant
+    /// `now_nanos`: decay the heat for the elapsed time, inflate `base` by
+    /// the *prior* heat, then absorb `base` into the heat state. Returns
+    /// the inflated cost (== `base` when disabled).
+    pub fn charge(&self, base: CostNanos, now_nanos: u128) -> CostNanos {
+        if !self.config.enabled {
+            return base;
+        }
+        // Exponential decay in integer arithmetic: each elapsed `tau`
+        // roughly halves the heat (heat * tau / (tau + dt) is the first-
+        // order rational approximation, monotone and overflow-safe).
+        let dt = now_nanos.saturating_sub(self.last_update.get());
+        if dt > 0 && self.config.tau_nanos > 0 {
+            let tau = self.config.tau_nanos;
+            let decayed = self
+                .heat
+                .get()
+                .saturating_mul(tau)
+                .checked_div(tau.saturating_add(dt))
+                .unwrap_or(0);
+            self.heat.set(decayed);
+        }
+        self.last_update.set(now_nanos);
+        let extra = base.as_nanos() * u128::from(self.throttle_ppm()) / 1_000_000;
+        self.heat
+            .set(self.heat.get().saturating_add(base.as_nanos()));
+        self.extra_nanos.set(self.extra_nanos.get() + extra);
+        CostNanos(base.as_nanos() + extra)
+    }
+}
+
+impl Default for ThermalModel {
+    fn default() -> Self {
+        ThermalModel::new(ThermalConfig::off())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_model_is_a_transparent_pass_through() {
+        let model = ThermalModel::default();
+        for i in 0..100u128 {
+            assert_eq!(model.charge(CostNanos(12_345), i * 1000), CostNanos(12_345));
+        }
+        assert_eq!(model.heat_nanos(), 0);
+        assert_eq!(model.extra_nanos(), CostNanos::zero());
+        assert_eq!(model.throttle_ppm(), 0);
+    }
+
+    #[test]
+    fn the_first_operation_of_a_cold_cpu_is_never_inflated() {
+        let model = ThermalModel::new(ThermalConfig::sustained());
+        assert_eq!(model.charge(CostNanos(1_000_000), 0), CostNanos(1_000_000));
+        assert!(model.heat_nanos() > 0);
+    }
+
+    #[test]
+    fn sustained_load_inflates_and_saturates() {
+        let config = ThermalConfig::sustained();
+        let model = ThermalModel::new(config);
+        let base = CostNanos(5_000_000);
+        let mut now = 0u128;
+        let mut last = CostNanos::zero();
+        // Back-to-back charges: heat only grows, inflation is monotone.
+        for _ in 0..40 {
+            let inflated = model.charge(base, now);
+            assert!(inflated >= last, "inflation must not shrink under load");
+            last = inflated;
+            now += 1; // essentially no decay between charges
+        }
+        // Saturated: exactly max_extra_ppm on top.
+        let saturated = model.charge(base, now);
+        assert_eq!(
+            saturated,
+            CostNanos(
+                base.as_nanos() + base.as_nanos() * u128::from(config.max_extra_ppm) / 1_000_000
+            )
+        );
+        assert!(model.extra_nanos() > CostNanos::zero());
+    }
+
+    #[test]
+    fn idle_time_cools_the_cpu_back_down() {
+        let model = ThermalModel::new(ThermalConfig::sustained());
+        let base = CostNanos(5_000_000);
+        let mut now = 0u128;
+        for _ in 0..40 {
+            model.charge(base, now);
+            now += 1;
+        }
+        let hot = model.throttle_ppm();
+        assert!(hot > 0);
+        // A long idle gap decays the heat away.
+        now += 100 * 100_000_000;
+        model.charge(CostNanos(1), now);
+        assert!(
+            model.throttle_ppm() < hot / 10,
+            "a long idle must shed most of the heat"
+        );
+    }
+
+    #[test]
+    fn identical_charge_sequences_are_deterministic() {
+        let a = ThermalModel::new(ThermalConfig::sustained());
+        let b = ThermalModel::new(ThermalConfig::sustained());
+        let mut totals = (CostNanos::zero(), CostNanos::zero());
+        for i in 0..200u128 {
+            let base = CostNanos(10_000 + (i * 977) % 50_000);
+            let at = i * 123_456;
+            totals.0 += a.charge(base, at);
+            totals.1 += b.charge(base, at);
+        }
+        assert_eq!(totals.0, totals.1);
+        assert_eq!(a.heat_nanos(), b.heat_nanos());
+        assert_eq!(a.extra_nanos(), b.extra_nanos());
+    }
+}

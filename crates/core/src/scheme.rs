@@ -131,9 +131,12 @@ impl AriadneScheme {
         let outcome = ctx.compress_pages(&group.pages, self.algorithm(), group.chunk_size);
         self.stats.record_oracle(&outcome);
         let compressed_len = outcome.compressed_len;
-        let cost =
-            ctx.latency
-                .compression_cost(self.algorithm(), group.chunk_size, outcome.original_len);
+        let cost = ctx.compression_cost(
+            self.algorithm(),
+            group.chunk_size,
+            outcome.original_len,
+            clock.now().as_nanos(),
+        );
 
         let writeback_latency = self.make_zpool_room(compressed_len, clock, ctx);
         if self
@@ -266,10 +269,11 @@ impl AriadneScheme {
     ) -> (CostNanos, Vec<PageId>, Hotness) {
         let entry = self.zpool.remove(handle).expect("entry is live");
         let mut latency = self.make_room_for(entry.pages.len(), clock, ctx);
-        let cost = ctx.latency.decompression_cost(
+        let cost = ctx.decompression_cost(
             self.algorithm(),
             entry.chunk_size,
             entry.original_bytes,
+            clock.now().as_nanos(),
         );
         latency += cost;
         self.stats.decompression_ops += 1;
@@ -307,10 +311,11 @@ impl AriadneScheme {
             .map(|(h, _)| h);
         let Some(handle) = candidate else { return };
         let entry = self.zpool.remove(handle).expect("candidate handle is live");
-        let cost = ctx.latency.decompression_cost(
+        let cost = ctx.decompression_cost(
             self.algorithm(),
             entry.chunk_size,
             entry.original_bytes,
+            clock.now().as_nanos(),
         );
         self.stats.decompression_ops += 1;
         self.stats.pages_decompressed += 1;
@@ -340,9 +345,12 @@ impl AriadneScheme {
         let Some(meta) = self.buffer_meta.remove(&page) else {
             return;
         };
-        let cost = ctx
-            .latency
-            .compression_cost(self.algorithm(), meta.chunk_size, PAGE_SIZE);
+        let cost = ctx.compression_cost(
+            self.algorithm(),
+            meta.chunk_size,
+            PAGE_SIZE,
+            clock.now().as_nanos(),
+        );
         self.stats.compression_ops += 1;
         self.stats.pages_compressed += 1;
         self.stats.bytes_before_compression += PAGE_SIZE;
@@ -505,10 +513,11 @@ impl SwapScheme for AriadneScheme {
                 // Cold data is compressed with the large chunk size before it
                 // is written back, so this is the slow path Ariadne tries to
                 // make rare.
-                let cost = ctx.latency.decompression_cost(
+                let cost = ctx.decompression_cost(
                     self.algorithm(),
                     self.adaptive.chunk_size_for(Hotness::Cold),
                     fault.original_bytes,
+                    clock.now().as_nanos(),
                 );
                 latency += cost;
                 self.stats.decompression_ops += 1;
@@ -621,10 +630,11 @@ impl SwapScheme for AriadneScheme {
                 break;
             }
             let entry = self.zpool.remove(handle).expect("candidate handle is live");
-            let cost = ctx.latency.decompression_cost(
+            let cost = ctx.decompression_cost(
                 self.algorithm(),
                 entry.chunk_size,
                 entry.original_bytes,
+                clock.now().as_nanos(),
             );
             // Background CPU work: charged to the ledger, never user-visible.
             self.stats.decompression_ops += 1;

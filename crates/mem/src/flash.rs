@@ -108,6 +108,12 @@ pub struct FlashIoConfig {
     pub write_per_kib_ns: u64,
     /// Maximum pages carried by one batch write command.
     pub max_batch_pages: usize,
+    /// Wear-dependent latency inflation, in parts per million of the base
+    /// command cost per average erase-block cycle consumed so far. Real
+    /// flash programs slower as cells wear out (the controller retries and
+    /// re-tunes program voltages); `0` — the default — disables the effect
+    /// entirely, keeping every cost byte-identical to the unworn device.
+    pub wear_latency_ppm_per_erase: u64,
 }
 
 impl FlashIoConfig {
@@ -123,6 +129,22 @@ impl FlashIoConfig {
             write_command_overhead_ns: 28_000,
             write_per_kib_ns: 28_000,
             max_batch_pages: 8,
+            wear_latency_ppm_per_erase: 0,
+        }
+    }
+
+    /// A slower eMMC-like device for entry-class hardware: no command
+    /// queue to speak of, higher per-command overhead and roughly a third
+    /// of the UFS transfer rate.
+    #[must_use]
+    pub fn emmc() -> Self {
+        FlashIoConfig {
+            mode: FlashIoMode::Queued,
+            queue_depth: 8,
+            write_command_overhead_ns: 84_000,
+            write_per_kib_ns: 84_000,
+            max_batch_pages: 4,
+            wear_latency_ppm_per_erase: 0,
         }
     }
 
@@ -147,6 +169,14 @@ impl FlashIoConfig {
     #[must_use]
     pub fn with_max_batch_pages(mut self, pages: usize) -> Self {
         self.max_batch_pages = pages.max(1);
+        self
+    }
+
+    /// Enable wear-dependent latency inflation (see
+    /// [`FlashIoConfig::wear_latency_ppm_per_erase`]); 0 disables it.
+    #[must_use]
+    pub fn with_wear_latency_ppm(mut self, ppm: u64) -> Self {
+        self.wear_latency_ppm_per_erase = ppm;
         self
     }
 
@@ -180,6 +210,29 @@ pub struct FlashStats {
     /// Number of device write commands issued (batch commands count once,
     /// so `commands <= writes` when batching is on).
     pub commands: usize,
+    /// Physical bytes programmed into the cells: the page-rounded footprint
+    /// of every stored object. The flash translation layer cannot program
+    /// less than a page, so this is never below
+    /// [`FlashStats::bytes_written`] — their ratio is the write
+    /// amplification factor ([`FlashStats::waf`]).
+    pub physical_bytes_written: usize,
+    /// Erase-block cycles consumed across the whole device. Flash cells
+    /// endure a bounded number of program/erase cycles, so this is the
+    /// device-lifetime budget every write spends from.
+    pub erases: usize,
+}
+
+impl FlashStats {
+    /// The write amplification factor: physical bytes programmed per
+    /// logical byte written. Page-rounding of sub-page compressed objects
+    /// makes this ≥ 1; a device that has written nothing reports 1.
+    #[must_use]
+    pub fn waf(&self) -> f64 {
+        if self.bytes_written == 0 {
+            return 1.0;
+        }
+        self.physical_bytes_written as f64 / self.bytes_written as f64
+    }
 }
 
 /// One object to be written by [`FlashDevice::submit_writes`].
@@ -271,7 +324,19 @@ pub struct FlashDevice {
     busy_until: u128,
     /// Outstanding commands in completion order: `(completes_at, slots)`.
     outstanding: VecDeque<(u128, IoRequestId, Vec<SwapSlot>)>,
+    /// Program/erase cycles per erase block. Blocks are programmed
+    /// round-robin (an idealized wear-levelling FTL): physical page `n`
+    /// lands in block `(n / pages-per-block) % blocks`, and opening a
+    /// fresh block costs that block one erase. Allocated lazily on the
+    /// first write (the capacity is fixed by then).
+    erase_counts: Vec<u32>,
+    /// Physical pages programmed over the device lifetime (drives the
+    /// round-robin block cursor; never decremented — wear is permanent).
+    physical_pages_written: usize,
 }
+
+/// Bytes per simulated flash erase block (a typical 256 KiB block).
+pub const ERASE_BLOCK_BYTES: usize = 64 * PAGE_SIZE;
 
 impl FlashDevice {
     /// Create a flash swap area of `capacity` bytes with the default queued
@@ -354,6 +419,20 @@ impl FlashDevice {
     #[must_use]
     pub fn in_flight_commands(&self) -> usize {
         self.outstanding.len()
+    }
+
+    /// Program/erase cycles consumed per erase block, in block order.
+    /// Empty until the first write allocates the block map.
+    #[must_use]
+    pub fn erase_counts(&self) -> &[u32] {
+        &self.erase_counts
+    }
+
+    /// The most-cycled block's erase count — the figure a lifetime budget
+    /// is judged against (0 for an unwritten device).
+    #[must_use]
+    pub fn max_erase_count(&self) -> u32 {
+        self.erase_counts.iter().copied().max().unwrap_or(0)
     }
 
     /// Completion time of the earliest outstanding command, if any (what the
@@ -473,7 +552,7 @@ impl FlashDevice {
             FlashIoMode::Sync => {
                 let mut cursor = now_nanos;
                 for request in accepted {
-                    let cost = self.io.write_command_cost(request.stored_bytes);
+                    let cost = self.wear_adjusted_cost(request.stored_bytes);
                     result.commands += 1;
                     // The writer occupies the device inline: it first waits
                     // out any earlier busy window, then performs the write —
@@ -502,7 +581,7 @@ impl FlashDevice {
                         let stall = device.wait_for_queue_slot(cursor);
                         let bytes: usize = cmd.iter().map(|r| r.stored_bytes).sum();
                         let start = (*cursor).max(device.busy_until);
-                        let completes_at = start + device.io.write_command_cost(bytes).as_nanos();
+                        let completes_at = start + device.wear_adjusted_cost(bytes).as_nanos();
                         device.busy_until = completes_at;
                         let request_id = IoRequestId(device.next_request);
                         device.next_request += 1;
@@ -768,6 +847,7 @@ impl FlashDevice {
         self.used += Self::footprint(request.stored_bytes);
         self.stats.writes += 1;
         self.stats.bytes_written += request.stored_bytes;
+        self.charge_wear(Self::footprint(request.stored_bytes));
         for page in &request.pages {
             self.page_index.insert(*page, slot);
         }
@@ -782,6 +862,45 @@ impl FlashDevice {
             },
         );
         slot
+    }
+
+    /// Charge `footprint` physical bytes of wear: advance the round-robin
+    /// block cursor page by page, cycling the block every time a fresh one
+    /// is opened. Called exactly once per stored object, at submission —
+    /// the cells are programmed whether or not the command has retired,
+    /// and a release or in-flight fault never un-programs them.
+    fn charge_wear(&mut self, footprint: usize) {
+        self.stats.physical_bytes_written += footprint;
+        if self.erase_counts.is_empty() {
+            let blocks = self.capacity.div_ceil(ERASE_BLOCK_BYTES).max(1);
+            self.erase_counts = vec![0; blocks];
+        }
+        let pages_per_block = ERASE_BLOCK_BYTES / PAGE_SIZE;
+        let blocks = self.erase_counts.len();
+        for _ in 0..footprint / PAGE_SIZE {
+            if self.physical_pages_written % pages_per_block == 0 {
+                let block = (self.physical_pages_written / pages_per_block) % blocks;
+                self.erase_counts[block] += 1;
+                self.stats.erases += 1;
+            }
+            self.physical_pages_written += 1;
+        }
+    }
+
+    /// The cost of one write command of `bytes` payload on *this* device,
+    /// including wear-dependent latency inflation when the I/O model
+    /// enables it (each average erase cycle consumed so far inflates the
+    /// base cost by [`FlashIoConfig::wear_latency_ppm_per_erase`]).
+    fn wear_adjusted_cost(&self, bytes: usize) -> CostNanos {
+        let base = self.io.write_command_cost(bytes);
+        if self.io.wear_latency_ppm_per_erase == 0 {
+            return base;
+        }
+        let blocks = self.erase_counts.len().max(1) as u128;
+        let avg_erases = self.stats.erases as u128 / blocks;
+        let extra = base.as_nanos() * avg_erases * u128::from(self.io.wear_latency_ppm_per_erase)
+            / 1_000_000;
+        CostNanos(base.as_nanos() + extra)
     }
 
     /// Cheap O(1)-ish debug guard; the full [`FlashDevice::leak_check`] is
@@ -1062,6 +1181,97 @@ mod tests {
     }
 
     #[test]
+    fn wear_is_charged_per_physical_page_and_block() {
+        let mut flash = FlashDevice::new(2 * ERASE_BLOCK_BYTES);
+        assert_eq!(flash.max_erase_count(), 0);
+        // A sub-page compressed object still programs one physical page.
+        flash.write(vec![page(1, 0)], 4096, 1000, true).unwrap();
+        let stats = flash.stats();
+        assert_eq!(stats.bytes_written, 1000);
+        assert_eq!(stats.physical_bytes_written, PAGE_SIZE);
+        assert_eq!(stats.erases, 1, "the first page opens the first block");
+        assert!((stats.waf() - PAGE_SIZE as f64 / 1000.0).abs() < 1e-12);
+
+        // Fill the rest of block 0: no further erase until block 1 opens.
+        let pages_per_block = ERASE_BLOCK_BYTES / PAGE_SIZE;
+        for pfn in 1..pages_per_block as u64 {
+            flash.write(vec![page(1, pfn)], 4096, 4096, false).unwrap();
+        }
+        assert_eq!(flash.stats().erases, 1);
+        flash
+            .write(vec![page(1, pages_per_block as u64)], 4096, 4096, false)
+            .unwrap();
+        assert_eq!(flash.stats().erases, 2, "crossing into block 1 erases it");
+        assert_eq!(flash.erase_counts(), &[1, 1]);
+        flash.leak_check().unwrap();
+    }
+
+    #[test]
+    fn wear_survives_release_and_in_flight_faults() {
+        let mut flash = FlashDevice::with_io(1 << 20, FlashIoConfig::ufs31());
+        let result = flash.submit_writes(vec![request(1, 1), request(1, 2)], 0);
+        let worn = flash.stats();
+        assert_eq!(worn.physical_bytes_written, 2 * PAGE_SIZE);
+
+        // An in-flight fault removes the object but not the programmed wear.
+        flash.fault_in(result.slots[0], 10).unwrap();
+        // A kill releases the rest; the cells stay programmed.
+        flash.release_app(AppId::new(1), 20);
+        let after = flash.stats();
+        assert_eq!(after.physical_bytes_written, worn.physical_bytes_written);
+        assert_eq!(after.erases, worn.erases);
+        assert!(flash.is_empty());
+        flash.leak_check().unwrap();
+    }
+
+    #[test]
+    fn wear_latency_inflation_defaults_off_and_is_byte_identical() {
+        let mut vanilla = FlashDevice::with_io(1 << 20, FlashIoConfig::ufs31());
+        let mut knobbed =
+            FlashDevice::with_io(1 << 20, FlashIoConfig::ufs31().with_wear_latency_ppm(0));
+        let a = vanilla.submit_writes((0..4).map(|i| request(1, i)).collect(), 0);
+        let b = knobbed.submit_writes((0..4).map(|i| request(1, i)).collect(), 0);
+        assert_eq!(a, b);
+        assert_eq!(vanilla.next_completion(), knobbed.next_completion());
+    }
+
+    #[test]
+    fn worn_devices_write_slower_when_inflation_is_enabled() {
+        // A tiny device (one erase block) so erases accumulate fast, with
+        // 10 % extra latency per average erase cycle.
+        let io = FlashIoConfig::sync().with_wear_latency_ppm(100_000);
+        let mut flash = FlashDevice::with_io(ERASE_BLOCK_BYTES, io);
+        let fresh = flash.submit_writes(vec![request(1, 0)], 0);
+        // Costs reflect the wear accumulated *before* the command: the
+        // first write of the device's life is uninflated.
+        assert_eq!(fresh.sync_latency, CostNanos(140_000));
+
+        // Cycle the block a few times via write/fault churn.
+        let mut now = 1_000_000u128;
+        let pages_per_block = (ERASE_BLOCK_BYTES / PAGE_SIZE) as u64;
+        for round in 0..3u64 {
+            for pfn in 1..pages_per_block {
+                let slot = flash
+                    .write(
+                        vec![page(1, round * pages_per_block + pfn)],
+                        4096,
+                        4096,
+                        false,
+                    )
+                    .unwrap();
+                now += 1;
+                flash.fault_in(slot, now).unwrap();
+            }
+        }
+        let erases = flash.stats().erases;
+        assert!(erases > 1, "churn must cycle the single block");
+        let worn = flash.submit_writes(vec![request(2, 0)], now);
+        let expected = 140_000 + 140_000 * u128::from(erases as u64) * 100_000 / 1_000_000;
+        assert_eq!(worn.sync_latency, CostNanos(expected));
+        assert!(worn.sync_latency > fresh.sync_latency);
+    }
+
+    #[test]
     fn sync_writers_wait_out_the_busy_window_they_find() {
         let mut flash = FlashDevice::with_io(1 << 20, FlashIoConfig::sync());
         // An earlier (background) submission leaves the device busy until
@@ -1069,5 +1279,52 @@ mod tests {
         flash.submit_writes(vec![request(1, 1)], 0);
         let result = flash.submit_writes(vec![request(1, 2)], 40_000);
         assert_eq!(result.sync_latency, CostNanos(100_000 + 140_000));
+    }
+
+    /// The hog-then-exit accounting audit: an app killed while its
+    /// writeback command is still in flight must not double-count in the
+    /// write or wear totals — not when it is released, not when the
+    /// orphaned command retires, and a resubmission after the app's
+    /// relaunch charges exactly one more submission's worth.
+    #[test]
+    fn release_mid_writeback_never_double_counts_write_or_wear_totals() {
+        let mut flash = FlashDevice::with_io(1 << 20, FlashIoConfig::ufs31());
+        let first = flash.submit_writes((0..4).map(|i| request(1, i)).collect(), 0);
+        assert!(first.dropped.is_empty());
+        let completes = flash.next_completion().expect("command is in flight");
+        let submitted = flash.stats();
+
+        // The hog exits while the command is still in flight.
+        let (slots, pages) = flash.release_app(AppId::new(1), completes / 2);
+        assert_eq!((slots, pages), (4, 4), "all four objects were in flight");
+        assert_eq!(flash.stats(), submitted, "release must not touch totals");
+        flash.leak_check().unwrap();
+
+        // The orphaned command retires: still no extra accounting.
+        flash.retire_completed(completes + 1);
+        assert_eq!(
+            flash.stats(),
+            submitted,
+            "retiring an orphaned command is free"
+        );
+        flash.leak_check().unwrap();
+
+        // The app relaunches and the same pages are written back again:
+        // exactly two submissions' worth, no more, no less.
+        let second = flash.submit_writes((0..4).map(|i| request(1, i)).collect(), completes + 2);
+        assert!(
+            second.dropped.is_empty(),
+            "released pages must be writable again"
+        );
+        let after = flash.stats();
+        assert_eq!(after.writes, 2 * submitted.writes);
+        assert_eq!(after.bytes_written, 2 * submitted.bytes_written);
+        assert_eq!(
+            after.physical_bytes_written,
+            2 * submitted.physical_bytes_written
+        );
+        assert_eq!(after.commands, 2 * submitted.commands);
+        assert!((after.waf() - submitted.waf()).abs() < f64::EPSILON);
+        flash.leak_check().unwrap();
     }
 }

@@ -50,7 +50,7 @@ pub use dram::{MainMemory, Watermarks};
 pub use error::MemError;
 pub use flash::{
     FaultIn, FlashDevice, FlashIoConfig, FlashIoMode, FlashStats, FlushResult, IoRequestId,
-    SwapSlot, WriteRequest,
+    SwapSlot, WriteRequest, ERASE_BLOCK_BYTES,
 };
 pub use lru::LruList;
 pub use page::{AppId, Hotness, PageId, PageLocation, Pfn, PAGE_SIZE};

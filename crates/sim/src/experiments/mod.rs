@@ -12,6 +12,7 @@ pub mod concurrent;
 pub mod evaluation;
 pub mod identification;
 pub mod lifecycle;
+pub mod lifetime;
 pub mod runner;
 pub mod writeback;
 
@@ -32,6 +33,11 @@ pub struct ExperimentOptions {
     /// byte-identical either way (pinned by `tests/oracle_equivalence.rs`);
     /// the switch exists so the perf harness can measure the saving.
     pub oracle: bool,
+    /// Thermal-model override. `None` leaves each experiment's own choice in
+    /// place (most run with the model off; `lifetime` turns it on); `Some`
+    /// forces that configuration everywhere, which is how CI pins the
+    /// thermal-off output against the default catalog output.
+    pub thermal: Option<ariadne_compress::ThermalConfig>,
 }
 
 impl ExperimentOptions {
@@ -43,6 +49,7 @@ impl ExperimentOptions {
             scale: 64,
             quick: false,
             oracle: true,
+            thermal: None,
         }
     }
 
@@ -54,6 +61,7 @@ impl ExperimentOptions {
             scale: 256,
             quick: true,
             oracle: true,
+            thermal: None,
         }
     }
 
@@ -64,14 +72,25 @@ impl ExperimentOptions {
         self
     }
 
+    /// Force a thermal configuration onto every experiment.
+    #[must_use]
+    pub fn with_thermal(mut self, thermal: ariadne_compress::ThermalConfig) -> Self {
+        self.thermal = Some(thermal);
+        self
+    }
+
     /// The simulation configuration every experiment starts from: seed and
     /// scale from these options, plus the oracle switch. Experiments layer
     /// their own overrides (I/O model, zpool shrink, lmkd) on top.
     #[must_use]
     pub fn base_config(&self) -> crate::system::SimulationConfig {
-        crate::system::SimulationConfig::new(self.seed)
+        let mut config = crate::system::SimulationConfig::new(self.seed)
             .with_scale(self.scale)
-            .with_oracle(self.oracle)
+            .with_oracle(self.oracle);
+        if let Some(thermal) = self.thermal {
+            config = config.with_thermal(thermal);
+        }
+        config
     }
 
     /// The applications whose per-app results are reported (the paper plots
@@ -149,6 +168,10 @@ pub fn catalog() -> Vec<(&'static str, &'static str)> {
             "lifecycle",
             "Process lifecycle: lmkd kills and cold-vs-warm relaunch latency",
         ),
+        (
+            "lifetime",
+            "Device lifetime: wear, thermal throttling and kills over an hours-long soak",
+        ),
     ]
 }
 
@@ -174,6 +197,7 @@ pub fn run_by_name(name: &str, opts: &ExperimentOptions) -> Option<Table> {
         "multiapp" => concurrent::multiapp(opts),
         "writeback" => writeback::writeback(opts),
         "lifecycle" => lifecycle::lifecycle(opts),
+        "lifetime" => lifetime::lifetime(opts),
         _ => return None,
     };
     Some(table)
@@ -225,10 +249,11 @@ mod tests {
             "multiapp",
             "writeback",
             "lifecycle",
+            "lifetime",
         ] {
             assert!(names.contains(&required), "missing {required}");
         }
-        assert_eq!(names.len(), 17);
+        assert_eq!(names.len(), 18);
     }
 
     #[test]

@@ -15,12 +15,14 @@
 use crate::engine::{EngineEvent, EventQueue};
 use crate::lifecycle::{AppState, Lmkd, LmkdConfig, ProcessTable};
 use crate::schemes::SchemeSpec;
-use ariadne_compress::CostNanos;
+use ariadne_compress::{CostNanos, ThermalConfig};
 use ariadne_mem::{
-    CpuBreakdown, FlashIoConfig, PageLocation, ReclaimController, SimClock, SimInstant, PAGE_SIZE,
+    CpuBreakdown, FlashIoConfig, PageLocation, ReclaimController, SimClock, SimInstant, Watermarks,
+    PAGE_SIZE,
 };
 use ariadne_trace::{
-    AppName, AppWorkload, Scenario, ScenarioEvent, TimedScenario, WorkloadBuilder,
+    AppMask, AppName, AppWorkload, DeviceClass, Scenario, ScenarioEvent, TimedScenario,
+    WorkloadBuilder,
 };
 use ariadne_zram::{
     AccessKind, AccessOutcome, MemoryConfig, MemoryPressure, PressureLevel, ReleasedFootprint,
@@ -58,6 +60,17 @@ pub struct SimulationConfig {
     /// forces every compression through a cold codec run, which is what the
     /// perf harness compares against.
     pub oracle: bool,
+    /// The thermal throttling model (see
+    /// [`ariadne_compress::ThermalConfig`]). Disabled by default, in which
+    /// case every cost is byte-identical to a build without the model.
+    pub thermal: ThermalConfig,
+    /// Which device of the catalog is simulated. The default —
+    /// [`DeviceClass::Flagship12Gb`] — translates to exactly the memory
+    /// configuration every experiment used before the catalog existed.
+    pub device: DeviceClass,
+    /// Applications whose page data is adversarially incompressible (see
+    /// [`ariadne_trace::AppProfile::incompressible`]). Empty by default.
+    pub incompressible: AppMask,
 }
 
 impl SimulationConfig {
@@ -72,6 +85,9 @@ impl SimulationConfig {
             zpool_shrink: 1,
             lmkd: LmkdConfig::default(),
             oracle: true,
+            thermal: ThermalConfig::off(),
+            device: DeviceClass::Flagship12Gb,
+            incompressible: AppMask::none(),
         }
     }
 
@@ -111,10 +127,42 @@ impl SimulationConfig {
         self
     }
 
-    /// The memory configuration implied by the scale.
+    /// Override the thermal throttling model (off by default).
+    #[must_use]
+    pub fn with_thermal(mut self, thermal: ThermalConfig) -> Self {
+        self.thermal = thermal;
+        self
+    }
+
+    /// Select a device class from the catalog. This also adopts the
+    /// device's flash speed class; call [`SimulationConfig::with_io`]
+    /// *afterwards* to override the I/O model on top of a device.
+    #[must_use]
+    pub fn with_device(mut self, device: DeviceClass) -> Self {
+        self.device = device;
+        self.io = device.io();
+        self
+    }
+
+    /// Give the applications in `mask` adversarially incompressible page
+    /// data.
+    #[must_use]
+    pub fn with_incompressible(mut self, mask: AppMask) -> Self {
+        self.incompressible = mask;
+        self
+    }
+
+    /// The memory configuration implied by the scale and device class.
+    /// The flagship's budgets are numerically identical to
+    /// [`MemoryConfig::pixel7_scaled`], so the default device reproduces
+    /// the historical configuration byte for byte (pinned by test).
     #[must_use]
     pub fn memory(&self) -> MemoryConfig {
         let mut memory = MemoryConfig::pixel7_scaled(self.scale).with_io(self.io);
+        memory.dram_bytes = self.device.dram_bytes(self.scale);
+        memory.zpool_bytes = self.device.zpool_bytes(self.scale);
+        memory.flash_swap_bytes = self.device.flash_swap_bytes(self.scale);
+        memory.watermarks = Watermarks::android_default(memory.dram_bytes);
         memory.zpool_bytes = (memory.zpool_bytes / self.zpool_shrink.max(1)).max(PAGE_SIZE);
         memory
     }
@@ -125,6 +173,7 @@ impl SimulationConfig {
         WorkloadBuilder::new(self.seed)
             .scale(self.scale)
             .relaunches(self.relaunches)
+            .incompressible(self.incompressible)
             .build_all()
     }
 }
@@ -220,8 +269,9 @@ impl MobileSystem {
     #[must_use]
     pub fn new(spec: SchemeSpec, config: SimulationConfig) -> Self {
         let workload_list = config.workloads();
-        let ctx =
-            SchemeContext::new(config.seed, &workload_list).with_oracle_enabled(config.oracle);
+        let ctx = SchemeContext::new(config.seed, &workload_list)
+            .with_oracle_enabled(config.oracle)
+            .with_thermal(config.thermal);
         let scheme = spec.build(config.memory());
         MobileSystem {
             config,
@@ -309,6 +359,13 @@ impl MobileSystem {
     #[must_use]
     pub fn oracle_stats(&self) -> ariadne_zram::OracleStats {
         self.ctx.oracle_stats()
+    }
+
+    /// Cumulative CPU time added by thermal throttling on top of the base
+    /// (de)compression costs — zero whenever the model is disabled.
+    #[must_use]
+    pub fn thermal_extra(&self) -> CostNanos {
+        self.ctx.thermal().extra_nanos()
     }
 
     /// Join the shared compression oracle behind `handle`, replacing this
@@ -908,6 +965,59 @@ mod tests {
 
     fn quick_config() -> SimulationConfig {
         SimulationConfig::new(7).with_scale(512)
+    }
+
+    #[test]
+    fn the_flagship_device_reproduces_the_historical_memory_config_exactly() {
+        for scale in [1usize, 64, 256, 512] {
+            let config = SimulationConfig::new(7).with_scale(scale);
+            assert_eq!(config.device, DeviceClass::Flagship12Gb);
+            let mut legacy = MemoryConfig::pixel7_scaled(scale).with_io(config.io);
+            legacy.zpool_bytes = (legacy.zpool_bytes / config.zpool_shrink.max(1)).max(PAGE_SIZE);
+            assert_eq!(
+                config.memory(),
+                legacy,
+                "scale {scale} must be byte-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn the_entry_device_is_tighter_in_every_budget() {
+        let flagship = SimulationConfig::new(7).with_scale(256);
+        let entry = SimulationConfig::new(7)
+            .with_scale(256)
+            .with_device(DeviceClass::Entry2Gb);
+        let f = flagship.memory();
+        let e = entry.memory();
+        assert!(e.dram_bytes < f.dram_bytes);
+        assert!(e.zpool_bytes < f.zpool_bytes);
+        assert!(e.flash_swap_bytes < f.flash_swap_bytes);
+        assert_eq!(e.io, DeviceClass::Entry2Gb.io());
+        // Watermarks follow the shrunken DRAM.
+        assert!(e.watermarks.low < f.watermarks.low);
+    }
+
+    #[test]
+    fn incompressible_mask_flows_into_the_workloads() {
+        let mask = AppMask::of(&[AppName::Twitter]);
+        let config = quick_config().with_incompressible(mask);
+        let workloads = config.workloads();
+        for workload in &workloads {
+            let expected = if workload.name == AppName::Twitter {
+                1.0
+            } else {
+                workload.name.profile().media_weight
+            };
+            assert!((workload.profile.media_weight - expected).abs() < 1e-12);
+        }
+        // The empty mask reproduces the historical workloads exactly.
+        assert_eq!(
+            quick_config().workloads(),
+            quick_config()
+                .with_incompressible(AppMask::none())
+                .workloads()
+        );
     }
 
     #[test]

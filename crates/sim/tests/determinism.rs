@@ -159,6 +159,72 @@ fn kill_storm_replays_with_in_flight_io_are_deterministic() {
     }
 }
 
+/// The lifetime soak mixes every new subsystem — device classes, wear
+/// accounting, thermal throttling, adversarial mixes with hog-then-exit
+/// kill storms — and its grid runs through the chunked parallel runner.
+/// Two runs must produce byte-identical tables, and the hog-churn mix
+/// (apps released while their writeback commands are in flight, then cold
+/// relaunched) must replay deterministically at the engine level.
+#[test]
+fn lifetime_grid_output_is_byte_identical_across_runs() {
+    let opts = ExperimentOptions::quick();
+    let first = run_by_name("lifetime", &opts).unwrap();
+    let second = run_by_name("lifetime", &opts).unwrap();
+    assert_eq!(
+        first.to_json(),
+        second.to_json(),
+        "lifetime differs between identical runs"
+    );
+    assert_eq!(first.to_string(), second.to_string());
+}
+
+#[test]
+fn hog_churn_lifetime_replays_with_kill_storms_are_deterministic() {
+    use ariadne_compress::ThermalConfig;
+    use ariadne_trace::{AdversarialMix, DeviceClass};
+    let scenario = TimedScenario::lifetime(AdversarialMix::HogChurn, 2);
+    assert!(scenario.lmkd);
+    let config = SimulationConfig::new(0xD5)
+        .with_scale(512)
+        .with_device(DeviceClass::Entry2Gb)
+        .with_io(DeviceClass::Entry2Gb.io().with_wear_latency_ppm(100_000))
+        .with_thermal(ThermalConfig::sustained());
+    for spec in [
+        SchemeSpec::Swap,
+        SchemeSpec::Zram,
+        SchemeSpec::Zswap,
+        SchemeSpec::ariadne_ehl(SizeConfig::k1_k2_k16()),
+    ] {
+        let mut first = MobileSystem::new(spec, config);
+        first.run_timed(&scenario);
+        let mut second = MobileSystem::new(spec, config);
+        second.run_timed(&scenario);
+        assert_eq!(
+            first.kill_log(),
+            second.kill_log(),
+            "{spec}: kill decisions diverge"
+        );
+        assert_eq!(
+            first.measurements(),
+            second.measurements(),
+            "{spec}: measurements diverge"
+        );
+        assert_eq!(first.stats(), second.stats(), "{spec}: stats diverge");
+        assert_eq!(first.cpu(), second.cpu(), "{spec}: CPU ledgers diverge");
+        assert_eq!(
+            first.thermal_extra(),
+            second.thermal_extra(),
+            "{spec}: thermal ledgers diverge"
+        );
+        assert_eq!(first.events_processed(), second.events_processed());
+        first.scheme().leak_check().expect("first replay leak-free");
+        second
+            .scheme()
+            .leak_check()
+            .expect("second replay leak-free");
+    }
+}
+
 #[test]
 fn event_engine_replays_are_deterministic_across_schemes() {
     let config = SimulationConfig::new(0xD5).with_scale(512);

@@ -1,0 +1,127 @@
+//! Differential byte-identity tests for the thermal and wear models: with
+//! both knobs at their defaults (off), every ledger the simulator produces
+//! must be byte-identical to a run where the knobs are *explicitly*
+//! disabled — i.e. the models are provably dormant unless asked for, so
+//! historical experiment output is preserved exactly.
+
+use ariadne_compress::ThermalConfig;
+use ariadne_core::SizeConfig;
+use ariadne_sim::{MobileSystem, SchemeSpec, SimulationConfig};
+use ariadne_trace::{AdversarialMix, AppMask, DeviceClass, TimedScenario};
+
+fn schemes() -> Vec<SchemeSpec> {
+    vec![
+        SchemeSpec::Swap,
+        SchemeSpec::Zram,
+        SchemeSpec::Zswap,
+        SchemeSpec::ariadne_ehl(SizeConfig::k1_k2_k16()),
+    ]
+}
+
+/// Every ledger two systems can disagree on.
+fn assert_identical(label: &str, first: &mut MobileSystem, second: &mut MobileSystem) {
+    assert_eq!(
+        first.measurements(),
+        second.measurements(),
+        "{label}: measurements diverge"
+    );
+    assert_eq!(first.stats(), second.stats(), "{label}: stats diverge");
+    assert_eq!(first.cpu(), second.cpu(), "{label}: CPU ledgers diverge");
+    assert_eq!(
+        first.kill_log(),
+        second.kill_log(),
+        "{label}: kill decisions diverge"
+    );
+    assert_eq!(first.events_processed(), second.events_processed());
+}
+
+/// The new knobs all default to off/neutral: a default config is exactly
+/// the historical configuration.
+#[test]
+fn the_new_knobs_default_to_off() {
+    let config = SimulationConfig::new(7);
+    assert!(!config.thermal.enabled, "thermal model must default off");
+    assert_eq!(
+        config.io.wear_latency_ppm_per_erase, 0,
+        "wear-latency inflation must default off"
+    );
+    assert_eq!(config.device, DeviceClass::Flagship12Gb);
+    assert!(config.incompressible.is_empty());
+}
+
+/// Explicitly disabling the thermal model produces byte-identical ledgers
+/// to the default — for the kill storm (release-mid-writeback traffic) and
+/// for every adversarial lifetime mix.
+#[test]
+fn thermal_off_is_byte_identical_to_the_default() {
+    let mut scenarios = vec![TimedScenario::kill_storm()];
+    for &mix in &AdversarialMix::ALL {
+        scenarios.push(TimedScenario::lifetime(mix, 2));
+    }
+    for scenario in &scenarios {
+        for spec in schemes() {
+            let base = SimulationConfig::new(0xD5)
+                .with_scale(512)
+                .with_zpool_shrink(16);
+            let explicit = base.with_thermal(ThermalConfig::off());
+            let mut first = MobileSystem::new(spec, base);
+            first.run_timed(scenario);
+            let mut second = MobileSystem::new(spec, explicit);
+            second.run_timed(scenario);
+            assert_identical(
+                &format!("{spec}/{}", scenario.name),
+                &mut first,
+                &mut second,
+            );
+            assert_eq!(
+                first.thermal_extra().as_nanos(),
+                0,
+                "a dormant thermal model must report zero extra time"
+            );
+        }
+    }
+}
+
+/// Explicitly zeroed wear-latency inflation is byte-identical to the
+/// default I/O configuration.
+#[test]
+fn zero_wear_inflation_is_byte_identical_to_the_default() {
+    let scenario = TimedScenario::writeback_storm();
+    for spec in schemes() {
+        let base = SimulationConfig::new(0xD5)
+            .with_scale(512)
+            .with_zpool_shrink(16);
+        let explicit = base.with_io(base.io.with_wear_latency_ppm(0));
+        let mut first = MobileSystem::new(spec, base);
+        first.run_timed(&scenario);
+        let mut second = MobileSystem::new(spec, explicit);
+        second.run_timed(&scenario);
+        assert_identical(&format!("{spec}/wear-off"), &mut first, &mut second);
+    }
+}
+
+/// The flagship device class and an empty incompressible mask — the
+/// defaults — reproduce the historical flagship run byte-for-byte even
+/// when set explicitly.
+#[test]
+fn explicit_flagship_defaults_are_byte_identical() {
+    let scenario = TimedScenario::kill_storm();
+    for spec in schemes() {
+        let base = SimulationConfig::new(0xD5)
+            .with_scale(512)
+            .with_zpool_shrink(16);
+        let explicit = base
+            .with_device(DeviceClass::Flagship12Gb)
+            .with_io(base.io)
+            .with_incompressible(AppMask::none());
+        let mut first = MobileSystem::new(spec, base);
+        first.run_timed(&scenario);
+        let mut second = MobileSystem::new(spec, explicit);
+        second.run_timed(&scenario);
+        assert_identical(
+            &format!("{spec}/flagship-defaults"),
+            &mut first,
+            &mut second,
+        );
+    }
+}

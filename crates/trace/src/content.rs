@@ -93,6 +93,13 @@ impl PageDataGenerator {
         page: PageId,
         region_index: usize,
     ) -> ContentClass {
+        // Adversarial hook: a profile with full media weight (see
+        // `AppProfile::incompressible`) gets *only* high-entropy media
+        // regions, so nothing about the page compresses. Calibrated profiles
+        // top out at 0.55, so their pages are untouched by this branch.
+        if profile.media_weight >= 1.0 {
+            return ContentClass::Media;
+        }
         let mut state = self
             .seed
             .wrapping_mul(0x243F_6A88_85A3_08D3)
@@ -141,6 +148,30 @@ impl PageDataGenerator {
     /// may be reused across calls; the bytes written are identical to what
     /// [`PageDataGenerator::page_bytes`] returns.
     pub fn fill_page_bytes(&self, profile: &AppProfile, page: PageId, out: &mut [u8; PAGE_SIZE]) {
+        // Fully adversarial profiles (see `AppProfile::incompressible`) get
+        // one continuous high-entropy stream over the whole page, keyed so
+        // that no two pages ever share a run of bytes. The per-region Media
+        // generator below reuses its keying across adjacent pages (region 31
+        // of page p collides with region 0 of page p+1), which is harmless
+        // noise for calibrated profiles but would hand large-chunk codecs
+        // real cross-page matches — and the whole point of the adversarial
+        // profile is that *nothing* compresses.
+        if profile.media_weight >= 1.0 {
+            // Hash the (seed, app, pfn) key through the mixer once so that
+            // no two pages' streams are shifted copies of each other (the
+            // raw key advances by a constant per pfn, exactly like the
+            // stream's own step).
+            let mut key = self
+                .seed
+                .wrapping_mul(0xA24B_AED4_963E_E407)
+                .wrapping_add(u64::from(page.app().value()) << 32)
+                .wrapping_add(page.pfn().value().wrapping_mul(0xFF51_AFD7_ED55_8CCD));
+            let mut state = splitmix64(&mut key);
+            for slot in 0..PAGE_SIZE / 8 {
+                out[slot * 8..slot * 8 + 8].copy_from_slice(&splitmix64(&mut state).to_le_bytes());
+            }
+            return;
+        }
         for region_index in 0..PAGE_SIZE / REGION_SIZE {
             let class = self.region_class(profile, page, region_index);
             // Template pooling: draw the region's template id from a small
@@ -363,6 +394,37 @@ mod tests {
             browser_ratio > game_ratio,
             "browser {browser_ratio:.2} should compress better than game {game_ratio:.2}"
         );
+    }
+
+    #[test]
+    fn incompressible_profiles_emit_only_media_noise() {
+        let generator = PageDataGenerator::new(11);
+        let profile = AppProfile::incompressible(AppName::Twitter);
+        let mut data = Vec::new();
+        for pfn in 0..64u64 {
+            let p = page(AppName::Twitter, pfn);
+            for region in 0..PAGE_SIZE / REGION_SIZE {
+                assert_eq!(
+                    generator.region_class(&profile, p, region),
+                    ContentClass::Media
+                );
+            }
+            data.extend(generator.page_bytes(&profile, p));
+        }
+        // Noise does not compress: framing overhead makes the "compressed"
+        // image at least as large as the input. Large chunks span pages, so
+        // they would expose any cross-page repetition in the noise stream —
+        // check them too.
+        for chunk in [ChunkSize::k4(), ChunkSize::k16(), ChunkSize::k64()] {
+            let image = ChunkedCodec::new(Algorithm::Lzo, chunk)
+                .compress(&data)
+                .unwrap();
+            assert!(
+                image.compressed_len() >= data.len(),
+                "incompressible pages must not show savings at {} B chunks",
+                chunk.bytes()
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! The device-class catalog of the lifetime experiment.
+//!
+//! The paper evaluates on a single flagship (a Pixel 7 with 12 GB of DRAM
+//! and UFS 3.1 flash), but compressed-swap policy differences are sharpest
+//! where memory is scarce and flash is slow. [`DeviceClass`] captures the
+//! two ends of the Android device spectrum as named parameter sets — DRAM
+//! budget, zpool budget, swap-area size and flash speed class — which the
+//! simulation layer translates into its memory configuration. The flagship
+//! entry reproduces the workspace's default configuration *exactly*, so
+//! selecting it is byte-identical to not selecting anything.
+
+use ariadne_mem::FlashIoConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A named point in the Android device spectrum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceClass {
+    /// A 2 GB entry-level device: a small anonymous-DRAM budget, a zpool
+    /// sized to what such devices can spare, a small swap partition and
+    /// eMMC-class flash (shallow queue, slow per-byte cost).
+    Entry2Gb,
+    /// A 12 GB flagship — the paper's Pixel 7: identical to
+    /// `MemoryConfig::pixel7_scaled` plus UFS 3.1 flash.
+    Flagship12Gb,
+}
+
+impl DeviceClass {
+    /// Both device classes, entry first (the order the lifetime experiment
+    /// grids them).
+    pub const ALL: [DeviceClass; 2] = [DeviceClass::Entry2Gb, DeviceClass::Flagship12Gb];
+
+    /// Table-friendly name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DeviceClass::Entry2Gb => "entry-2gb",
+            DeviceClass::Flagship12Gb => "flagship-12gb",
+        }
+    }
+
+    /// DRAM budget for anonymous pages, in bytes, scaled down by `scale`
+    /// (the same denominator the workload builder uses).
+    #[must_use]
+    pub fn dram_bytes(self, scale: usize) -> usize {
+        let full = match self {
+            // Of 2 GB, the system, file cache and GPU leave roughly 768 MB
+            // to application anonymous data.
+            DeviceClass::Entry2Gb => 768 * 1024 * 1024,
+            // The workspace default: ~3 GB of the Pixel 7's 12 GB.
+            DeviceClass::Flagship12Gb => 3 * 1024 * 1024 * 1024,
+        };
+        full / scale.max(1)
+    }
+
+    /// zpool budget in bytes (the paper's parameter `S`), scaled by `scale`.
+    #[must_use]
+    pub fn zpool_bytes(self, scale: usize) -> usize {
+        let full = match self {
+            // Entry devices cannot spare gigabytes of DRAM for compressed
+            // swap; vendors configure a few hundred megabytes.
+            DeviceClass::Entry2Gb => 512 * 1024 * 1024,
+            DeviceClass::Flagship12Gb => 3 * 1024 * 1024 * 1024,
+        };
+        full / scale.max(1)
+    }
+
+    /// Flash swap-area capacity in bytes, scaled by `scale`.
+    #[must_use]
+    pub fn flash_swap_bytes(self, scale: usize) -> usize {
+        let full = match self {
+            DeviceClass::Entry2Gb => 2 * 1024 * 1024 * 1024,
+            DeviceClass::Flagship12Gb => 8 * 1024 * 1024 * 1024,
+        };
+        full / scale.max(1)
+    }
+
+    /// The flash speed class: UFS 3.1 on the flagship, eMMC on the entry
+    /// device.
+    #[must_use]
+    pub fn io(self) -> FlashIoConfig {
+        match self {
+            DeviceClass::Entry2Gb => FlashIoConfig::emmc(),
+            DeviceClass::Flagship12Gb => FlashIoConfig::ufs31(),
+        }
+    }
+}
+
+impl fmt::Display for DeviceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_entry_device_is_smaller_and_slower_in_every_dimension() {
+        let entry = DeviceClass::Entry2Gb;
+        let flagship = DeviceClass::Flagship12Gb;
+        assert!(entry.dram_bytes(1) < flagship.dram_bytes(1));
+        assert!(entry.zpool_bytes(1) < flagship.zpool_bytes(1));
+        assert!(entry.flash_swap_bytes(1) < flagship.flash_swap_bytes(1));
+        // eMMC pays more per byte than UFS 3.1.
+        assert!(
+            entry.io().write_command_cost(4096) > flagship.io().write_command_cost(4096),
+            "eMMC must be slower than UFS"
+        );
+    }
+
+    #[test]
+    fn scaling_divides_every_budget() {
+        for class in DeviceClass::ALL {
+            assert_eq!(class.dram_bytes(64), class.dram_bytes(1) / 64);
+            assert_eq!(class.zpool_bytes(64), class.zpool_bytes(1) / 64);
+            assert_eq!(class.flash_swap_bytes(64), class.flash_swap_bytes(1) / 64);
+            assert_eq!(class.dram_bytes(0), class.dram_bytes(1));
+        }
+    }
+
+    #[test]
+    fn the_flagship_matches_the_workspace_default_flash_model() {
+        assert_eq!(DeviceClass::Flagship12Gb.io(), FlashIoConfig::ufs31());
+        assert_ne!(DeviceClass::Entry2Gb.io(), FlashIoConfig::ufs31());
+    }
+}

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod content;
+pub mod device;
 pub mod locality;
 pub mod profiles;
 pub mod record;
@@ -37,8 +38,9 @@ pub mod scenario;
 pub mod workload;
 
 pub use content::{ContentClass, PageDataGenerator};
+pub use device::DeviceClass;
 pub use locality::{measure_consecutive_probability, RunLengthSampler};
-pub use profiles::{AppName, AppProfile};
+pub use profiles::{AdversarialMix, AppMask, AppName, AppProfile};
 pub use record::TraceRecord;
 pub use scenario::{ScenarioBuilder, TimedEvent, TimedScenario};
 pub use workload::{

@@ -177,6 +177,23 @@ impl AppProfile {
         self.anon_mb_10s as usize * 1024 * 1024
     }
 
+    /// The adversarial *incompressible* variant of `app`'s profile: every
+    /// page region is high-entropy media noise (`media_weight` = 1.0, which
+    /// the page synthesiser treats as "all regions are [media]"), so no
+    /// compressed-swap scheme can extract savings from this app's data. The
+    /// calibrated profiles top out at 0.55, so the default workloads are
+    /// untouched. Access statistics (hotness mix, similarity, locality)
+    /// stay calibrated — only the *bytes* turn hostile.
+    ///
+    /// [media]: crate::ContentClass::Media
+    #[must_use]
+    pub fn incompressible(app: AppName) -> Self {
+        AppProfile {
+            media_weight: 1.0,
+            ..AppProfile::for_app(app)
+        }
+    }
+
     /// Simulated cost of a full **cold** start at workload scale `scale`:
     /// process creation plus application initialisation (class loading,
     /// view inflation, first-frame rendering), which a warm relaunch skips
@@ -190,6 +207,128 @@ impl AppProfile {
     pub fn cold_start_cost(&self, scale: usize) -> CostNanos {
         let full = 300_000_000u128 + u128::from(self.anon_mb_10s) * 2_000_000;
         CostNanos(full / scale.max(1) as u128)
+    }
+}
+
+/// A compact, copyable set of applications (one bit per [`AppName::ALL`]
+/// entry). Configuration types throughout the workspace are `Copy + Eq`
+/// (so experiment cells can be compared and hashed); a mask keeps per-app
+/// selections — such as "which apps carry incompressible data" — inside
+/// that contract where a `HashSet<AppName>` could not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AppMask {
+    bits: u16,
+}
+
+impl AppMask {
+    /// The empty mask.
+    #[must_use]
+    pub fn none() -> Self {
+        AppMask { bits: 0 }
+    }
+
+    /// Every evaluated application.
+    #[must_use]
+    pub fn all() -> Self {
+        AppMask::of(&AppName::ALL)
+    }
+
+    /// A mask containing exactly `apps`.
+    #[must_use]
+    pub fn of(apps: &[AppName]) -> Self {
+        let mut mask = AppMask::none();
+        for &app in apps {
+            mask.bits |= 1 << Self::bit(app);
+        }
+        mask
+    }
+
+    fn bit(app: AppName) -> u16 {
+        AppName::ALL
+            .iter()
+            .position(|&a| a == app)
+            .map_or(0, |i| i as u16)
+    }
+
+    /// Whether `app` is in the mask.
+    #[must_use]
+    pub fn contains(&self, app: AppName) -> bool {
+        self.bits & (1 << Self::bit(app)) != 0
+    }
+
+    /// Whether the mask is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// The applications in the mask, in [`AppName::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = AppName> + '_ {
+        AppName::ALL.into_iter().filter(|&a| self.contains(a))
+    }
+}
+
+impl Default for AppMask {
+    fn default() -> Self {
+        AppMask::none()
+    }
+}
+
+/// The adversarial workload mixes of the device-lifetime experiment: each
+/// names a usage pattern chosen to hurt compressed swap in a specific way.
+/// `Baseline` is the control — the same calibrated workload the rest of the
+/// evaluation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AdversarialMix {
+    /// The calibrated workload, unchanged (the control column).
+    Baseline,
+    /// Every application's pages are high-entropy media noise: compression
+    /// buys nothing, so zpool space is wasted and writeback volume grows.
+    Incompressible,
+    /// Rapid dirty/clean flip loops: applications are relaunched and
+    /// backgrounded in tight cycles, forcing the same pages through
+    /// compress/decompress over and over.
+    FlipLoop,
+    /// Hog-then-exit churn: a foreground hog allocates in critical bursts
+    /// and exits, repeatedly — the kill-storm pattern that squeezes cached
+    /// apps out and releases pages while writeback is still in flight.
+    HogChurn,
+}
+
+impl AdversarialMix {
+    /// Every mix, in the order the lifetime experiment grids them.
+    pub const ALL: [AdversarialMix; 4] = [
+        AdversarialMix::Baseline,
+        AdversarialMix::Incompressible,
+        AdversarialMix::FlipLoop,
+        AdversarialMix::HogChurn,
+    ];
+
+    /// Table-friendly name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AdversarialMix::Baseline => "baseline",
+            AdversarialMix::Incompressible => "incompressible",
+            AdversarialMix::FlipLoop => "flip-loop",
+            AdversarialMix::HogChurn => "hog-churn",
+        }
+    }
+
+    /// Which applications carry adversarially incompressible page data
+    /// under this mix (empty for every mix except `Incompressible`).
+    #[must_use]
+    pub fn incompressible_apps(self) -> AppMask {
+        match self {
+            AdversarialMix::Incompressible => AppMask::all(),
+            _ => AppMask::none(),
+        }
+    }
+}
+
+impl fmt::Display for AdversarialMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -265,6 +404,49 @@ mod tests {
     fn reported_apps_are_a_subset_of_all() {
         for app in AppName::REPORTED {
             assert!(AppName::ALL.contains(&app));
+        }
+    }
+
+    #[test]
+    fn incompressible_profile_only_changes_the_media_weight() {
+        for app in AppName::ALL {
+            let base = app.profile();
+            let hostile = AppProfile::incompressible(app);
+            assert!((hostile.media_weight - 1.0).abs() < 1e-12);
+            assert_eq!(
+                AppProfile {
+                    media_weight: base.media_weight,
+                    ..hostile
+                },
+                base,
+                "{app}: only media_weight may differ"
+            );
+        }
+    }
+
+    #[test]
+    fn app_masks_select_exactly_their_members() {
+        assert!(AppMask::none().is_empty());
+        assert_eq!(AppMask::all().iter().count(), AppName::ALL.len());
+        let mask = AppMask::of(&[AppName::Twitter, AppName::BangDream]);
+        assert!(mask.contains(AppName::Twitter));
+        assert!(mask.contains(AppName::BangDream));
+        assert!(!mask.contains(AppName::Youtube));
+        assert_eq!(
+            mask.iter().collect::<Vec<_>>(),
+            vec![AppName::Twitter, AppName::BangDream]
+        );
+    }
+
+    #[test]
+    fn only_the_incompressible_mix_poisons_page_data() {
+        for mix in AdversarialMix::ALL {
+            let apps = mix.incompressible_apps();
+            if mix == AdversarialMix::Incompressible {
+                assert_eq!(apps, AppMask::all());
+            } else {
+                assert!(apps.is_empty(), "{mix} must not alter page bytes");
+            }
         }
     }
 

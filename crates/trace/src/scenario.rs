@@ -244,6 +244,73 @@ impl TimedScenario {
         }
         builder.with_background_drains().build()
     }
+
+    /// The long-horizon workload of the `lifetime` experiment: `hours`
+    /// simulated hours of sustained use under the given adversarial `mix`,
+    /// with the low-memory killer armed and background drains on.
+    ///
+    /// Every hour plays one usage block — chosen by the mix — followed by a
+    /// relaunch sweep over the six stormed applications, so apps killed
+    /// during the block come back as measured *cold* launches:
+    ///
+    /// * [`AdversarialMix::Baseline`](crate::profiles::AdversarialMix::Baseline) and [`AdversarialMix::Incompressible`](crate::profiles::AdversarialMix::Incompressible)
+    ///   share the *same event stream* (background churn plus a modest
+    ///   pressure wave); the incompressible mix differs only in the page
+    ///   bytes, which the workload builder poisons via
+    ///   [`AdversarialMix::incompressible_apps`](crate::profiles::AdversarialMix::incompressible_apps).
+    /// * [`AdversarialMix::FlipLoop`](crate::profiles::AdversarialMix::FlipLoop) runs tight relaunch/background flips
+    ///   over all six apps.
+    /// * [`AdversarialMix::HogChurn`](crate::profiles::AdversarialMix::HogChurn) runs hog-then-exit cycles of the
+    ///   heaviest app (BangDream) at kill-storm pressure.
+    ///
+    /// Event emission is compressed: the stream grows with `hours`, not
+    /// with simulated nanoseconds, so a day-long soak stays replayable in
+    /// milliseconds of host time.
+    #[must_use]
+    pub fn lifetime(mix: crate::profiles::AdversarialMix, hours: u64) -> Self {
+        use crate::profiles::AdversarialMix;
+        let storm = [
+            AppName::Twitter,
+            AppName::Youtube,
+            AppName::TikTok,
+            AppName::Firefox,
+            AppName::Edge,
+            AppName::GoogleMaps,
+        ];
+        let churn = [AppName::Firefox, AppName::Edge, AppName::GoogleMaps];
+        ScenarioBuilder::new(format!("lifetime-{mix}"))
+            .launch_storm(&storm, 120)
+            .after_millis(240)
+            .repeat_blocks(hours.max(1), 3_600_000, move |builder, hour| {
+                let builder = match mix {
+                    AdversarialMix::Baseline | AdversarialMix::Incompressible => builder
+                        .background_churn(&churn, 150, 2)
+                        .after_millis(150)
+                        .pressure_wave(2, 200, 25),
+                    AdversarialMix::FlipLoop => builder.flip_loop(&storm, 80, 3),
+                    AdversarialMix::HogChurn => {
+                        builder.hog_exit_cycles(AppName::BangDream, 2, 150, 55)
+                    }
+                };
+                // The sweep relaunches every stormed app *under pressure* —
+                // the regime where a scheme's swap-in latency decides
+                // whether lmkd reaches for the trigger.
+                let mut builder = builder.after_millis(150);
+                for &app in &storm {
+                    builder = builder
+                        .relaunch_under_pressure(app, (hour as usize) % 5, 45)
+                        .after_millis(100);
+                }
+                let mut builder = builder.after_millis(50);
+                for &app in &storm {
+                    builder = builder.background(app);
+                }
+                builder
+            })
+            .with_background_drains()
+            .with_lmkd()
+            .build()
+    }
 }
 
 impl Scenario {
@@ -480,6 +547,80 @@ impl ScenarioBuilder {
         self.launch(app)
             .after_millis(interval_millis)
             .pressure_wave(bursts, interval_millis, dram_percent)
+    }
+
+    /// Rapid dirty/clean flip loop: for `rounds` rounds each app in `apps`
+    /// is relaunched (dirtying its hot set) and backgrounded a quarter
+    /// period later (letting reclaim clean/compress it again), in a tight
+    /// cycle. This is the adversarial pattern that pushes the same pages
+    /// through compress/decompress over and over without creating any new
+    /// data — a compression-savings oracle must not count those pages
+    /// again on every lap. The cursor ends after the last background.
+    #[must_use]
+    pub fn flip_loop(mut self, apps: &[AppName], period_millis: u64, rounds: usize) -> Self {
+        let start = self.cursor_millis;
+        let mut last = start;
+        for round in 0..rounds {
+            for (i, &app) in apps.iter().enumerate() {
+                let at = start + (round * apps.len() + i) as u64 * period_millis;
+                self.push(
+                    at,
+                    ScenarioEvent::Relaunch {
+                        app,
+                        relaunch_index: round % 5,
+                    },
+                );
+                let bg_at = at + (period_millis / 4).max(1);
+                self.push(bg_at, ScenarioEvent::Background(app));
+                last = last.max(bg_at);
+            }
+        }
+        self.cursor_millis = last;
+        self
+    }
+
+    /// Hog-then-exit cycles: `cycles` times, `hog` comes to the foreground
+    /// (an implicit cold launch the first time), allocates in two critical
+    /// bursts of `dram_percent`, and leaves again — the pattern that
+    /// squeezes cached apps out and then releases the hog's own pages while
+    /// writeback of its victims may still be in flight. The cursor ends
+    /// half an interval after the last exit.
+    #[must_use]
+    pub fn hog_exit_cycles(
+        mut self,
+        hog: AppName,
+        cycles: usize,
+        interval_millis: u64,
+        dram_percent: u8,
+    ) -> Self {
+        for cycle in 0..cycles {
+            self = self
+                .relaunch(hog, cycle % 5)
+                .after_millis(interval_millis)
+                .pressure_wave(2, interval_millis, dram_percent)
+                .after_millis(interval_millis)
+                .background(hog)
+                .after_millis((interval_millis / 2).max(1));
+        }
+        self
+    }
+
+    /// Long-horizon repetition: emit `count` blocks, the *i*-th generated by
+    /// `block(builder, i)` with the cursor reset to `i × period_millis`
+    /// past the current cursor. Simulated time spans hours or days while
+    /// the emitted event stream stays proportional to `count` — idle gaps
+    /// between blocks cost nothing to replay, which is what makes
+    /// device-lifetime scenarios tractable.
+    #[must_use]
+    pub fn repeat_blocks<F>(mut self, count: u64, period_millis: u64, block: F) -> Self
+    where
+        F: Fn(Self, u64) -> Self,
+    {
+        let start = self.cursor_millis;
+        for i in 0..count {
+            self = block(self.at_millis(start + i * period_millis), i);
+        }
+        self
     }
 
     /// Kill storm: launch `apps` in an overlapping storm (filling memory),
@@ -758,6 +899,107 @@ mod tests {
             .max()
             .unwrap();
         assert!(last_relaunch > last_spike);
+    }
+
+    #[test]
+    fn flip_loop_relaunches_and_backgrounds_in_tight_cycles() {
+        let apps = [AppName::Twitter, AppName::Youtube];
+        let scenario = ScenarioBuilder::new("flip").flip_loop(&apps, 80, 3).build();
+        assert_eq!(scenario.relaunch_count(), 6);
+        let backgrounds = scenario
+            .events
+            .iter()
+            .filter(|e| matches!(e.event, ScenarioEvent::Background(_)))
+            .count();
+        assert_eq!(backgrounds, 6);
+        // Each background lands a quarter period after its relaunch — the
+        // flip is far faster than the churn combinator's half-period dwell.
+        let first_relaunch = scenario
+            .events
+            .iter()
+            .find(|e| matches!(e.event, ScenarioEvent::Relaunch { .. }))
+            .unwrap();
+        let first_bg = scenario
+            .events
+            .iter()
+            .find(|e| matches!(e.event, ScenarioEvent::Background(_)))
+            .unwrap();
+        assert_eq!(
+            first_bg.at_nanos - first_relaunch.at_nanos,
+            20 * 1_000_000,
+            "dirty/clean flip must be a quarter period"
+        );
+    }
+
+    #[test]
+    fn hog_exit_cycles_interleave_pressure_with_foreground_time() {
+        let scenario = ScenarioBuilder::new("hog-exit")
+            .hog_exit_cycles(AppName::BangDream, 3, 100, 50)
+            .build();
+        // Three cycles: one relaunch, two spikes and one background each.
+        assert_eq!(scenario.relaunch_count(), 3);
+        let spikes = scenario
+            .events
+            .iter()
+            .filter(|e| matches!(e.event, ScenarioEvent::Pressure { dram_percent: 50 }))
+            .count();
+        assert_eq!(spikes, 6);
+        let exits = scenario
+            .events
+            .iter()
+            .filter(|e| matches!(e.event, ScenarioEvent::Background(AppName::BangDream)))
+            .count();
+        assert_eq!(exits, 3);
+    }
+
+    #[test]
+    fn repeat_blocks_pins_each_block_to_its_period() {
+        let scenario = ScenarioBuilder::new("blocks")
+            .at_millis(500)
+            .repeat_blocks(3, 10_000, |b, i| b.after_millis(i).pressure(10))
+            .build();
+        let spikes: Vec<u64> = scenario
+            .events
+            .iter()
+            .filter(|e| matches!(e.event, ScenarioEvent::Pressure { .. }))
+            .map(TimedEvent::at_millis)
+            .collect();
+        assert_eq!(spikes, vec![500, 10_501, 20_502]);
+    }
+
+    #[test]
+    fn lifetime_scenarios_span_hours_with_compressed_event_streams() {
+        use crate::profiles::AdversarialMix;
+        for mix in AdversarialMix::ALL {
+            let scenario = TimedScenario::lifetime(mix, 6);
+            assert!(scenario.lmkd, "{mix}: the killer must be armed");
+            assert!(scenario.background_drains);
+            assert!(scenario.has_overlap());
+            // Five full hour boundaries passed: at least 5 simulated hours.
+            assert!(
+                scenario.duration_millis() >= 5 * 3_600_000,
+                "{mix}: only {} ms simulated",
+                scenario.duration_millis()
+            );
+            // Compressed emission: hours of simulated time, yet only a
+            // bounded stream of events (not per-tick emission).
+            assert!(
+                scenario.events.len() < 600,
+                "{mix}: {} events is not compressed emission",
+                scenario.events.len()
+            );
+            // Every hour ends in a relaunch sweep over the six stormed apps.
+            assert!(scenario.relaunch_count() >= 6 * 6);
+        }
+    }
+
+    #[test]
+    fn baseline_and_incompressible_lifetime_mixes_share_one_event_stream() {
+        use crate::profiles::AdversarialMix;
+        let baseline = TimedScenario::lifetime(AdversarialMix::Baseline, 4);
+        let hostile = TimedScenario::lifetime(AdversarialMix::Incompressible, 4);
+        assert_eq!(baseline.events, hostile.events);
+        assert_ne!(baseline.name, hostile.name);
     }
 
     #[test]

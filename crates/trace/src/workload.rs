@@ -16,7 +16,7 @@
 //! heavy switching workloads of Table 2.
 
 use crate::locality::RunLengthSampler;
-use crate::profiles::{AppName, AppProfile};
+use crate::profiles::{AppMask, AppName, AppProfile};
 use ariadne_mem::{AppId, Hotness, PageId, Pfn, PAGE_SIZE};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -147,6 +147,7 @@ pub struct WorkloadBuilder {
     scale_denominator: usize,
     relaunch_count: usize,
     use_steady_state_volume: bool,
+    incompressible: AppMask,
 }
 
 impl WorkloadBuilder {
@@ -158,6 +159,7 @@ impl WorkloadBuilder {
             scale_denominator: 64,
             relaunch_count: 5,
             use_steady_state_volume: true,
+            incompressible: AppMask::none(),
         }
     }
 
@@ -193,10 +195,32 @@ impl WorkloadBuilder {
         self.scale_denominator
     }
 
+    /// Give the applications in `mask` adversarially incompressible page
+    /// data (see [`AppProfile::incompressible`]). The empty mask — the
+    /// default — leaves every workload byte-identical to before this knob
+    /// existed. Page identities, hotness labels and relaunch traces are
+    /// unaffected either way: the same RNG stream drives them, so only the
+    /// synthesised page *bytes* change.
+    #[must_use]
+    pub fn incompressible(mut self, mask: AppMask) -> Self {
+        self.incompressible = mask;
+        self
+    }
+
+    /// The configured incompressible-app mask.
+    #[must_use]
+    pub fn incompressible_apps(&self) -> AppMask {
+        self.incompressible
+    }
+
     /// Build the workload for one application.
     #[must_use]
     pub fn build(&self, app: AppName) -> AppWorkload {
-        let profile = app.profile();
+        let profile = if self.incompressible.contains(app) {
+            AppProfile::incompressible(app)
+        } else {
+            app.profile()
+        };
         let app_id = AppId::new(app.uid());
         let mut rng = StdRng::seed_from_u64(self.seed ^ u64::from(app.uid()) << 16);
 
@@ -642,6 +666,33 @@ mod tests {
             .events
             .iter()
             .any(|e| matches!(e, ScenarioEvent::Idle { .. })));
+    }
+
+    #[test]
+    fn incompressible_mask_changes_only_the_profile() {
+        use crate::profiles::AppMask;
+        let builder = WorkloadBuilder::new(5).scale(256);
+        let base = builder.build(AppName::Twitter);
+        let hostile = builder
+            .incompressible(AppMask::of(&[AppName::Twitter]))
+            .build(AppName::Twitter);
+        // Same pages, hotness labels and relaunch traces — only the profile
+        // (and hence the synthesised bytes) turns hostile.
+        assert_eq!(base.pages, hostile.pages);
+        assert_eq!(base.relaunches, hostile.relaunches);
+        assert!((hostile.profile.media_weight - 1.0).abs() < 1e-12);
+        // Apps outside the mask are untouched.
+        let other = builder
+            .incompressible(AppMask::of(&[AppName::Twitter]))
+            .build(AppName::Youtube);
+        assert_eq!(other, builder.build(AppName::Youtube));
+        // The empty mask reproduces the default builder exactly.
+        assert_eq!(
+            builder
+                .incompressible(AppMask::none())
+                .build(AppName::Twitter),
+            base
+        );
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! Ariadne comparisons of the paper's evaluation are apples-to-apples.
 
 use crate::oracle::{CodecScratch, CompressionOracle, OracleHandle, OracleOutcome, OracleStats};
-use ariadne_compress::{Algorithm, ChunkSize, CostNanos, LatencyModel};
+use ariadne_compress::{
+    Algorithm, ChunkSize, CostNanos, LatencyModel, ThermalConfig, ThermalModel,
+};
 use ariadne_mem::{
     AppId, CpuBreakdown, FlashIoConfig, FlashStats, MainMemory, MemTimingModel, PageId,
     PageLocation, ReclaimReason, ReclaimRequest, SimClock, Watermarks, ZpoolStats, PAGE_SIZE,
@@ -256,6 +258,11 @@ pub struct SchemeContext {
     /// How many pages of deferred work the engine hands a scheme per drain
     /// tick (see [`SwapScheme::drain_deferred`]).
     pub drain_batch_pages: usize,
+    /// The thermal throttling state. Every scheme charges (de)compression
+    /// through [`SchemeContext::compression_cost`] /
+    /// [`SchemeContext::decompression_cost`], so the throttle hits all of
+    /// them identically; disabled (the default) it is a pass-through.
+    thermal: ThermalModel,
 }
 
 impl SchemeContext {
@@ -269,7 +276,53 @@ impl SchemeContext {
             timing: MemTimingModel::pixel7(),
             latency: LatencyModel::pixel7(),
             drain_batch_pages: 32,
+            thermal: ThermalModel::default(),
         }
+    }
+
+    /// Enable (or explicitly disable) the thermal throttling model. The
+    /// returned context starts from a cold CPU.
+    #[must_use]
+    pub fn with_thermal(mut self, config: ThermalConfig) -> Self {
+        self.thermal = ThermalModel::new(config);
+        self
+    }
+
+    /// The thermal throttling state (heat level, lifetime inflation).
+    #[must_use]
+    pub fn thermal(&self) -> &ThermalModel {
+        &self.thermal
+    }
+
+    /// Simulated time to compress `bytes` in chunks of `chunk` at instant
+    /// `now_nanos`, inflated by the current thermal throttle. All schemes
+    /// must charge compression through here (not [`SchemeContext::latency`]
+    /// directly), so throttling treats them identically.
+    #[must_use]
+    pub fn compression_cost(
+        &self,
+        algorithm: Algorithm,
+        chunk: ChunkSize,
+        bytes: usize,
+        now_nanos: u128,
+    ) -> CostNanos {
+        let base = self.latency.compression_cost(algorithm, chunk, bytes);
+        self.thermal.charge(base, now_nanos)
+    }
+
+    /// Simulated time to decompress `bytes` of original data compressed in
+    /// chunks of `chunk`, inflated by the current thermal throttle (the
+    /// decompression counterpart of [`SchemeContext::compression_cost`]).
+    #[must_use]
+    pub fn decompression_cost(
+        &self,
+        algorithm: Algorithm,
+        chunk: ChunkSize,
+        bytes: usize,
+        now_nanos: u128,
+    ) -> CostNanos {
+        let base = self.latency.decompression_cost(algorithm, chunk, bytes);
+        self.thermal.charge(base, now_nanos)
     }
 
     /// Override the deferred-work drain batch size.

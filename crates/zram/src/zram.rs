@@ -79,10 +79,11 @@ impl ZramScheme {
         let outcome = ctx.compress_pages(&[page], self.config.algorithm, ChunkSize::k4());
         self.stats.record_oracle(&outcome);
         let compressed_len = outcome.compressed_len;
-        let cost = ctx.latency.compression_cost(
+        let cost = ctx.compression_cost(
             self.config.algorithm,
             ChunkSize::k4(),
             outcome.original_len,
+            clock.now().as_nanos(),
         );
 
         let writeback_latency = self.make_zpool_room(compressed_len, clock, ctx);
@@ -192,10 +193,11 @@ impl ZramScheme {
         ctx: &SchemeContext,
     ) -> CostNanos {
         let entry = self.zpool.remove(handle).expect("entry is live");
-        let cost = ctx.latency.decompression_cost(
+        let cost = ctx.decompression_cost(
             self.config.algorithm,
             entry.chunk_size,
             entry.original_bytes,
+            clock.now().as_nanos(),
         );
         self.stats.decompression_ops += 1;
         self.stats.pages_decompressed += entry.pages.len();
@@ -268,10 +270,11 @@ impl SwapScheme for ZramScheme {
             latency += io_latency;
             io_stall = stall;
             if fault.compressed {
-                let cost = ctx.latency.decompression_cost(
+                let cost = ctx.decompression_cost(
                     self.config.algorithm,
                     ChunkSize::k4(),
                     fault.original_bytes,
+                    clock.now().as_nanos(),
                 );
                 latency += cost;
                 self.stats.decompression_ops += 1;

@@ -144,6 +144,7 @@ fn experiment_harness_produces_a_table_for_every_catalog_entry() {
         scale: 512,
         quick: true,
         oracle: true,
+        thermal: None,
     };
     for name in [
         "table1",
@@ -157,5 +158,5 @@ fn experiment_harness_produces_a_table_for_every_catalog_entry() {
             .unwrap_or_else(|| panic!("experiment {name} missing"));
         assert!(table.row_count() > 0, "{name} produced no rows");
     }
-    assert_eq!(experiments::catalog().len(), 17);
+    assert_eq!(experiments::catalog().len(), 18);
 }
