@@ -1,0 +1,131 @@
+//! Micro-benchmarks for the slab-indexed hot paths and the sharded oracle.
+//!
+//! The experiment-level bench harness (`experiments --bench-json`) measures
+//! whole cells; this bench isolates the data structures those cells hammer —
+//! zpool store/fault/release, flash store/fault/release, and oracle
+//! lookup/admit — so a regression in one of them is attributable directly
+//! instead of showing up as a diffuse slowdown across every cell. CI runs it
+//! as a smoke step and uploads the output as an artifact.
+
+use ariadne_compress::ChunkSize;
+use ariadne_mem::{AppId, FlashDevice, Hotness, PageId, Pfn, WriteRequest, Zpool, PAGE_SIZE};
+use ariadne_zram::CompressionOracle;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const APPS: u32 = 8;
+const PAGES_PER_APP: u64 = 512;
+
+fn page(app: u32, pfn: u64) -> PageId {
+    PageId::new(AppId::new(app), Pfn::new(pfn))
+}
+
+/// Store one single-page entry per (app, pfn) pair, fault half of them back
+/// out by handle, then kill every app — the exact op mix a relaunch storm
+/// plus an lmkd sweep drives through the pool.
+fn zpool_store_fault_release(c: &mut Criterion) {
+    c.bench_function("zpool_store_fault_release", |b| {
+        b.iter(|| {
+            let mut zpool = Zpool::new(64 << 20);
+            for app in 1..=APPS {
+                for pfn in 0..PAGES_PER_APP {
+                    zpool
+                        .store(
+                            vec![page(app, pfn)],
+                            PAGE_SIZE,
+                            PAGE_SIZE / 2,
+                            ChunkSize::k4(),
+                            if pfn % 3 == 0 {
+                                Hotness::Hot
+                            } else {
+                                Hotness::Cold
+                            },
+                        )
+                        .expect("store fits");
+                }
+            }
+            for app in 1..=APPS {
+                for pfn in (0..PAGES_PER_APP).step_by(2) {
+                    let handle = zpool.handle_for(page(app, pfn)).expect("stored");
+                    zpool.remove(handle).expect("live handle");
+                }
+            }
+            for app in 1..=APPS {
+                zpool.release_app(AppId::new(app));
+            }
+            zpool.stats().entries
+        })
+    });
+}
+
+/// Write one compressed page per (app, pfn) pair to flash, fault half back
+/// in, then kill every app.
+fn flash_store_fault_release(c: &mut Criterion) {
+    c.bench_function("flash_store_fault_release", |b| {
+        b.iter(|| {
+            let mut flash = FlashDevice::new(256 << 20);
+            let mut now = 0u128;
+            for app in 1..=APPS {
+                let requests: Vec<WriteRequest> = (0..PAGES_PER_APP)
+                    .map(|pfn| WriteRequest {
+                        pages: vec![page(app, pfn)],
+                        original_bytes: PAGE_SIZE,
+                        stored_bytes: PAGE_SIZE / 2,
+                        compressed: true,
+                    })
+                    .collect();
+                let result = flash.submit_writes(requests, now);
+                assert!(result.dropped.is_empty(), "capacity holds the workload");
+                now += 1_000_000;
+            }
+            now += 1_000_000_000;
+            for app in 1..=APPS {
+                for pfn in (0..PAGES_PER_APP).step_by(2) {
+                    let slot = flash.slot_for(page(app, pfn)).expect("written");
+                    flash.fault_in(slot, now).expect("live slot");
+                }
+            }
+            for app in 1..=APPS {
+                flash.release_app(AppId::new(app), now);
+            }
+            flash.len()
+        })
+    });
+}
+
+/// Admit a working set of cold results once, then hammer lookups (the
+/// steady-state mix the memoized oracle serves during a relaunch storm).
+fn oracle_lookup_admit(c: &mut Criterion) {
+    let lens = ariadne_compress::CompressedLen {
+        original_len: PAGE_SIZE,
+        compressed_len: PAGE_SIZE / 2,
+        chunk_count: 1,
+    };
+    c.bench_function("oracle_lookup_admit", |b| {
+        b.iter(|| {
+            let mut oracle = CompressionOracle::new();
+            let algorithm = ariadne_compress::Algorithm::Lzo;
+            for pfn in 0..1024u64 {
+                let pages = [page(1, pfn)];
+                assert!(oracle.lookup(&pages, algorithm, ChunkSize::k4()).is_none());
+                oracle.admit(&pages, algorithm, ChunkSize::k4(), lens, None);
+            }
+            let mut hits = 0usize;
+            for round in 0..4 {
+                for pfn in 0..1024u64 {
+                    let pages = [page(1, (pfn * 7 + round) % 1024)];
+                    if oracle.lookup(&pages, algorithm, ChunkSize::k4()).is_some() {
+                        hits += 1;
+                    }
+                }
+            }
+            hits
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = zpool_store_fault_release, flash_store_fault_release, oracle_lookup_admit
+}
+criterion_main!(benches);

@@ -147,7 +147,7 @@ fn main() -> ExitCode {
             .iter()
             .map(|name| {
                 let (table, millis) =
-                    perf::time_cell(|| ariadne_sim::experiments::run_by_name(name, &opts));
+                    perf::time_cell_stable(|| ariadne_sim::experiments::run_by_name(name, &opts));
                 if table.is_some() {
                     bench_cells.push(BenchCell {
                         name: name.clone(),

@@ -161,6 +161,38 @@ pub fn time_cell<T>(run: impl FnOnce() -> T) -> (T, f64) {
     (result, start.elapsed().as_secs_f64() * 1000.0)
 }
 
+/// A cell faster than this is too short for one sample to mean anything —
+/// scheduler jitter alone is a large fraction of the reading.
+pub const MIN_SAMPLE_MILLIS: f64 = 10.0;
+
+/// Hard cap on repeat iterations, so a pathologically fast cell cannot spin
+/// the harness for long.
+pub const MAX_SAMPLE_ITERATIONS: u32 = 64;
+
+/// Time one closure with a noise floor: a run shorter than
+/// [`MIN_SAMPLE_MILLIS`] is repeated (up to [`MAX_SAMPLE_ITERATIONS`] times)
+/// until the *accumulated* measurement passes the floor, and the
+/// per-iteration mean is reported. Cells above the floor behave exactly like
+/// [`time_cell`]. This is what keeps sub-10 ms quick-mode cells from failing
+/// the regression gate on pure timer jitter: a 0.4 ms cell is sampled ~25
+/// times and its mean is stable, where a single sample could swing 3–4×.
+pub fn time_cell_stable<T>(mut run: impl FnMut() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let mut result = run();
+    let mut total = start.elapsed().as_secs_f64() * 1000.0;
+    if total >= MIN_SAMPLE_MILLIS {
+        return (result, total);
+    }
+    let mut iterations = 1u32;
+    while total < MIN_SAMPLE_MILLIS && iterations < MAX_SAMPLE_ITERATIONS {
+        let start = Instant::now();
+        result = run();
+        total += start.elapsed().as_secs_f64() * 1000.0;
+        iterations += 1;
+    }
+    (result, total / f64::from(iterations))
+}
+
 impl BenchReport {
     /// Whether `baseline` was recorded under the same conditions as this
     /// run. Wall-clock is only comparable for matching (mode, scale, seed,
@@ -328,6 +360,33 @@ mod tests {
             ..report()
         };
         assert!(regressions(&current, &baseline, 2.0).is_empty());
+    }
+
+    #[test]
+    fn time_cell_stable_repeats_fast_cells_and_reports_the_mean() {
+        let mut calls = 0u32;
+        let (value, millis) = time_cell_stable(|| {
+            calls += 1;
+            calls
+        });
+        // A near-instant cell must be repeated up to the iteration cap, and
+        // the reported per-iteration mean must stay near-instant (far below
+        // the accumulated total).
+        assert_eq!(value, calls);
+        assert!(calls > 1, "sub-floor cells are repeated (ran {calls}x)");
+        assert!(calls <= MAX_SAMPLE_ITERATIONS);
+        assert!(millis < MIN_SAMPLE_MILLIS);
+    }
+
+    #[test]
+    fn time_cell_stable_takes_one_sample_of_slow_cells() {
+        let mut calls = 0u32;
+        let (_, millis) = time_cell_stable(|| {
+            calls += 1;
+            std::thread::sleep(std::time::Duration::from_millis(11));
+        });
+        assert_eq!(calls, 1, "cells above the floor are not repeated");
+        assert!(millis >= MIN_SAMPLE_MILLIS);
     }
 
     #[test]

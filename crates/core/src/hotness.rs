@@ -19,8 +19,7 @@
 //!   application; warm data follows, and hot data is touched only as a last
 //!   resort (or when the `AL` evaluation mode explicitly allows it).
 
-use ariadne_mem::{AppId, Hotness, LruList, PageId};
-use std::collections::HashMap;
+use ariadne_mem::{AppId, FxHashMap, Hotness, LruList, PageId};
 
 /// Per-application page lists.
 #[derive(Debug, Clone, Default)]
@@ -31,14 +30,6 @@ struct AppLists {
 }
 
 impl AppLists {
-    fn list(&self, hotness: Hotness) -> &LruList<PageId> {
-        match hotness {
-            Hotness::Hot => &self.hot,
-            Hotness::Warm => &self.warm,
-            Hotness::Cold => &self.cold,
-        }
-    }
-
     fn list_mut(&mut self, hotness: Hotness) -> &mut LruList<PageId> {
         match hotness {
             Hotness::Hot => &mut self.hot,
@@ -77,9 +68,22 @@ impl AppLists {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct HotnessOrg {
-    apps: HashMap<AppId, AppLists>,
+    apps: FxHashMap<AppId, AppLists>,
     app_lru: LruList<AppId>,
     list_ops: usize,
+    /// Pages per hotness level across all apps, maintained incrementally so
+    /// [`HotnessOrg::total_pages`] and [`HotnessOrg::pages_at`] are O(1)
+    /// (they are polled every engine tick for the pressure stats).
+    level_counts: [usize; 3],
+}
+
+/// Index into [`HotnessOrg::level_counts`] for a hotness level.
+fn level_index(hotness: Hotness) -> usize {
+    match hotness {
+        Hotness::Hot => 0,
+        Hotness::Warm => 1,
+        Hotness::Cold => 2,
+    }
 }
 
 impl HotnessOrg {
@@ -100,10 +104,13 @@ impl HotnessOrg {
     /// removing it from any other list first.
     pub fn insert(&mut self, page: PageId, hotness: Hotness) {
         let lists = self.apps.entry(page.app()).or_default();
-        for level in Hotness::ALL {
-            if level != hotness {
+        let previous = lists.hotness_of(page);
+        if previous != Some(hotness) {
+            if let Some(level) = previous {
                 lists.list_mut(level).remove(&page);
+                self.level_counts[level_index(level)] -= 1;
             }
+            self.level_counts[level_index(hotness)] += 1;
         }
         lists.list_mut(hotness).touch(page);
         self.app_lru.touch(page.app());
@@ -116,6 +123,7 @@ impl HotnessOrg {
         let lists = self.apps.get_mut(&page.app())?;
         let hotness = lists.hotness_of(page)?;
         lists.list_mut(hotness).remove(&page);
+        self.level_counts[level_index(hotness)] -= 1;
         self.list_ops += 1;
         Some(hotness)
     }
@@ -158,6 +166,8 @@ impl HotnessOrg {
             lists.warm.touch(page);
             demoted += 1;
         }
+        self.level_counts[level_index(Hotness::Hot)] -= demoted;
+        self.level_counts[level_index(Hotness::Warm)] += demoted;
         self.list_ops += demoted;
         demoted
     }
@@ -166,10 +176,12 @@ impl HotnessOrg {
     /// lists and take it off the application-level LRU list. Returns how
     /// many pages were being tracked.
     pub fn release_app(&mut self, app: AppId) -> usize {
-        let removed = self
-            .apps
-            .remove(&app)
-            .map_or(0, |l| l.hot.len() + l.warm.len() + l.cold.len());
+        let removed = self.apps.remove(&app).map_or(0, |l| {
+            self.level_counts[level_index(Hotness::Hot)] -= l.hot.len();
+            self.level_counts[level_index(Hotness::Warm)] -= l.warm.len();
+            self.level_counts[level_index(Hotness::Cold)] -= l.cold.len();
+            l.hot.len() + l.warm.len() + l.cold.len()
+        });
         self.app_lru.remove(&app);
         // One bulk list drop per level plus the app-list removal.
         self.list_ops += 4;
@@ -239,6 +251,7 @@ impl HotnessOrg {
                         match list.pop_lru() {
                             Some(page) => {
                                 victims.push((page, level));
+                                self.level_counts[level_index(level)] -= 1;
                                 self.list_ops += 1;
                             }
                             None => break,
@@ -256,16 +269,13 @@ impl HotnessOrg {
     /// Total pages tracked across all lists and applications.
     #[must_use]
     pub fn total_pages(&self) -> usize {
-        self.apps
-            .values()
-            .map(|l| l.hot.len() + l.warm.len() + l.cold.len())
-            .sum()
+        self.level_counts.iter().sum()
     }
 
     /// Pages currently on the given list level, summed over applications.
     #[must_use]
     pub fn pages_at(&self, hotness: Hotness) -> usize {
-        self.apps.values().map(|l| l.list(hotness).len()).sum()
+        self.level_counts[level_index(hotness)]
     }
 }
 

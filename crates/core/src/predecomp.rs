@@ -9,8 +9,7 @@
 //! being used were wasted work and are counted so the overhead analysis
 //! (§6.4) can be reproduced.
 
-use ariadne_mem::PageId;
-use std::collections::VecDeque;
+use ariadne_mem::{LruList, PageId};
 
 /// The FIFO buffer of speculatively decompressed pages.
 ///
@@ -29,7 +28,10 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone, Default)]
 pub struct PreDecompBuffer {
     capacity: usize,
-    pages: VecDeque<PageId>,
+    /// Insertion-ordered set: the LRU end is the oldest (FIFO victim) page.
+    /// Pages are only ever touched on insert, so recency order *is* FIFO
+    /// order, and membership tests are O(1) instead of a linear scan.
+    pages: LruList<PageId>,
     hits: usize,
     wasted: usize,
     inserted: usize,
@@ -78,7 +80,7 @@ impl PreDecompBuffer {
         }
         self.inserted += 1;
         let evicted = if self.pages.len() >= self.capacity {
-            let old = self.pages.pop_front();
+            let old = self.pages.pop_lru();
             if old.is_some() {
                 self.wasted += 1;
             }
@@ -86,15 +88,14 @@ impl PreDecompBuffer {
         } else {
             None
         };
-        self.pages.push_back(page);
+        self.pages.touch(page);
         evicted
     }
 
     /// Consume `page` from the buffer if it is present. Returns `true` on a
     /// hit.
     pub fn take(&mut self, page: PageId) -> bool {
-        if let Some(pos) = self.pages.iter().position(|p| *p == page) {
-            self.pages.remove(pos);
+        if self.pages.remove(&page) {
             self.hits += 1;
             true
         } else {
@@ -103,23 +104,25 @@ impl PreDecompBuffer {
     }
 
     /// Drain every page still waiting (counted as wasted), e.g. when the
-    /// owning application is terminated.
+    /// owning application is terminated. Pages come out oldest first.
     pub fn clear(&mut self) -> Vec<PageId> {
         self.wasted += self.pages.len();
-        self.pages.drain(..).collect()
+        self.pages.drain_lru(usize::MAX)
     }
 
     /// Drop every buffered page belonging to `app` (its process was killed).
     /// The dropped pages count as wasted pre-decompressions — the CPU spent
-    /// decompressing them is never recouped.
+    /// decompressing them is never recouped. Pages come out oldest first.
     pub fn release_app(&mut self, app: ariadne_mem::AppId) -> Vec<PageId> {
         let doomed: Vec<PageId> = self
             .pages
-            .iter()
+            .iter_lru()
             .filter(|p| p.app() == app)
             .copied()
             .collect();
-        self.pages.retain(|p| p.app() != app);
+        for page in &doomed {
+            self.pages.remove(page);
+        }
         self.wasted += doomed.len();
         doomed
     }

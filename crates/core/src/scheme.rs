@@ -19,6 +19,7 @@ use crate::hotness::HotnessOrg;
 use crate::identification::{IdentificationMetrics, IdentificationTracker};
 use crate::predecomp::PreDecompBuffer;
 use ariadne_compress::{ChunkSize, CostNanos};
+use ariadne_mem::FxHashMap;
 use ariadne_mem::{
     AppId, CpuActivity, FlashDevice, Hotness, MainMemory, PageId, PageLocation, ReclaimRequest,
     SimClock, Zpool, ZpoolHandle, PAGE_SIZE,
@@ -27,7 +28,6 @@ use ariadne_zram::{
     swap_scheme_identity, writeback::charge_fault_io, AccessKind, AccessOutcome, ReclaimOutcome,
     ReleasedFootprint, SchemeContext, SchemeStats, SwapScheme, ZpoolWriteback,
 };
-use std::collections::HashMap;
 
 /// Metadata remembered for pages sitting in the pre-decompression buffer so
 /// they can be re-compressed (at the same size) if they are evicted unused.
@@ -56,7 +56,7 @@ pub struct AriadneScheme {
     org: HotnessOrg,
     adaptive: AdaptiveComp,
     buffer: PreDecompBuffer,
-    buffer_meta: HashMap<PageId, BufferedPageMeta>,
+    buffer_meta: FxHashMap<PageId, BufferedPageMeta>,
     tracker: IdentificationTracker,
     foreground: Option<AppId>,
     stats: SchemeStats,
@@ -78,7 +78,7 @@ impl AriadneScheme {
             org: HotnessOrg::new(),
             adaptive: AdaptiveComp::new(config.sizes),
             buffer: PreDecompBuffer::new(config.predecomp_buffer_pages),
-            buffer_meta: HashMap::new(),
+            buffer_meta: FxHashMap::default(),
             tracker: IdentificationTracker::new(),
             foreground: None,
             stats: SchemeStats::default(),
@@ -378,30 +378,11 @@ impl AriadneScheme {
         self.stats.zpool = self.zpool.stats();
     }
 
-    /// Whether a zpool entry qualifies for a deferred pre-decompression
-    /// refill: hot-labelled, single-page (the buffer holds individual pages).
-    /// Shared by `deferred_pages` and `hot_refill_candidates` so the
-    /// reported work and the performed work can never diverge.
-    fn is_hot_refill_candidate(entry: &ariadne_mem::ZpoolEntry) -> bool {
-        entry.hotness == Hotness::Hot && entry.pages.len() == 1
-    }
-
     /// Up to `limit` hot-labelled single-page zpool entries, oldest (lowest
     /// sector) first — the candidates for a deferred pre-decompression
-    /// refill, collected in one pass over the pool.
+    /// refill, served straight from the pool's hot-single sector index.
     fn hot_refill_candidates(&self, limit: usize) -> Vec<ZpoolHandle> {
-        let mut candidates: Vec<(u64, ZpoolHandle)> = self
-            .zpool
-            .iter()
-            .filter(|(_, e)| Self::is_hot_refill_candidate(e))
-            .map(|(h, e)| (e.sector.value(), h))
-            .collect();
-        candidates.sort_unstable_by_key(|(sector, _)| *sector);
-        candidates
-            .into_iter()
-            .take(limit)
-            .map(|(_, handle)| handle)
-            .collect()
+        self.zpool.hot_single_oldest(limit)
     }
 
     /// Update hotness organization and identification tracking for an access.
@@ -604,13 +585,9 @@ impl SwapScheme for AriadneScheme {
         if room == 0 {
             return 0;
         }
-        // One bounded pass: stop counting once `room` candidates are found
-        // (the engine only needs to know how much work fits in the buffer).
-        self.zpool
-            .iter()
-            .filter(|(_, e)| Self::is_hot_refill_candidate(e))
-            .take(room)
-            .count()
+        // The engine only needs to know how much work fits in the buffer;
+        // the pool maintains the hot-single count incrementally.
+        self.zpool.hot_single_count().min(room)
     }
 
     fn drain_deferred(

@@ -9,8 +9,8 @@
 
 use crate::error::MemError;
 use crate::page::{PageId, PAGE_SIZE};
+use crate::slab::{FxHashMap, FxHashSet};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
 
 /// Reclaim watermarks, expressed in bytes of *free* memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -69,7 +69,11 @@ impl Watermarks {
 pub struct MainMemory {
     capacity: usize,
     reserved: usize,
-    resident: HashSet<PageId>,
+    /// Resident pages, partitioned per app so a kill evicts in time
+    /// proportional to the victim's own footprint instead of scanning every
+    /// resident page on the device.
+    resident: FxHashMap<crate::page::AppId, FxHashSet<PageId>>,
+    resident_count: usize,
     watermarks: Watermarks,
     peak_used: usize,
 }
@@ -86,7 +90,8 @@ impl MainMemory {
         MainMemory {
             capacity,
             reserved: 0,
-            resident: HashSet::new(),
+            resident: FxHashMap::default(),
+            resident_count: 0,
             watermarks,
             peak_used: 0,
         }
@@ -107,7 +112,7 @@ impl MainMemory {
     /// Bytes currently used by resident pages plus reservations.
     #[must_use]
     pub fn used_bytes(&self) -> usize {
-        self.resident.len() * PAGE_SIZE + self.reserved
+        self.resident_count * PAGE_SIZE + self.reserved
     }
 
     /// Peak value of [`MainMemory::used_bytes`] observed so far.
@@ -125,7 +130,7 @@ impl MainMemory {
     /// Number of resident uncompressed pages.
     #[must_use]
     pub fn resident_pages(&self) -> usize {
-        self.resident.len()
+        self.resident_count
     }
 
     /// Adjust the amount of capacity reserved for non-page uses (the zpool
@@ -156,7 +161,9 @@ impl MainMemory {
     /// Whether `page` is resident.
     #[must_use]
     pub fn contains(&self, page: PageId) -> bool {
-        self.resident.contains(&page)
+        self.resident
+            .get(&page.app())
+            .is_some_and(|pages| pages.contains(&page))
     }
 
     /// Make `page` resident.
@@ -171,7 +178,7 @@ impl MainMemory {
     /// Returns [`MemError::ZpoolFull`]-style capacity errors if there is no
     /// room at all, or succeeds trivially if the page is already resident.
     pub fn insert(&mut self, page: PageId) -> Result<(), MemError> {
-        if self.resident.contains(&page) {
+        if self.contains(page) {
             return Ok(());
         }
         if self.free_bytes() < PAGE_SIZE {
@@ -180,28 +187,34 @@ impl MainMemory {
                 available: self.free_bytes(),
             });
         }
-        self.resident.insert(page);
+        self.resident.entry(page.app()).or_default().insert(page);
+        self.resident_count += 1;
         self.note_usage();
         Ok(())
     }
 
     /// Remove `page` from the resident set. Returns `true` if it was present.
     pub fn remove(&mut self, page: PageId) -> bool {
-        self.resident.remove(&page)
+        let Some(pages) = self.resident.get_mut(&page.app()) else {
+            return false;
+        };
+        let removed = pages.remove(&page);
+        if removed {
+            self.resident_count -= 1;
+            if pages.is_empty() {
+                self.resident.remove(&page.app());
+            }
+        }
+        removed
     }
 
     /// Remove every resident page belonging to `app`, returning them.
     pub fn evict_app(&mut self, app: crate::page::AppId) -> Vec<PageId> {
-        let victims: Vec<PageId> = self
-            .resident
-            .iter()
-            .filter(|p| p.app() == app)
-            .copied()
-            .collect();
-        for v in &victims {
-            self.resident.remove(v);
-        }
-        victims
+        let Some(pages) = self.resident.remove(&app) else {
+            return Vec::new();
+        };
+        self.resident_count -= pages.len();
+        pages.into_iter().collect()
     }
 
     /// Whether free memory is below the low watermark (kswapd should run).

@@ -42,10 +42,14 @@
 
 use crate::error::MemError;
 use crate::page::{PageId, PAGE_SIZE};
+use crate::slab::{Chain, FxHashMap, Slab, SlabKey};
 use ariadne_compress::CostNanos;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
+
+/// Link channel of the per-app entry chain.
+const APP_CHANNEL: usize = 0;
 
 /// Identifier of a slot in the flash swap area.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -287,6 +291,10 @@ pub struct FaultIn {
 /// A stored object in the flash swap area.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 struct FlashEntry {
+    /// The slot the object was allocated (slots are sequential and
+    /// observable — swap-in traces record them — so they are allocated
+    /// independently of the slab slot the entry happens to occupy).
+    slot: SwapSlot,
     pages: Vec<PageId>,
     stored_bytes: usize,
     original_bytes: usize,
@@ -314,8 +322,13 @@ pub struct FlashDevice {
     capacity: usize,
     used: usize,
     next_slot: u64,
-    entries: HashMap<SwapSlot, FlashEntry>,
-    page_index: HashMap<PageId, SwapSlot>,
+    entries: Slab<FlashEntry>,
+    slot_index: FxHashMap<SwapSlot, SlabKey>,
+    page_index: FxHashMap<PageId, SwapSlot>,
+    /// Per-application entry chain through the slab slots, so `release_app`
+    /// (kill storms) walks the victim's own objects instead of filtering the
+    /// whole table. Chain order is store order — deterministic.
+    app_chains: FxHashMap<crate::page::AppId, Chain>,
     stats: FlashStats,
     io: FlashIoConfig,
     next_request: u64,
@@ -446,7 +459,33 @@ impl FlashDevice {
     /// `None` if the slot is at rest (or free).
     #[must_use]
     pub fn pending_completion(&self, slot: SwapSlot) -> Option<u128> {
-        self.entries.get(&slot).and_then(|e| e.completes_at)
+        self.entry(slot).and_then(|e| e.completes_at)
+    }
+
+    fn entry(&self, slot: SwapSlot) -> Option<&FlashEntry> {
+        self.slot_index
+            .get(&slot)
+            .and_then(|k| self.entries.get(*k))
+    }
+
+    /// Detach the object in `slot` from every index (slot map, page index,
+    /// per-app chain) and return it. The space accounting is left to the
+    /// caller so each removal path charges what it means to.
+    fn take_entry(&mut self, slot: SwapSlot) -> Option<FlashEntry> {
+        let key = self.slot_index.remove(&slot)?;
+        let app = self.entries.get(key).expect("indexed slot is live").pages[0].app();
+        let mut chain = *self.app_chains.get(&app).expect("app chain exists");
+        chain.unlink(&mut self.entries, APP_CHANNEL, key.index());
+        if chain.is_empty() {
+            self.app_chains.remove(&app);
+        } else {
+            self.app_chains.insert(app, chain);
+        }
+        let entry = self.entries.remove(key).expect("indexed slot is live");
+        for page in &entry.pages {
+            self.page_index.remove(page);
+        }
+        Some(entry)
     }
 
     /// Retire every command whose completion time has passed; its objects
@@ -460,8 +499,10 @@ impl FlashDevice {
             let (_, _, slots) = self.outstanding.pop_front().expect("front exists");
             for slot in slots {
                 // A slot may have been cancelled by an in-flight fault.
-                if let Some(entry) = self.entries.get_mut(&slot) {
-                    entry.completes_at = None;
+                if let Some(key) = self.slot_index.get(&slot) {
+                    if let Some(entry) = self.entries.get_mut(*key) {
+                        entry.completes_at = None;
+                    }
                 }
             }
             retired += 1;
@@ -647,15 +688,13 @@ impl FlashDevice {
     ///
     /// Returns [`MemError::StaleHandle`] if the slot is free.
     pub fn read(&mut self, slot: SwapSlot) -> Result<(Vec<PageId>, usize, usize, bool), MemError> {
-        let entry = self.entries.get(&slot).ok_or(MemError::StaleHandle)?;
+        let entry = self.entry(slot).ok_or(MemError::StaleHandle)?;
+        let pages = entry.pages.clone();
+        let (stored, original, compressed) =
+            (entry.stored_bytes, entry.original_bytes, entry.compressed);
         self.stats.reads += 1;
-        self.stats.bytes_read += entry.stored_bytes;
-        Ok((
-            entry.pages.clone(),
-            entry.stored_bytes,
-            entry.original_bytes,
-            entry.compressed,
-        ))
+        self.stats.bytes_read += stored;
+        Ok((pages, stored, original, compressed))
     }
 
     /// Remove the object in `slot` for a page fault at simulated time
@@ -680,11 +719,8 @@ impl FlashDevice {
     /// Returns [`MemError::StaleHandle`] if the slot is free.
     pub fn fault_in(&mut self, slot: SwapSlot, now_nanos: u128) -> Result<FaultIn, MemError> {
         self.retire_completed(now_nanos);
-        let entry = self.entries.remove(&slot).ok_or(MemError::StaleHandle)?;
+        let entry = self.take_entry(slot).ok_or(MemError::StaleHandle)?;
         self.used -= Self::footprint(entry.stored_bytes);
-        for page in &entry.pages {
-            self.page_index.remove(page);
-        }
         let (stall, from_in_flight) = match entry.completes_at {
             Some(completes_at) => (CostNanos(completes_at.saturating_sub(now_nanos)), true),
             None => {
@@ -726,15 +762,17 @@ impl FlashDevice {
     /// `(slots freed, pages released)`.
     pub fn release_app(&mut self, app: crate::page::AppId, now_nanos: u128) -> (usize, usize) {
         self.retire_completed(now_nanos);
-        let doomed: Vec<SwapSlot> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| e.pages.iter().any(|p| p.app() == app))
-            .map(|(slot, _)| *slot)
+        let Some(chain) = self.app_chains.get(&app) else {
+            self.debug_check_invariants();
+            return (0, 0);
+        };
+        let doomed: Vec<SwapSlot> = chain
+            .indices(&self.entries, APP_CHANNEL)
+            .map(|i| self.entries.value_at(i).slot)
             .collect();
         let mut pages = 0usize;
         for slot in &doomed {
-            let entry = self.entries.remove(slot).expect("doomed slot is live");
+            let entry = self.take_entry(*slot).expect("doomed slot is live");
             // Swap objects are always single-application (compression groups
             // never mix apps); a mixed entry would leak the other app's pages.
             debug_assert!(
@@ -742,9 +780,6 @@ impl FlashDevice {
                 "flash entry {slot} mixes applications"
             );
             self.used -= Self::footprint(entry.stored_bytes);
-            for page in &entry.pages {
-                self.page_index.remove(page);
-            }
             pages += entry.pages.len();
         }
         self.debug_check_invariants();
@@ -757,11 +792,8 @@ impl FlashDevice {
     ///
     /// Returns [`MemError::StaleHandle`] if the slot is free.
     pub fn discard(&mut self, slot: SwapSlot) -> Result<(), MemError> {
-        let entry = self.entries.remove(&slot).ok_or(MemError::StaleHandle)?;
+        let entry = self.take_entry(slot).ok_or(MemError::StaleHandle)?;
         self.used -= Self::footprint(entry.stored_bytes);
-        for page in &entry.pages {
-            self.page_index.remove(page);
-        }
         self.debug_check_invariants();
         Ok(())
     }
@@ -778,7 +810,11 @@ impl FlashDevice {
     pub fn leak_check(&self) -> Result<(), String> {
         let mut indexed_pages = 0usize;
         let mut used = 0usize;
-        for (slot, entry) in &self.entries {
+        for (key, entry) in self.entries.iter() {
+            let slot = &entry.slot;
+            if self.slot_index.get(slot) != Some(&key) {
+                return Err(format!("{slot} missing from the slot index"));
+            }
             used += Self::footprint(entry.stored_bytes);
             for page in &entry.pages {
                 match self.page_index.get(page) {
@@ -809,7 +845,7 @@ impl FlashDevice {
             }
             last = *completes_at;
             for slot in slots {
-                if let Some(entry) = self.entries.get(slot) {
+                if let Some(entry) = self.entry(*slot) {
                     if entry.completes_at.is_none() {
                         return Err(format!(
                             "{slot} of outstanding {request} is already at rest"
@@ -848,18 +884,27 @@ impl FlashDevice {
         self.stats.writes += 1;
         self.stats.bytes_written += request.stored_bytes;
         self.charge_wear(Self::footprint(request.stored_bytes));
+        let app = request.pages[0].app();
+        debug_assert!(
+            request.pages.iter().all(|p| p.app() == app),
+            "flash entry mixes applications"
+        );
         for page in &request.pages {
             self.page_index.insert(*page, slot);
         }
-        self.entries.insert(
+        let key = self.entries.insert(FlashEntry {
             slot,
-            FlashEntry {
-                pages: request.pages,
-                stored_bytes: request.stored_bytes,
-                original_bytes: request.original_bytes,
-                compressed: request.compressed,
-                completes_at,
-            },
+            pages: request.pages,
+            stored_bytes: request.stored_bytes,
+            original_bytes: request.original_bytes,
+            compressed: request.compressed,
+            completes_at,
+        });
+        self.slot_index.insert(slot, key);
+        self.app_chains.entry(app).or_default().push_back(
+            &mut self.entries,
+            APP_CHANNEL,
+            key.index(),
         );
         slot
     }

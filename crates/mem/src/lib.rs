@@ -42,6 +42,7 @@ pub mod flash;
 pub mod lru;
 pub mod page;
 pub mod reclaim;
+pub mod slab;
 pub mod timing;
 pub mod zpool;
 
@@ -55,5 +56,6 @@ pub use flash::{
 pub use lru::LruList;
 pub use page::{AppId, Hotness, PageId, PageLocation, Pfn, PAGE_SIZE};
 pub use reclaim::{ReclaimController, ReclaimReason, ReclaimRequest};
+pub use slab::{Chain, FxBuildHasher, FxHashMap, FxHashSet, FxHasher, Slab, SlabKey};
 pub use timing::{MemTimingModel, SimClock, SimInstant};
 pub use zpool::{Zpool, ZpoolEntry, ZpoolHandle, ZpoolSector, ZpoolStats};

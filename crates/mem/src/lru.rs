@@ -7,21 +7,18 @@
 //! with O(1) membership tests, O(1) promotion to the head (most recently
 //! used) and O(1) eviction from the tail (least recently used).
 //!
-//! Internally it is a doubly linked list over a slab `Vec`, so there is no
-//! per-operation allocation once the slab has grown.
+//! Internally it is an intrusive [`Chain`] through a
+//! generation-checked [`Slab`], with an
+//! [`FxHashMap`] resolving keys to slots — so there
+//! is no per-operation allocation once the slab has grown, and the key probe
+//! pays the cheap multiply-rotate hash instead of SipHash.
 
-use std::collections::HashMap;
+use crate::slab::{Chain, ChainIndices, FxHashMap, Slab};
 use std::fmt;
 use std::hash::Hash;
 
-const NIL: usize = usize::MAX;
-
-#[derive(Debug, Clone)]
-struct Node<K> {
-    key: K,
-    prev: usize,
-    next: usize,
-}
+/// Link channel the recency chain uses (LRU lists only need one order).
+const LRU_CHANNEL: usize = 0;
 
 /// An ordered set with LRU semantics.
 ///
@@ -43,11 +40,9 @@ struct Node<K> {
 /// ```
 #[derive(Clone)]
 pub struct LruList<K> {
-    nodes: Vec<Node<K>>,
-    free: Vec<usize>,
-    index: HashMap<K, usize>,
-    head: usize,
-    tail: usize,
+    slab: Slab<K>,
+    chain: Chain,
+    index: FxHashMap<K, u32>,
 }
 
 impl<K: Eq + Hash + Clone> Default for LruList<K> {
@@ -61,11 +56,9 @@ impl<K: Eq + Hash + Clone> LruList<K> {
     #[must_use]
     pub fn new() -> Self {
         LruList {
-            nodes: Vec::new(),
-            free: Vec::new(),
-            index: HashMap::new(),
-            head: NIL,
-            tail: NIL,
+            slab: Slab::new(),
+            chain: Chain::new(),
+            index: FxHashMap::default(),
         }
     }
 
@@ -92,13 +85,12 @@ impl<K: Eq + Hash + Clone> LruList<K> {
     /// inserted.
     pub fn touch(&mut self, key: K) -> bool {
         if let Some(&slot) = self.index.get(&key) {
-            self.unlink(slot);
-            self.link_front(slot);
+            self.chain.move_front(&mut self.slab, LRU_CHANNEL, slot);
             false
         } else {
-            let slot = self.allocate(key.clone());
+            let slot = self.slab.insert(key.clone()).index();
             self.index.insert(key, slot);
-            self.link_front(slot);
+            self.chain.push_front(&mut self.slab, LRU_CHANNEL, slot);
             true
         }
     }
@@ -109,46 +101,36 @@ impl<K: Eq + Hash + Clone> LruList<K> {
     /// key was newly inserted.
     pub fn insert_lru(&mut self, key: K) -> bool {
         if let Some(&slot) = self.index.get(&key) {
-            self.unlink(slot);
-            self.link_back(slot);
+            self.chain.move_back(&mut self.slab, LRU_CHANNEL, slot);
             false
         } else {
-            let slot = self.allocate(key.clone());
+            let slot = self.slab.insert(key.clone()).index();
             self.index.insert(key, slot);
-            self.link_back(slot);
+            self.chain.push_back(&mut self.slab, LRU_CHANNEL, slot);
             true
         }
     }
 
     /// Remove and return the least recently used element.
     pub fn pop_lru(&mut self) -> Option<K> {
-        if self.tail == NIL {
-            return None;
-        }
-        let slot = self.tail;
-        let key = self.nodes[slot].key.clone();
-        self.remove(&key);
+        let slot = self.chain.tail()?;
+        let key = self.slab.value_at(slot).clone();
+        self.index.remove(&key);
+        self.chain.unlink(&mut self.slab, LRU_CHANNEL, slot);
+        self.slab.remove(self.slab.key_at(slot));
         Some(key)
     }
 
     /// Look at the least recently used element without removing it.
     #[must_use]
     pub fn peek_lru(&self) -> Option<&K> {
-        if self.tail == NIL {
-            None
-        } else {
-            Some(&self.nodes[self.tail].key)
-        }
+        self.chain.tail().map(|slot| self.slab.value_at(slot))
     }
 
     /// Look at the most recently used element without removing it.
     #[must_use]
     pub fn peek_mru(&self) -> Option<&K> {
-        if self.head == NIL {
-            None
-        } else {
-            Some(&self.nodes[self.head].key)
-        }
+        self.chain.head().map(|slot| self.slab.value_at(slot))
     }
 
     /// Remove `key` from the list. Returns `true` if it was present.
@@ -156,8 +138,8 @@ impl<K: Eq + Hash + Clone> LruList<K> {
         match self.index.remove(key) {
             None => false,
             Some(slot) => {
-                self.unlink(slot);
-                self.free.push(slot);
+                self.chain.unlink(&mut self.slab, LRU_CHANNEL, slot);
+                self.slab.remove(self.slab.key_at(slot));
                 true
             }
         }
@@ -165,27 +147,25 @@ impl<K: Eq + Hash + Clone> LruList<K> {
 
     /// Remove every element.
     pub fn clear(&mut self) {
-        self.nodes.clear();
-        self.free.clear();
+        self.slab.clear();
         self.index.clear();
-        self.head = NIL;
-        self.tail = NIL;
+        self.chain = Chain::new();
     }
 
     /// Iterate from most recently used to least recently used.
     pub fn iter(&self) -> Iter<'_, K> {
         Iter {
-            list: self,
-            cursor: self.head,
+            slab: &self.slab,
+            indices: self.chain.indices(&self.slab, LRU_CHANNEL),
         }
     }
 
-    /// Iterate from least recently used to most recently used (the order in
-    /// which the kernel would scan for reclaim victims).
+    /// Iterate from least to most recently used (the order in which the
+    /// kernel would scan for reclaim victims).
     pub fn iter_lru(&self) -> IterLru<'_, K> {
         IterLru {
-            list: self,
-            cursor: self.tail,
+            slab: &self.slab,
+            indices: self.chain.indices(&self.slab, LRU_CHANNEL),
         }
     }
 
@@ -200,64 +180,6 @@ impl<K: Eq + Hash + Clone> LruList<K> {
             }
         }
         out
-    }
-
-    fn allocate(&mut self, key: K) -> usize {
-        if let Some(slot) = self.free.pop() {
-            self.nodes[slot] = Node {
-                key,
-                prev: NIL,
-                next: NIL,
-            };
-            slot
-        } else {
-            self.nodes.push(Node {
-                key,
-                prev: NIL,
-                next: NIL,
-            });
-            self.nodes.len() - 1
-        }
-    }
-
-    fn link_front(&mut self, slot: usize) {
-        self.nodes[slot].prev = NIL;
-        self.nodes[slot].next = self.head;
-        if self.head != NIL {
-            self.nodes[self.head].prev = slot;
-        }
-        self.head = slot;
-        if self.tail == NIL {
-            self.tail = slot;
-        }
-    }
-
-    fn link_back(&mut self, slot: usize) {
-        self.nodes[slot].next = NIL;
-        self.nodes[slot].prev = self.tail;
-        if self.tail != NIL {
-            self.nodes[self.tail].next = slot;
-        }
-        self.tail = slot;
-        if self.head == NIL {
-            self.head = slot;
-        }
-    }
-
-    fn unlink(&mut self, slot: usize) {
-        let (prev, next) = (self.nodes[slot].prev, self.nodes[slot].next);
-        if prev != NIL {
-            self.nodes[prev].next = next;
-        } else if self.head == slot {
-            self.head = next;
-        }
-        if next != NIL {
-            self.nodes[next].prev = prev;
-        } else if self.tail == slot {
-            self.tail = prev;
-        }
-        self.nodes[slot].prev = NIL;
-        self.nodes[slot].next = NIL;
     }
 }
 
@@ -289,37 +211,29 @@ impl<K: Eq + Hash + Clone> Extend<K> for LruList<K> {
 
 /// Iterator over a [`LruList`] from most to least recently used.
 pub struct Iter<'a, K> {
-    list: &'a LruList<K>,
-    cursor: usize,
+    slab: &'a Slab<K>,
+    indices: ChainIndices<'a, K>,
 }
 
 impl<'a, K> Iterator for Iter<'a, K> {
     type Item = &'a K;
     fn next(&mut self) -> Option<Self::Item> {
-        if self.cursor == NIL {
-            return None;
-        }
-        let node = &self.list.nodes[self.cursor];
-        self.cursor = node.next;
-        Some(&node.key)
+        self.indices.next().map(|slot| self.slab.value_at(slot))
     }
 }
 
 /// Iterator over a [`LruList`] from least to most recently used.
 pub struct IterLru<'a, K> {
-    list: &'a LruList<K>,
-    cursor: usize,
+    slab: &'a Slab<K>,
+    indices: ChainIndices<'a, K>,
 }
 
 impl<'a, K> Iterator for IterLru<'a, K> {
     type Item = &'a K;
     fn next(&mut self) -> Option<Self::Item> {
-        if self.cursor == NIL {
-            return None;
-        }
-        let node = &self.list.nodes[self.cursor];
-        self.cursor = node.prev;
-        Some(&node.key)
+        self.indices
+            .next_back()
+            .map(|slot| self.slab.value_at(slot))
     }
 }
 

@@ -6,18 +6,36 @@
 //! what lets the workspace study *Insight 3*: pages that are compressed
 //! together get adjacent sectors, so swap-in streams that touch adjacent
 //! sectors exhibit the locality Table 3 reports and PreDecomp exploits.
+//!
+//! Entries live in a generation-checked [`Slab`]: a [`ZpoolHandle`] packs the
+//! slot index and its generation, so a handle held across a remove/reuse
+//! cycle reports [`MemError::StaleHandle`] instead of aliasing the new
+//! occupant. Three sector-ordered indices (all entries / cold entries /
+//! hot single-page entries) turn the old full-table scans — writeback victim
+//! selection, PreDecomp's next-sector lookup, the hot-refill sweep — into
+//! O(log n) range queries, and per-app membership is an intrusive chain
+//! through the slab slots so kill storms stay linear in the victim's own
+//! entries.
 
 use crate::error::MemError;
 use crate::page::{Hotness, PageId};
+use crate::slab::{Chain, FxHashMap, Slab, SlabKey};
 use ariadne_compress::ChunkSize;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Size of one zpool block (and of one zram sector) in bytes.
 pub const ZPOOL_BLOCK_SIZE: usize = 4096;
 
+/// Link channel of the per-app entry chain.
+const APP_CHANNEL: usize = 0;
+
 /// Handle to an entry stored in the zpool.
+///
+/// The raw value packs the entry's slab slot and generation; handles are
+/// opaque tickets (sector numbers, not handles, are what the simulation
+/// observes), and a stale handle is detected rather than reused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ZpoolHandle(u64);
 
@@ -26,6 +44,14 @@ impl ZpoolHandle {
     #[must_use]
     pub fn value(self) -> u64 {
         self.0
+    }
+
+    fn key(self) -> SlabKey {
+        SlabKey::unpack(self.0)
+    }
+
+    fn from_key(key: SlabKey) -> Self {
+        ZpoolHandle(key.pack())
     }
 }
 
@@ -96,6 +122,13 @@ impl ZpoolEntry {
     pub fn blocks(&self) -> usize {
         self.compressed_bytes.div_ceil(ZPOOL_BLOCK_SIZE).max(1)
     }
+
+    /// Whether the entry qualifies for a pre-decompression refill: labelled
+    /// hot and covering a single page (the buffer holds individual pages).
+    #[must_use]
+    pub fn is_hot_single(&self) -> bool {
+        self.hotness == Hotness::Hot && self.pages.len() == 1
+    }
 }
 
 /// Aggregate statistics about zpool usage.
@@ -131,15 +164,25 @@ pub struct ZpoolStats {
 pub struct Zpool {
     capacity: usize,
     used: usize,
-    next_handle: u64,
     next_sector: u64,
-    entries: HashMap<ZpoolHandle, ZpoolEntry>,
-    page_index: HashMap<PageId, ZpoolHandle>,
-    /// Per-application handle index: which entries hold data of each app.
-    /// Keeps `release_app` (kill storms) linear in the victim's own entries
-    /// instead of scanning the whole table per kill. Handles are kept in a
-    /// `BTreeSet` so release order is deterministic.
-    app_index: HashMap<crate::page::AppId, BTreeSet<ZpoolHandle>>,
+    entries: Slab<ZpoolEntry>,
+    page_index: FxHashMap<PageId, ZpoolHandle>,
+    /// Per-application entry chain, threaded through the slab slots. Keeps
+    /// `release_app` (kill storms) linear in the victim's own entries, in a
+    /// deterministic order: entries are only ever appended, so chain order is
+    /// store order — exactly the ascending-handle order the old `BTreeSet`
+    /// index iterated in.
+    app_chains: FxHashMap<crate::page::AppId, Chain>,
+    /// All live entries keyed by sector: O(log n) successor queries for
+    /// PreDecomp and O(log n) oldest-entry lookup for writeback.
+    by_sector: BTreeMap<u64, ZpoolHandle>,
+    /// Cold entries keyed by sector (writeback's preferred victims).
+    cold_by_sector: BTreeMap<u64, ZpoolHandle>,
+    /// Hot single-page entries keyed by sector (PreDecomp refill candidates).
+    hot_single_by_sector: BTreeMap<u64, ZpoolHandle>,
+    /// Running totals so [`Zpool::stats`] is O(1) instead of a full scan.
+    original_total: usize,
+    compressed_total: usize,
     stores: usize,
     removals: usize,
 }
@@ -219,6 +262,13 @@ impl Zpool {
                 detail: format!("page {dup} is already stored in the zpool"),
             });
         }
+        // Compression groups never mix applications (AdaptiveComp groups
+        // per-app victim lists), so one per-app chain per entry suffices.
+        let app = pages[0].app();
+        debug_assert!(
+            pages.iter().all(|p| p.app() == app),
+            "zpool entry mixes applications"
+        );
         let entry = ZpoolEntry {
             pages,
             sector: ZpoolSector::new(self.next_sector),
@@ -234,15 +284,30 @@ impl Zpool {
                 available: self.free_bytes(),
             });
         }
-        let handle = ZpoolHandle(self.next_handle);
-        self.next_handle += 1;
         self.next_sector += entry.blocks() as u64;
         self.used += bytes;
-        for page in &entry.pages {
+        self.original_total += entry.original_bytes;
+        self.compressed_total += entry.compressed_bytes;
+        let sector = entry.sector.value();
+        let hot_single = entry.is_hot_single();
+        let cold = entry.hotness == Hotness::Cold;
+        let key = self.entries.insert(entry);
+        let handle = ZpoolHandle::from_key(key);
+        for page in &self.entries.get(key).expect("just inserted").pages {
             self.page_index.insert(*page, handle);
-            self.app_index.entry(page.app()).or_default().insert(handle);
         }
-        self.entries.insert(handle, entry);
+        self.app_chains.entry(app).or_default().push_back(
+            &mut self.entries,
+            APP_CHANNEL,
+            key.index(),
+        );
+        self.by_sector.insert(sector, handle);
+        if cold {
+            self.cold_by_sector.insert(sector, handle);
+        }
+        if hot_single {
+            self.hot_single_by_sector.insert(sector, handle);
+        }
         self.stores += 1;
         Ok(handle)
     }
@@ -253,7 +318,7 @@ impl Zpool {
     ///
     /// Returns [`MemError::StaleHandle`] if the entry was already removed.
     pub fn entry(&self, handle: ZpoolHandle) -> Result<&ZpoolEntry, MemError> {
-        self.entries.get(&handle).ok_or(MemError::StaleHandle)
+        self.entries.get(handle.key()).ok_or(MemError::StaleHandle)
     }
 
     /// The handle of the entry holding `page`, if any.
@@ -274,54 +339,69 @@ impl Zpool {
     ///
     /// Returns [`MemError::StaleHandle`] if the entry was already removed.
     pub fn remove(&mut self, handle: ZpoolHandle) -> Result<ZpoolEntry, MemError> {
-        let entry = self.entries.remove(&handle).ok_or(MemError::StaleHandle)?;
-        self.used -= entry.blocks() * ZPOOL_BLOCK_SIZE;
-        for page in &entry.pages {
-            self.page_index.remove(page);
-            if let Some(handles) = self.app_index.get_mut(&page.app()) {
-                handles.remove(&handle);
-                if handles.is_empty() {
-                    self.app_index.remove(&page.app());
-                }
-            }
+        let key = handle.key();
+        if !self.entries.contains(key) {
+            return Err(MemError::StaleHandle);
         }
+        let app = self.entries.get(key).expect("checked live").pages[0].app();
+        let mut chain = *self.app_chains.get(&app).expect("app chain exists");
+        chain.unlink(&mut self.entries, APP_CHANNEL, key.index());
+        if chain.is_empty() {
+            self.app_chains.remove(&app);
+        } else {
+            self.app_chains.insert(app, chain);
+        }
+        let entry = self.entries.remove(key).expect("checked live");
+        self.discard_indexed(handle, &entry);
         self.removals += 1;
         Ok(entry)
+    }
+
+    /// Drop an entry's secondary-index footprint and running totals.
+    fn discard_indexed(&mut self, handle: ZpoolHandle, entry: &ZpoolEntry) {
+        let _ = handle;
+        self.used -= entry.blocks() * ZPOOL_BLOCK_SIZE;
+        self.original_total -= entry.original_bytes;
+        self.compressed_total -= entry.compressed_bytes;
+        for page in &entry.pages {
+            self.page_index.remove(page);
+        }
+        let sector = entry.sector.value();
+        self.by_sector.remove(&sector);
+        if entry.hotness == Hotness::Cold {
+            self.cold_by_sector.remove(&sector);
+        }
+        if entry.is_hot_single() {
+            self.hot_single_by_sector.remove(&sector);
+        }
     }
 
     /// Remove every entry belonging to `app` (its process was killed) and
     /// free the blocks. Returns `(entries removed, pages released)`.
     ///
-    /// Served by the per-app handle index: the cost is proportional to the
-    /// victim's own entries, not to the pool size, so lmkd kill storms stay
-    /// linear instead of going quadratic in zpool entries.
+    /// Served by the per-app chain: the cost is proportional to the victim's
+    /// own entries, not to the pool size, so lmkd kill storms stay linear
+    /// instead of going quadratic in zpool entries. Entries are released in
+    /// chain (= store) order, the same deterministic order the old
+    /// ascending-handle `BTreeSet` produced.
     pub fn release_app(&mut self, app: crate::page::AppId) -> (usize, usize) {
-        let Some(doomed) = self.app_index.remove(&app) else {
+        let Some(chain) = self.app_chains.remove(&app) else {
             return (0, 0);
         };
+        let doomed: Vec<SlabKey> = chain
+            .indices(&self.entries, APP_CHANNEL)
+            .map(|i| self.entries.key_at(i))
+            .collect();
         let mut pages = 0usize;
-        for handle in &doomed {
-            let entry = self.entries.remove(handle).expect("doomed handle is live");
-            // Compression groups never mix applications, so a whole entry
-            // always belongs to the killed app.
+        let mut chain = chain;
+        for key in &doomed {
+            chain.unlink(&mut self.entries, APP_CHANNEL, key.index());
+            let entry = self.entries.remove(*key).expect("doomed handle is live");
             debug_assert!(
                 entry.pages.iter().all(|p| p.app() == app),
-                "zpool entry {handle} mixes applications"
+                "zpool entry mixes applications"
             );
-            self.used -= entry.blocks() * ZPOOL_BLOCK_SIZE;
-            for page in &entry.pages {
-                self.page_index.remove(page);
-                // Defensive: if an entry ever mixed applications, drop the
-                // other apps' cross-references so their index stays clean.
-                if page.app() != app {
-                    if let Some(handles) = self.app_index.get_mut(&page.app()) {
-                        handles.remove(handle);
-                        if handles.is_empty() {
-                            self.app_index.remove(&page.app());
-                        }
-                    }
-                }
-            }
+            self.discard_indexed(ZpoolHandle::from_key(*key), &entry);
             pages += entry.pages.len();
             self.removals += 1;
         }
@@ -335,25 +415,62 @@ impl Zpool {
     /// and — per the paper's Insight 3 — are likely to be accessed together.
     #[must_use]
     pub fn next_by_sector(&self, sector: ZpoolSector) -> Option<(ZpoolHandle, &ZpoolEntry)> {
-        self.entries
+        self.by_sector
+            .range(sector.value() + 1..)
+            .next()
+            .map(|(_, h)| (*h, self.entries.get(h.key()).expect("indexed entry live")))
+    }
+
+    /// The live entry with the lowest sector (the oldest data in the pool).
+    #[must_use]
+    pub fn oldest(&self) -> Option<(ZpoolHandle, &ZpoolEntry)> {
+        self.by_sector
             .iter()
-            .filter(|(_, e)| e.sector.value() > sector.value())
-            .min_by_key(|(_, e)| e.sector.value())
-            .map(|(h, e)| (*h, e))
+            .next()
+            .map(|(_, h)| (*h, self.entries.get(h.key()).expect("indexed entry live")))
     }
 
-    /// Iterate over all entries (arbitrary order).
+    /// The cold entry with the lowest sector (writeback's preferred victim).
+    #[must_use]
+    pub fn oldest_cold(&self) -> Option<(ZpoolHandle, &ZpoolEntry)> {
+        self.cold_by_sector
+            .iter()
+            .next()
+            .map(|(_, h)| (*h, self.entries.get(h.key()).expect("indexed entry live")))
+    }
+
+    /// Number of hot single-page entries (pre-decompression refill
+    /// candidates), maintained incrementally so callers polling for deferred
+    /// work do not scan the pool.
+    #[must_use]
+    pub fn hot_single_count(&self) -> usize {
+        self.hot_single_by_sector.len()
+    }
+
+    /// Up to `limit` hot single-page entries, oldest (lowest sector) first.
+    #[must_use]
+    pub fn hot_single_oldest(&self, limit: usize) -> Vec<ZpoolHandle> {
+        self.hot_single_by_sector
+            .values()
+            .take(limit)
+            .copied()
+            .collect()
+    }
+
+    /// Iterate over all entries in ascending sector order (deterministic).
     pub fn iter(&self) -> impl Iterator<Item = (ZpoolHandle, &ZpoolEntry)> {
-        self.entries.iter().map(|(h, e)| (*h, e))
+        self.by_sector
+            .values()
+            .map(|h| (*h, self.entries.get(h.key()).expect("indexed entry live")))
     }
 
-    /// Aggregate usage statistics.
+    /// Aggregate usage statistics (O(1): served from running totals).
     #[must_use]
     pub fn stats(&self) -> ZpoolStats {
         ZpoolStats {
             entries: self.entries.len(),
-            original_bytes: self.entries.values().map(|e| e.original_bytes).sum(),
-            compressed_bytes: self.entries.values().map(|e| e.compressed_bytes).sum(),
+            original_bytes: self.original_total,
+            compressed_bytes: self.compressed_total,
             stores: self.stores,
             removals: self.removals,
         }
@@ -454,6 +571,19 @@ mod tests {
     }
 
     #[test]
+    fn stale_handle_is_detected_after_slot_reuse() {
+        let mut pool = Zpool::new(1 << 20);
+        let old = store_one(&mut pool, 1, 1, 1000);
+        pool.remove(old).unwrap();
+        // The freed slot is reused by the next store; the old handle must
+        // stay stale rather than resolve to the new occupant.
+        let new = store_one(&mut pool, 2, 9, 2000);
+        assert!(matches!(pool.entry(old), Err(MemError::StaleHandle)));
+        assert!(matches!(pool.remove(old), Err(MemError::StaleHandle)));
+        assert_eq!(pool.entry(new).unwrap().pages, vec![page(2, 9)]);
+    }
+
+    #[test]
     fn multi_page_entries_index_every_page() {
         let mut pool = Zpool::new(1 << 20);
         let pages = vec![page(2, 10), page(2, 11), page(2, 12), page(2, 13)];
@@ -486,6 +616,61 @@ mod tests {
         assert_eq!(next, h2);
         let s3 = pool.entry(h3).unwrap().sector;
         assert!(pool.next_by_sector(s3).is_none());
+    }
+
+    #[test]
+    fn oldest_and_oldest_cold_track_sector_order() {
+        let mut pool = Zpool::new(1 << 20);
+        let hot = pool
+            .store(vec![page(1, 1)], 4096, 1000, ChunkSize::k1(), Hotness::Hot)
+            .unwrap();
+        let cold = store_one(&mut pool, 1, 2, 1000);
+        let (h, _) = pool.oldest().unwrap();
+        assert_eq!(h, hot, "oldest-any is the lowest sector");
+        let (c, _) = pool.oldest_cold().unwrap();
+        assert_eq!(c, cold, "oldest-cold skips the hot entry");
+        pool.remove(cold).unwrap();
+        assert!(pool.oldest_cold().is_none());
+        assert_eq!(pool.oldest().unwrap().0, hot);
+    }
+
+    #[test]
+    fn hot_single_index_tracks_refill_candidates() {
+        let mut pool = Zpool::new(1 << 20);
+        let h1 = pool
+            .store(vec![page(1, 1)], 4096, 900, ChunkSize::k1(), Hotness::Hot)
+            .unwrap();
+        // Multi-page hot entry and cold single page do not qualify.
+        pool.store(
+            vec![page(1, 2), page(1, 3)],
+            8192,
+            3000,
+            ChunkSize::k2(),
+            Hotness::Hot,
+        )
+        .unwrap();
+        store_one(&mut pool, 1, 4, 900);
+        let h2 = pool
+            .store(vec![page(1, 5)], 4096, 900, ChunkSize::k1(), Hotness::Hot)
+            .unwrap();
+        assert_eq!(pool.hot_single_count(), 2);
+        assert_eq!(pool.hot_single_oldest(10), vec![h1, h2]);
+        assert_eq!(pool.hot_single_oldest(1), vec![h1]);
+        pool.remove(h1).unwrap();
+        assert_eq!(pool.hot_single_count(), 1);
+        assert_eq!(pool.hot_single_oldest(10), vec![h2]);
+    }
+
+    #[test]
+    fn iter_yields_ascending_sectors() {
+        let mut pool = Zpool::new(1 << 20);
+        for pfn in 0..10 {
+            store_one(&mut pool, 1, pfn, 4096);
+        }
+        let sectors: Vec<u64> = pool.iter().map(|(_, e)| e.sector.value()).collect();
+        let mut sorted = sectors.clone();
+        sorted.sort_unstable();
+        assert_eq!(sectors, sorted);
     }
 
     #[test]
@@ -554,6 +739,30 @@ mod tests {
         assert_eq!(stats.stores, 2);
         assert_eq!(stats.removals, 1);
         assert_eq!(stats.original_bytes, 4096);
+    }
+
+    #[test]
+    fn running_stats_match_a_full_recompute() {
+        let mut pool = Zpool::new(1 << 20);
+        let mut handles = Vec::new();
+        for pfn in 0..20 {
+            handles.push(store_one(
+                &mut pool,
+                1 + (pfn % 3) as u32,
+                pfn,
+                1000 + 137 * pfn as usize,
+            ));
+        }
+        for handle in handles.iter().step_by(3) {
+            pool.remove(*handle).unwrap();
+        }
+        pool.release_app(AppId::new(2));
+        let stats = pool.stats();
+        let original: usize = pool.iter().map(|(_, e)| e.original_bytes).sum();
+        let compressed: usize = pool.iter().map(|(_, e)| e.compressed_bytes).sum();
+        assert_eq!(stats.original_bytes, original);
+        assert_eq!(stats.compressed_bytes, compressed);
+        assert_eq!(stats.entries, pool.len());
     }
 
     #[test]

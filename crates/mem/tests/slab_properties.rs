@@ -1,0 +1,171 @@
+//! Property tests pinning `Slab` + `Chain` against a naive reference model.
+//!
+//! The slab is the substrate under every hot-path index (zpool, flash,
+//! LRU lists, the oracle's recency chains), so its semantics are pinned
+//! here against a `HashMap` + insertion-order `Vec` model: insert/remove/
+//! get/iterate equivalence under arbitrary op interleavings, stale keys
+//! from recycled slots never resolving (the generation check), and chain
+//! iteration order tracking insertion order exactly — which is what makes
+//! `release_app` sweeps deterministic in every consumer.
+
+use ariadne_mem::{Chain, Slab, SlabKey};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const CHANNEL: usize = 0;
+
+/// Reference model: a `HashMap` keyed by the packed slab key plus a `Vec`
+/// recording live keys in insertion order (the order a chain must report).
+#[derive(Default)]
+struct Reference {
+    live: HashMap<u64, u64>,
+    order: Vec<SlabKey>,
+    stale: Vec<SlabKey>,
+}
+
+/// Replay `(op, arg)` codes against the slab and the reference model,
+/// checking the full observable surface after every op.
+fn run_slab_ops(ops: &[(u8, u16)]) {
+    let mut slab: Slab<u64> = Slab::new();
+    let mut chain = Chain::new();
+    let mut reference = Reference::default();
+    let mut next_value = 0u64;
+
+    for &(op, arg) in ops {
+        match op {
+            // Insert a fresh value; the new key must be unique forever.
+            0 => {
+                let value = next_value;
+                next_value += 1;
+                let key = slab.insert(value);
+                assert!(
+                    reference.live.insert(key.pack(), value).is_none(),
+                    "slab handed out a key that is still live in the model"
+                );
+                assert!(
+                    !reference.stale.contains(&key),
+                    "slab reused a packed key without bumping the generation"
+                );
+                chain.push_back(&mut slab, CHANNEL, key.index());
+                reference.order.push(key);
+            }
+            // Remove a live key chosen by `arg`.
+            1 if !reference.order.is_empty() => {
+                let pick = usize::from(arg) % reference.order.len();
+                let key = reference.order.remove(pick);
+                let expected = reference.live.remove(&key.pack()).expect("model live");
+                chain.unlink(&mut slab, CHANNEL, key.index());
+                assert_eq!(slab.remove(key), Some(expected));
+                reference.stale.push(key);
+            }
+            // Probe a stale key: the generation check must reject it even
+            // when the slot has been recycled by a later insert.
+            2 if !reference.stale.is_empty() => {
+                let pick = usize::from(arg) % reference.stale.len();
+                let key = reference.stale[pick];
+                assert!(!slab.contains(key), "stale key resolved after removal");
+                assert_eq!(slab.get(key), None);
+                assert_eq!(slab.remove(key), None, "stale key removed a live slot");
+            }
+            // Probe a live key.
+            _ if !reference.order.is_empty() => {
+                let pick = usize::from(arg) % reference.order.len();
+                let key = reference.order[pick];
+                let expected = reference.live[&key.pack()];
+                assert!(slab.contains(key));
+                assert_eq!(slab.get(key), Some(&expected));
+                assert_eq!(slab.key_at(key.index()), key);
+            }
+            _ => {}
+        }
+
+        // Full-surface checks after every op.
+        assert_eq!(slab.len(), reference.live.len());
+        assert_eq!(slab.is_empty(), reference.live.is_empty());
+        assert_eq!(chain.len(), reference.order.len());
+
+        let iterated: HashMap<u64, u64> = slab
+            .iter()
+            .map(|(key, value)| (key.pack(), *value))
+            .collect();
+        assert_eq!(iterated, reference.live, "iter() disagrees with the model");
+
+        // Chain order is insertion order — front to back, and reversed —
+        // which is the determinism guarantee `release_app` sweeps lean on.
+        let forward: Vec<SlabKey> = chain
+            .indices(&slab, CHANNEL)
+            .map(|index| slab.key_at(index))
+            .collect();
+        assert_eq!(forward, reference.order, "chain order drifted");
+        let backward: Vec<SlabKey> = chain
+            .indices(&slab, CHANNEL)
+            .rev()
+            .map(|index| slab.key_at(index))
+            .collect();
+        let mut expected_back = reference.order.clone();
+        expected_back.reverse();
+        assert_eq!(backward, expected_back, "reverse chain order drifted");
+        assert_eq!(chain.head(), reference.order.first().map(|k| k.index()));
+        assert_eq!(chain.tail(), reference.order.last().map(|k| k.index()));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Arbitrary insert/remove/stale-probe/live-probe interleavings keep the
+    // slab in lockstep with the reference model after every single op.
+    #[test]
+    fn slab_matches_reference_model(
+        ops in proptest::collection::vec((0u8..4, any::<u16>()), 1..120),
+    ) {
+        run_slab_ops(&ops);
+    }
+
+    // Churn-heavy mix (two insert codes for every remove) forces slot reuse
+    // so the generation/ABA checks actually fire, not just the happy path.
+    #[test]
+    fn slab_survives_reuse_churn(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                (0u8..1, any::<u16>()),
+                (0u8..1, any::<u16>()),
+                (1u8..3, any::<u16>()),
+            ],
+            1..200,
+        ),
+    ) {
+        run_slab_ops(&ops);
+    }
+}
+
+/// The canonical ABA case, pinned deterministically: a key saved before its
+/// slot is recycled must not resolve to the slot's new tenant.
+#[test]
+fn stale_key_does_not_alias_recycled_slot() {
+    let mut slab: Slab<u64> = Slab::new();
+    let old = slab.insert(7);
+    assert_eq!(slab.remove(old), Some(7));
+    let new = slab.insert(8);
+    // Free-list reuse puts the new tenant in the same physical slot…
+    assert_eq!(new.index(), old.index());
+    // …but the stale key carries the old generation and must stay dead.
+    assert_ne!(new.generation(), old.generation());
+    assert!(!slab.contains(old));
+    assert_eq!(slab.get(old), None);
+    assert_eq!(slab.remove(old), None);
+    assert_eq!(slab.get(new), Some(&8));
+}
+
+/// `clear` invalidates every outstanding key, not just the freed ones.
+#[test]
+fn clear_invalidates_all_keys() {
+    let mut slab: Slab<u64> = Slab::new();
+    let keys: Vec<SlabKey> = (0..16).map(|v| slab.insert(v)).collect();
+    slab.clear();
+    assert!(slab.is_empty());
+    for key in keys {
+        assert!(!slab.contains(key));
+        assert_eq!(slab.remove(key), None);
+    }
+}

@@ -124,6 +124,34 @@ impl EventQueue {
         });
     }
 
+    /// Schedule a whole batch of events at once. Sequence numbers are
+    /// assigned in iteration order, so popping is indistinguishable from
+    /// having called [`EventQueue::push`] once per event — but the heap is
+    /// restored with one bulk rebuild instead of one sift per event, which
+    /// is what keeps scenario loads and relaunch storms cheap.
+    pub fn push_batch<I: IntoIterator<Item = (u128, EngineEvent)>>(&mut self, events: I) {
+        let batch: Vec<Scheduled> = events
+            .into_iter()
+            .map(|(at_nanos, event)| {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                Scheduled {
+                    at_nanos,
+                    class: event.class(),
+                    seq,
+                    event,
+                }
+            })
+            .collect();
+        if batch.is_empty() {
+            return;
+        }
+        // `append` heapifies in O(len) when the incoming half is large
+        // relative to the existing heap (the storm case) and falls back to
+        // sifting when it is small.
+        self.heap.append(&mut BinaryHeap::from(batch));
+    }
+
     /// Pop the next event in `(time, class, seq)` order.
     pub fn pop(&mut self) -> Option<Scheduled> {
         self.heap.pop()
@@ -183,6 +211,51 @@ mod tests {
         }
         let seqs: Vec<u64> = std::iter::from_fn(|| queue.pop()).map(|s| s.seq).collect();
         assert_eq!(seqs, (0..8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn push_batch_pops_identically_to_sequential_pushes() {
+        // A storm of same-tick and out-of-order events, scheduled both ways.
+        let events: Vec<(u128, EngineEvent)> = (0..64u128)
+            .map(|i| {
+                let event = match i % 5 {
+                    0 => EngineEvent::App(ScenarioEvent::Launch(AppName::Edge)),
+                    1 => EngineEvent::KswapdWake,
+                    2 => EngineEvent::DrainTick,
+                    3 => EngineEvent::IoComplete,
+                    _ => EngineEvent::LmkdWake,
+                };
+                ((i * 7) % 13, event)
+            })
+            .collect();
+
+        let mut sequential = EventQueue::new();
+        for (at, event) in &events {
+            sequential.push(*at, *event);
+        }
+        let mut batched = EventQueue::new();
+        batched.push_batch(events.iter().copied());
+
+        // Batching on top of a non-empty heap must behave identically too.
+        sequential.push(1, EngineEvent::KswapdWake);
+        batched.push_batch([(1, EngineEvent::KswapdWake)]);
+
+        loop {
+            let (a, b) = (sequential.pop(), batched.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn push_batch_of_nothing_is_a_no_op() {
+        let mut queue = EventQueue::new();
+        queue.push_batch(std::iter::empty());
+        assert!(queue.is_empty());
+        queue.push(0, EngineEvent::KswapdWake);
+        assert_eq!(queue.pop().unwrap().seq, 0);
     }
 
     #[test]

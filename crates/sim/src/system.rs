@@ -513,10 +513,12 @@ impl MobileSystem {
     pub fn enqueue(&mut self, scenario: &TimedScenario) {
         self.drains_enabled = scenario.background_drains;
         self.lmkd_enabled = scenario.lmkd;
-        for timed in &scenario.events {
-            self.queue
-                .push(timed.at_nanos, EngineEvent::App(timed.event));
-        }
+        self.queue.push_batch(
+            scenario
+                .events
+                .iter()
+                .map(|timed| (timed.at_nanos, EngineEvent::App(timed.event))),
+        );
     }
 
     /// Run a timed scenario to completion through the event engine.

@@ -29,8 +29,10 @@
 //! the oracle on or off — only the host wall-clock changes.
 
 use ariadne_compress::{Algorithm, ChunkSize, ChunkedCodec, CompressedImage};
-use ariadne_mem::{PageId, PAGE_SIZE};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use ariadne_mem::{Chain, FxHashMap, FxHasher, PageId, Slab, PAGE_SIZE};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
 
 /// Cache key: the exact page group plus the codec configuration. Two groups
 /// with the same pages in a different order are different keys (the
@@ -42,11 +44,19 @@ struct OracleKey {
     pages: Vec<PageId>,
 }
 
-/// One memoized compression result.
+/// Link channel of the recency chain (head = most recently used).
+const RECENCY_CHANNEL: usize = 0;
+/// Link channel of the payload chain: only slots still holding a
+/// [`CompressedImage`] are linked, in recency order, so payload eviction
+/// pops the least recently used payload straight off the tail.
+const PAYLOAD_CHANNEL: usize = 1;
+
+/// One memoized compression result, stored in the oracle's slab. The key is
+/// kept in the slot so LRU eviction can drop the index entry without a
+/// reverse map.
 #[derive(Debug, Clone)]
-struct Slot {
-    /// LRU tick of the most recent use (key into the order map).
-    tick: u64,
+struct OracleEntry {
+    key: OracleKey,
     original_len: usize,
     compressed_len: usize,
     chunk_count: usize,
@@ -161,15 +171,18 @@ pub struct CompressionOracle {
     max_entries: usize,
     payload_budget: usize,
     payload_bytes: usize,
-    tick: u64,
-    entries: HashMap<OracleKey, Slot>,
-    /// LRU order: tick → key. Ticks are unique, so the lowest tick is always
-    /// the least recently used entry; eviction order is fully deterministic.
-    order: BTreeMap<u64, OracleKey>,
-    /// The ticks (in LRU order) of the slots that still hold a payload, so
-    /// payload eviction pops the oldest payload directly instead of
-    /// rescanning already-stripped entries.
-    payload_ticks: BTreeSet<u64>,
+    /// Memoized results; the two intrusive link channels thread the recency
+    /// and payload LRU orders through the slots, so a hit is a hash probe
+    /// plus a handful of pointer updates — no tree rebalancing.
+    entries: Slab<OracleEntry>,
+    /// Key → slab slot.
+    index: FxHashMap<OracleKey, u32>,
+    /// Recency order (head = most recently used); the tail is the eviction
+    /// victim, which keeps eviction order identical to the old tick-ordered
+    /// map: strictly least recently used first.
+    recency: Chain,
+    /// Recency order over the slots that still hold a payload.
+    payloads: Chain,
     /// Reused probe key: hits and the probe itself allocate nothing.
     key_scratch: OracleKey,
     /// Synthesis + codec scratch for the single-threaded convenience path
@@ -192,10 +205,10 @@ impl CompressionOracle {
             max_entries: Self::DEFAULT_MAX_ENTRIES,
             payload_budget: 0,
             payload_bytes: 0,
-            tick: 0,
-            entries: HashMap::new(),
-            order: BTreeMap::new(),
-            payload_ticks: BTreeSet::new(),
+            entries: Slab::new(),
+            index: FxHashMap::default(),
+            recency: Chain::new(),
+            payloads: Chain::new(),
             key_scratch: OracleKey {
                 algorithm: Algorithm::Lzo,
                 chunk_size: ChunkSize::k4(),
@@ -241,13 +254,13 @@ impl CompressionOracle {
     /// Number of memoized entries.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.index.len()
     }
 
     /// Whether the cache is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.index.is_empty()
     }
 
     /// Compressed bytes currently held by cached payloads.
@@ -280,26 +293,26 @@ impl CompressionOracle {
         self.key_scratch.chunk_size = chunk_size;
         self.key_scratch.pages.clear();
         self.key_scratch.pages.extend_from_slice(pages);
-        let slot = self.entries.get_mut(&self.key_scratch)?;
-        self.tick += 1;
-        let key = self
-            .order
-            .remove(&slot.tick)
-            .expect("every live slot has an order entry");
-        self.order.insert(self.tick, key);
-        if slot.image.is_some() {
-            self.payload_ticks.remove(&slot.tick);
-            self.payload_ticks.insert(self.tick);
+        let slot = *self.index.get(&self.key_scratch)?;
+        self.recency
+            .move_front(&mut self.entries, RECENCY_CHANNEL, slot);
+        let entry = self.entries.value_at(slot);
+        let (original_len, outcome) = (
+            entry.original_len,
+            OracleOutcome {
+                original_len: entry.original_len,
+                compressed_len: entry.compressed_len,
+                chunk_count: entry.chunk_count,
+                hit: true,
+            },
+        );
+        if entry.image.is_some() {
+            self.payloads
+                .move_front(&mut self.entries, PAYLOAD_CHANNEL, slot);
         }
-        slot.tick = self.tick;
         self.stats.hits += 1;
-        self.stats.bytes_saved += slot.original_len;
-        Some(OracleOutcome {
-            original_len: slot.original_len,
-            compressed_len: slot.compressed_len,
-            chunk_count: slot.chunk_count,
-            hit: true,
-        })
+        self.stats.bytes_saved += original_len;
+        Some(outcome)
     }
 
     /// Whether a cold run should build the full [`CompressedImage`] so it
@@ -336,27 +349,30 @@ impl CompressionOracle {
         self.key_scratch.chunk_size = chunk_size;
         self.key_scratch.pages.clear();
         self.key_scratch.pages.extend_from_slice(pages);
-        if self.entries.contains_key(&self.key_scratch) {
+        if self.index.contains_key(&self.key_scratch) {
             return outcome;
         }
         let image = image.filter(|i| i.compressed_len() <= self.payload_budget);
         self.payload_bytes += image.as_ref().map_or(0, CompressedImage::compressed_len);
-        self.tick += 1;
-        if image.is_some() {
-            self.payload_ticks.insert(self.tick);
-        }
+        let has_image = image.is_some();
         let key = self.key_scratch.clone();
-        self.order.insert(self.tick, key.clone());
-        self.entries.insert(
-            key,
-            Slot {
-                tick: self.tick,
+        let slot = self
+            .entries
+            .insert(OracleEntry {
+                key: key.clone(),
                 original_len: lens.original_len,
                 compressed_len: lens.compressed_len,
                 chunk_count: lens.chunk_count,
                 image,
-            },
-        );
+            })
+            .index();
+        self.index.insert(key, slot);
+        self.recency
+            .push_front(&mut self.entries, RECENCY_CHANNEL, slot);
+        if has_image {
+            self.payloads
+                .push_front(&mut self.entries, PAYLOAD_CHANNEL, slot);
+        }
         self.enforce_budgets();
         outcome
     }
@@ -397,39 +413,45 @@ impl CompressionOracle {
             chunk_size,
             pages: pages.to_vec(),
         };
-        self.entries.get(&key)?.image.as_ref()
+        let slot = *self.index.get(&key)?;
+        self.entries.value_at(slot).image.as_ref()
     }
 
     /// Evict (a) whole entries beyond the LRU cap and (b) payloads beyond
-    /// the payload byte budget, both oldest-first. The payload walk pops
-    /// from the payload-tick index, so its cost is proportional to the
-    /// payloads actually evicted, not to the cache size.
+    /// the payload byte budget, both least-recently-used first: each victim
+    /// is the tail of the respective chain, so the cost is proportional to
+    /// what is actually evicted, not to the cache size.
     fn enforce_budgets(&mut self) {
-        while self.entries.len() > self.max_entries {
-            let (tick, key) = self
-                .order
-                .pop_first()
-                .expect("non-empty cache has an order entry");
+        while self.index.len() > self.max_entries {
             let slot = self
-                .entries
-                .remove(&key)
-                .expect("order entries name live slots");
-            if slot.image.is_some() {
-                self.payload_ticks.remove(&tick);
+                .recency
+                .tail()
+                .expect("non-empty cache has a recency tail");
+            self.recency
+                .unlink(&mut self.entries, RECENCY_CHANNEL, slot);
+            if self.entries.value_at(slot).image.is_some() {
+                self.payloads
+                    .unlink(&mut self.entries, PAYLOAD_CHANNEL, slot);
             }
-            self.payload_bytes -= slot
+            let entry = self
+                .entries
+                .remove(self.entries.key_at(slot))
+                .expect("recency tail names a live slot");
+            self.payload_bytes -= entry
                 .image
                 .as_ref()
                 .map_or(0, CompressedImage::compressed_len);
+            self.index.remove(&entry.key);
             self.stats.evictions += 1;
         }
         while self.payload_bytes > self.payload_budget {
-            let Some(tick) = self.payload_ticks.pop_first() else {
+            let Some(slot) = self.payloads.tail() else {
                 break;
             };
-            let key = &self.order[&tick];
-            let slot = self.entries.get_mut(key).expect("live slot");
-            let image = slot.image.take().expect("payload tick names a payload");
+            self.payloads
+                .unlink(&mut self.entries, PAYLOAD_CHANNEL, slot);
+            let entry = self.entries.value_at_mut(slot);
+            let image = entry.image.take().expect("payload chain names a payload");
             self.payload_bytes -= image.compressed_len();
             self.stats.payload_evictions += 1;
         }
@@ -442,7 +464,151 @@ impl Default for CompressionOracle {
     }
 }
 
-/// A cloneable handle to one shared [`CompressionOracle`].
+/// A set of independently locked [`CompressionOracle`] shards.
+///
+/// Consultations for different keys mostly land on different shards, so
+/// parallel experiment cells sharing one oracle no longer serialize on a
+/// single mutex. The shard of a key is a pure function of the key — a
+/// deterministic hash of `(algorithm, chunk size, pages)` computed without
+/// taking any lock — so a given group always consults the same shard and
+/// memoization still never misses a repeat.
+///
+/// Each shard keeps strict LRU order internally; capping and payload
+/// budgets are split evenly across shards. Eviction decisions therefore
+/// differ from a single-lock oracle with the same total budget, but the
+/// oracle only memoizes *results* (which are bit-identical wherever they
+/// come from), so this is invisible in experiment output — a property the
+/// oracle-equivalence suite pins.
+#[derive(Debug)]
+pub struct OracleShards {
+    shards: Vec<Mutex<CompressionOracle>>,
+    /// `shards.len() - 1`; the shard count is a power of two so selection is
+    /// a mask of the key hash.
+    mask: u64,
+    /// Uniform shard configuration, readable without a lock.
+    enabled: bool,
+    caches_payloads: bool,
+}
+
+impl OracleShards {
+    /// Default number of independently locked shards (a power of two).
+    pub const DEFAULT_SHARDS: usize = 8;
+
+    /// Split `template`'s configuration across `shard_count` shards
+    /// (rounded up to a power of two, at least one). Entry and payload
+    /// budgets are divided evenly so the total stays what the template
+    /// asked for.
+    #[must_use]
+    pub fn new(template: CompressionOracle, shard_count: usize) -> Self {
+        let count = shard_count.max(1).next_power_of_two();
+        let per_shard_entries = template.max_entries.div_ceil(count).max(1);
+        let per_shard_payload = template.payload_budget.div_ceil(count);
+        let enabled = template.enabled;
+        let caches_payloads = template.caches_payloads();
+        let mut shards = Vec::with_capacity(count);
+        // The template itself becomes shard 0 (preserving any entries it
+        // already memoized); the rest start cold with the same config.
+        let mut first = template;
+        first.max_entries = per_shard_entries;
+        first.payload_budget = per_shard_payload;
+        first.enforce_budgets();
+        shards.push(Mutex::new(first));
+        for _ in 1..count {
+            let mut shard = if enabled {
+                CompressionOracle::new()
+            } else {
+                CompressionOracle::disabled()
+            };
+            shard.max_entries = per_shard_entries;
+            shard.payload_budget = per_shard_payload;
+            shards.push(Mutex::new(shard));
+        }
+        OracleShards {
+            shards,
+            mask: (count - 1) as u64,
+            enabled,
+            caches_payloads,
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether memoization is active.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Whether cold runs should build the full [`CompressedImage`] so it can
+    /// be admitted as a cached payload (lock-free: uniform across shards).
+    #[must_use]
+    pub fn caches_payloads(&self) -> bool {
+        self.caches_payloads
+    }
+
+    /// The shard responsible for `(pages, algorithm, chunk_size)`: a pure
+    /// function of the key, computed without any lock.
+    #[must_use]
+    pub fn shard(
+        &self,
+        pages: &[PageId],
+        algorithm: Algorithm,
+        chunk_size: ChunkSize,
+    ) -> &Mutex<CompressionOracle> {
+        let mut hasher = FxHasher::default();
+        algorithm.hash(&mut hasher);
+        chunk_size.hash(&mut hasher);
+        pages.hash(&mut hasher);
+        let index = (hasher.finish() & self.mask) as usize;
+        &self.shards[index]
+    }
+
+    /// Total number of memoized entries across all shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard lock was poisoned by a panicking thread.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("oracle shard lock poisoned").len())
+            .sum()
+    }
+
+    /// Whether every shard is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime counters summed over all shards. Hits and misses are
+    /// conserved across sharding: every consultation lands on exactly one
+    /// shard, so the totals match what a single-lock oracle would count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard lock was poisoned by a panicking thread.
+    #[must_use]
+    pub fn stats(&self) -> OracleStats {
+        let mut total = OracleStats::default();
+        for shard in &self.shards {
+            let stats = shard.lock().expect("oracle shard lock poisoned").stats();
+            total.hits += stats.hits;
+            total.misses += stats.misses;
+            total.bytes_saved += stats.bytes_saved;
+            total.evictions += stats.evictions;
+            total.payload_evictions += stats.payload_evictions;
+        }
+        total
+    }
+}
+
+/// A cloneable handle to one shared, sharded compression oracle.
 ///
 /// Within one experiment, every simulated system is built from the same
 /// `(seed, scale)` — the synthesized bytes of a page are identical across
@@ -457,13 +623,26 @@ impl Default for CompressionOracle {
 /// on the cache), but the hit/miss *counters* then depend on thread
 /// interleaving — which is why experiment tables never include them.
 #[derive(Debug, Clone)]
-pub struct OracleHandle(pub(crate) std::sync::Arc<std::sync::Mutex<CompressionOracle>>);
+pub struct OracleHandle(pub(crate) Arc<OracleShards>);
 
 impl OracleHandle {
-    /// Wrap an oracle in a shareable handle.
+    /// Wrap an oracle in a shareable handle, sharding it
+    /// [`OracleShards::DEFAULT_SHARDS`] ways.
     #[must_use]
     pub fn new(oracle: CompressionOracle) -> Self {
-        OracleHandle(std::sync::Arc::new(std::sync::Mutex::new(oracle)))
+        OracleHandle(Arc::new(OracleShards::new(
+            oracle,
+            OracleShards::DEFAULT_SHARDS,
+        )))
+    }
+
+    /// Wrap an oracle in a handle with an explicit shard count (rounded up
+    /// to a power of two). `1` gives the old single-lock behaviour; the
+    /// equivalence suite uses this to pin that sharding changes nothing
+    /// observable.
+    #[must_use]
+    pub fn with_shards(oracle: CompressionOracle, shard_count: usize) -> Self {
+        OracleHandle(Arc::new(OracleShards::new(oracle, shard_count)))
     }
 
     /// An enabled ([`CompressionOracle::new`]) or disabled
@@ -477,14 +656,20 @@ impl OracleHandle {
         }
     }
 
-    /// Lifetime counters of the shared oracle.
+    /// The sharded oracle behind this handle.
+    #[must_use]
+    pub fn shards(&self) -> &OracleShards {
+        &self.0
+    }
+
+    /// Lifetime counters of the shared oracle, summed over shards.
     ///
     /// # Panics
     ///
-    /// Panics if the lock was poisoned by a panicking thread.
+    /// Panics if a shard lock was poisoned by a panicking thread.
     #[must_use]
     pub fn stats(&self) -> OracleStats {
-        self.0.lock().expect("oracle lock poisoned").stats()
+        self.0.stats()
     }
 }
 

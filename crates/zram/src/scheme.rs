@@ -6,7 +6,9 @@
 //! drives schemes exclusively through this trait, so the baseline-versus-
 //! Ariadne comparisons of the paper's evaluation are apples-to-apples.
 
-use crate::oracle::{CodecScratch, CompressionOracle, OracleHandle, OracleOutcome, OracleStats};
+use crate::oracle::{
+    CodecScratch, CompressionOracle, OracleHandle, OracleOutcome, OracleShards, OracleStats,
+};
 use ariadne_compress::{
     Algorithm, ChunkSize, CostNanos, LatencyModel, ThermalConfig, ThermalModel,
 };
@@ -18,7 +20,7 @@ use ariadne_trace::{AppProfile, AppWorkload, PageDataGenerator};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 thread_local! {
     /// Per-thread synthesis + codec scratch for cold oracle runs, so misses
@@ -248,9 +250,9 @@ impl MemoryPressure {
 pub struct SchemeContext {
     data: PageDataGenerator,
     profiles: HashMap<AppId, AppProfile>,
-    /// The memoized compression oracle shared by every consumer of this
-    /// context (clones share the same cache).
-    oracle: Arc<Mutex<CompressionOracle>>,
+    /// The memoized, sharded compression oracle shared by every consumer of
+    /// this context (clones share the same cache).
+    oracle: Arc<OracleShards>,
     /// Memory-hierarchy latency constants.
     pub timing: MemTimingModel,
     /// Compression-latency cost model.
@@ -272,7 +274,10 @@ impl SchemeContext {
         SchemeContext {
             data: PageDataGenerator::new(seed),
             profiles: workloads.iter().map(|w| (w.app, w.profile)).collect(),
-            oracle: Arc::new(Mutex::new(CompressionOracle::new())),
+            oracle: Arc::new(OracleShards::new(
+                CompressionOracle::new(),
+                OracleShards::DEFAULT_SHARDS,
+            )),
             timing: MemTimingModel::pixel7(),
             latency: LatencyModel::pixel7(),
             drain_batch_pages: 32,
@@ -337,7 +342,7 @@ impl SchemeContext {
     /// payload budget). The context gets its own fresh cache.
     #[must_use]
     pub fn with_oracle(mut self, oracle: CompressionOracle) -> Self {
-        self.oracle = Arc::new(Mutex::new(oracle));
+        self.oracle = Arc::new(OracleShards::new(oracle, OracleShards::DEFAULT_SHARDS));
         self
     }
 
@@ -427,14 +432,16 @@ impl SchemeContext {
         algorithm: Algorithm,
         chunk_size: ChunkSize,
     ) -> OracleOutcome {
-        // Two-phase consultation so the shared lock is never held across a
-        // codec run: probe under the lock, compute a miss on this thread's
-        // own scratch with the lock released (parallel cells of a shared
-        // grid stay parallel on cold caches), then admit the result. Two
-        // threads may compute the same key concurrently; the results are
-        // bit-identical by construction and `admit` keeps the first.
+        // Two-phase consultation so no shard lock is ever held across a
+        // codec run: pick the key's shard without locking, probe under that
+        // shard's lock, compute a miss on this thread's own scratch with the
+        // lock released (parallel cells of a shared grid stay parallel on
+        // cold caches), then admit the result. Two threads may compute the
+        // same key concurrently; the results are bit-identical by
+        // construction and `admit` keeps the first.
+        let shard = self.oracle.shard(pages, algorithm, chunk_size);
         let want_image = {
-            let mut oracle = self.oracle.lock().expect("oracle lock poisoned");
+            let mut oracle = shard.lock().expect("oracle lock poisoned");
             if let Some(hit) = oracle.lookup(pages, algorithm, chunk_size) {
                 return hit;
             }
@@ -449,7 +456,7 @@ impl SchemeContext {
                 &mut |page, buf| self.fill_page_bytes(page, buf),
             )
         });
-        self.oracle
+        shard
             .lock()
             .expect("oracle lock poisoned")
             .admit(pages, algorithm, chunk_size, lens, image)
@@ -462,7 +469,7 @@ impl SchemeContext {
     /// Panics if the oracle lock was poisoned by a panicking thread.
     #[must_use]
     pub fn oracle_stats(&self) -> OracleStats {
-        self.oracle.lock().expect("oracle lock poisoned").stats()
+        self.oracle.stats()
     }
 
     /// A clone of the compressed image the oracle cached for `(pages,
@@ -480,6 +487,7 @@ impl SchemeContext {
         chunk_size: ChunkSize,
     ) -> Option<ariadne_compress::CompressedImage> {
         self.oracle
+            .shard(pages, algorithm, chunk_size)
             .lock()
             .expect("oracle lock poisoned")
             .cached_image(pages, algorithm, chunk_size)

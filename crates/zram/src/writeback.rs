@@ -20,8 +20,7 @@
 use crate::scheme::{SchemeContext, SchemeStats, WritebackPolicy};
 use ariadne_compress::CostNanos;
 use ariadne_mem::{
-    CpuActivity, FaultIn, FlashDevice, Hotness, SimClock, WriteRequest, Zpool, ZpoolEntry,
-    ZpoolHandle,
+    CpuActivity, FaultIn, FlashDevice, SimClock, WriteRequest, Zpool, ZpoolEntry, ZpoolHandle,
 };
 
 /// Account the device-side cost of a flash fault — the read/stall logic
@@ -82,21 +81,12 @@ impl ZpoolWriteback<'_> {
     /// oldest entry of any hotness.
     #[must_use]
     pub fn select_victim(&self) -> Option<ZpoolHandle> {
-        let oldest = |iter: &mut dyn Iterator<Item = (ZpoolHandle, &ZpoolEntry)>| {
-            iter.min_by_key(|(_, e)| e.sector.value()).map(|(h, _)| h)
-        };
         if self.prefer_cold {
-            let cold = oldest(
-                &mut self
-                    .zpool
-                    .iter()
-                    .filter(|(_, e)| e.hotness == Hotness::Cold),
-            );
-            if cold.is_some() {
-                return cold;
+            if let Some((handle, _)) = self.zpool.oldest_cold() {
+                return Some(handle);
             }
         }
-        oldest(&mut self.zpool.iter())
+        self.zpool.oldest().map(|(handle, _)| handle)
     }
 
     /// Evict victims until `incoming_bytes` fits in the zpool, flushing them
@@ -199,7 +189,7 @@ mod tests {
     use super::*;
     use crate::scheme::MemoryConfig;
     use ariadne_compress::ChunkSize;
-    use ariadne_mem::{AppId, FlashIoConfig, PageId, Pfn, PAGE_SIZE};
+    use ariadne_mem::{AppId, FlashIoConfig, Hotness, PageId, Pfn, PAGE_SIZE};
     use ariadne_trace::{AppName, WorkloadBuilder};
 
     fn page(pfn: u64) -> PageId {
