@@ -2,12 +2,15 @@
 //!
 //! The experiment-level bench harness (`experiments --bench-json`) measures
 //! whole cells; this bench isolates the data structures those cells hammer —
-//! zpool store/fault/release, flash store/fault/release, and oracle
-//! lookup/admit — so a regression in one of them is attributable directly
-//! instead of showing up as a diffuse slowdown across every cell. CI runs it
-//! as a smoke step and uploads the output as an artifact.
+//! zpool store/fault/release, flash store/fault/release, oracle
+//! lookup/admit, and the word-wide compression kernels (timed against the
+//! retired scalar loops they replaced) — so a regression in one of them is
+//! attributable directly instead of showing up as a diffuse slowdown across
+//! every cell. CI runs it as a smoke step and uploads the output as an
+//! artifact.
 
-use ariadne_compress::ChunkSize;
+use ariadne_compress::reference::scalar_codec;
+use ariadne_compress::{Algorithm, ChunkSize};
 use ariadne_mem::{AppId, FlashDevice, Hotness, PageId, Pfn, WriteRequest, Zpool, PAGE_SIZE};
 use ariadne_zram::CompressionOracle;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -106,14 +109,19 @@ fn oracle_lookup_admit(c: &mut Criterion) {
             let algorithm = ariadne_compress::Algorithm::Lzo;
             for pfn in 0..1024u64 {
                 let pages = [page(1, pfn)];
-                assert!(oracle.lookup(&pages, algorithm, ChunkSize::k4()).is_none());
-                oracle.admit(&pages, algorithm, ChunkSize::k4(), lens, None);
+                assert!(oracle
+                    .lookup(&pages, algorithm, ChunkSize::k4(), 0)
+                    .is_none());
+                oracle.admit(&pages, algorithm, ChunkSize::k4(), 0, lens, None);
             }
             let mut hits = 0usize;
             for round in 0..4 {
                 for pfn in 0..1024u64 {
                     let pages = [page(1, (pfn * 7 + round) % 1024)];
-                    if oracle.lookup(&pages, algorithm, ChunkSize::k4()).is_some() {
+                    if oracle
+                        .lookup(&pages, algorithm, ChunkSize::k4(), 0)
+                        .is_some()
+                    {
                         hits += 1;
                     }
                 }
@@ -123,9 +131,70 @@ fn oracle_lookup_admit(c: &mut Criterion) {
     });
 }
 
+/// A 16-page corpus mixing what mobile anonymous memory looks like: mostly
+/// repetitive pages with scattered single-byte perturbations, a couple of
+/// incompressible (noise) pages and one all-zero page.
+fn kernel_corpus() -> Vec<u8> {
+    let pages = 16usize;
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut rand = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut corpus = Vec::with_capacity(pages * PAGE_SIZE);
+    for p in 0..pages {
+        match p % 8 {
+            7 => corpus.extend(std::iter::repeat(0u8).take(PAGE_SIZE)),
+            3 | 5 => corpus.extend((0..PAGE_SIZE / 8).flat_map(|_| rand().to_le_bytes())),
+            _ => {
+                let base: Vec<u8> = (0..PAGE_SIZE).map(|i| ((i / 32) % 251) as u8).collect();
+                let mut page = base;
+                for _ in 0..64 {
+                    let at = (rand() as usize) % PAGE_SIZE;
+                    page[at] ^= 0xFF;
+                }
+                corpus.extend(page);
+            }
+        }
+    }
+    corpus
+}
+
+/// Compress the corpus page by page with every algorithm, once with the
+/// production word-wide kernel and once with the scalar reference loop the
+/// kernel replaced. The pair of numbers makes the SWAR speedup (or a
+/// regression) directly visible per algorithm.
+fn compression_kernels(c: &mut Criterion) {
+    let corpus = kernel_corpus();
+    for algorithm in Algorithm::ALL {
+        let variants: [(&str, Box<dyn ariadne_compress::Codec>); 2] = [
+            ("swar", algorithm.codec()),
+            ("scalar", scalar_codec(algorithm)),
+        ];
+        for (label, codec) in variants {
+            let mut out = Vec::with_capacity(2 * PAGE_SIZE);
+            c.bench_function(format!("kernel_{algorithm}_{label}"), |b| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for page in corpus.chunks(PAGE_SIZE) {
+                        out.clear();
+                        codec.compress_into(page, &mut out).expect("compress");
+                        total += out.len();
+                    }
+                    total
+                })
+            });
+        }
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = zpool_store_fault_release, flash_store_fault_release, oracle_lookup_admit
+    targets = zpool_store_fault_release, flash_store_fault_release, oracle_lookup_admit,
+        compression_kernels
 }
 criterion_main!(benches);

@@ -146,12 +146,14 @@ fn main() -> ExitCode {
         selected
             .iter()
             .map(|name| {
-                let (table, millis) =
+                let (table, timing) =
                     perf::time_cell_stable(|| ariadne_sim::experiments::run_by_name(name, &opts));
                 if table.is_some() {
                     bench_cells.push(BenchCell {
                         name: name.clone(),
-                        millis,
+                        millis: timing.mean,
+                        min: Some(timing.min),
+                        stddev: Some(timing.stddev),
                     });
                 }
                 (name.clone(), table)

@@ -27,8 +27,29 @@ pub const DEFAULT_REGRESSION_FACTOR: f64 = 2.0;
 pub struct BenchCell {
     /// The experiment identifier (e.g. `fig10`).
     pub name: String,
-    /// Host wall-clock the cell took, in milliseconds.
+    /// Host wall-clock the cell took, in milliseconds (the per-iteration
+    /// mean when the cell was sampled more than once).
     pub millis: f64,
+    /// Fastest single iteration, in milliseconds — the least-noisy figure
+    /// for a repeated cell. `None` in reports written before the field
+    /// existed (the parser accepts both shapes).
+    pub min: Option<f64>,
+    /// Population standard deviation across the iterations, in
+    /// milliseconds; 0 for single-sample cells. `None` in old reports.
+    pub stddev: Option<f64>,
+}
+
+/// The timing distribution [`time_cell_stable`] measured for one cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellTiming {
+    /// Per-iteration mean, in milliseconds.
+    pub mean: f64,
+    /// Fastest iteration, in milliseconds.
+    pub min: f64,
+    /// Population standard deviation, in milliseconds (0 for one sample).
+    pub stddev: f64,
+    /// Iterations taken.
+    pub samples: u32,
 }
 
 /// Everything one harness run records.
@@ -74,9 +95,16 @@ impl BenchReport {
             }
             let _ = write!(
                 out,
-                "{{\"name\":\"{}\",\"millis\":{:.3}}}",
+                "{{\"name\":\"{}\",\"millis\":{:.3}",
                 cell.name, cell.millis
             );
+            if let Some(min) = cell.min {
+                let _ = write!(out, ",\"min\":{min:.3}");
+            }
+            if let Some(stddev) = cell.stddev {
+                let _ = write!(out, ",\"stddev\":{stddev:.3}");
+            }
+            out.push('}');
         }
         out.push_str("]}\n");
         out
@@ -136,11 +164,24 @@ impl BenchReport {
                 let end = tail.find([',', '}']).unwrap_or(tail.len());
                 Ok(tail[..end].trim().trim_matches('"').to_string())
             };
+            // `min`/`stddev` are optional: reports recorded before the
+            // fields existed (BENCH_PR7 and earlier) parse as `None`.
+            let optional = |key: &str| -> Result<Option<f64>, String> {
+                match take(key) {
+                    Ok(text) => text
+                        .parse::<f64>()
+                        .map(Some)
+                        .map_err(|e| format!("bad {key}: {e}")),
+                    Err(_) => Ok(None),
+                }
+            };
             cells.push(BenchCell {
                 name: take("name")?,
                 millis: take("millis")?
                     .parse::<f64>()
                     .map_err(|e| format!("bad millis: {e}"))?,
+                min: optional("min")?,
+                stddev: optional("stddev")?,
             });
             rest = &rest[obj_end + 1..];
         }
@@ -171,26 +212,41 @@ pub const MAX_SAMPLE_ITERATIONS: u32 = 64;
 
 /// Time one closure with a noise floor: a run shorter than
 /// [`MIN_SAMPLE_MILLIS`] is repeated (up to [`MAX_SAMPLE_ITERATIONS`] times)
-/// until the *accumulated* measurement passes the floor, and the
-/// per-iteration mean is reported. Cells above the floor behave exactly like
-/// [`time_cell`]. This is what keeps sub-10 ms quick-mode cells from failing
-/// the regression gate on pure timer jitter: a 0.4 ms cell is sampled ~25
-/// times and its mean is stable, where a single sample could swing 3–4×.
-pub fn time_cell_stable<T>(mut run: impl FnMut() -> T) -> (T, f64) {
+/// until the *accumulated* measurement passes the floor, and the timing
+/// distribution — per-iteration mean, fastest iteration and standard
+/// deviation — is reported. Cells above the floor take exactly one sample
+/// (`min == mean`, `stddev == 0`), like [`time_cell`]. This is what keeps
+/// sub-10 ms quick-mode cells from failing the regression gate on pure
+/// timer jitter: a 0.4 ms cell is sampled ~25 times and its mean is
+/// stable, where a single sample could swing 3–4×; the recorded min and
+/// stddev make the residual noise visible in the `BENCH_*.json`
+/// trajectory instead of hiding inside the mean.
+pub fn time_cell_stable<T>(mut run: impl FnMut() -> T) -> (T, CellTiming) {
+    let mut samples: Vec<f64> = Vec::new();
     let start = Instant::now();
     let mut result = run();
-    let mut total = start.elapsed().as_secs_f64() * 1000.0;
-    if total >= MIN_SAMPLE_MILLIS {
-        return (result, total);
-    }
-    let mut iterations = 1u32;
-    while total < MIN_SAMPLE_MILLIS && iterations < MAX_SAMPLE_ITERATIONS {
+    samples.push(start.elapsed().as_secs_f64() * 1000.0);
+    let mut total = samples[0];
+    while total < MIN_SAMPLE_MILLIS && samples.len() < MAX_SAMPLE_ITERATIONS as usize {
         let start = Instant::now();
         result = run();
-        total += start.elapsed().as_secs_f64() * 1000.0;
-        iterations += 1;
+        let sample = start.elapsed().as_secs_f64() * 1000.0;
+        samples.push(sample);
+        total += sample;
     }
-    (result, total / f64::from(iterations))
+    let n = samples.len() as f64;
+    let mean = total / n;
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let variance = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+    (
+        result,
+        CellTiming {
+            mean,
+            min,
+            stddev: variance.sqrt(),
+            samples: samples.len() as u32,
+        },
+    )
 }
 
 impl BenchReport {
@@ -228,9 +284,11 @@ impl BenchReport {
 }
 
 /// Compare a fresh run against a recorded baseline. Returns one message per
-/// regression: a cell whose wall-clock exceeds `baseline × factor`. Cells
-/// missing from the baseline are ignored (new experiments start their own
-/// trajectory); cells missing from the current run are ignored likewise.
+/// failure: a cell whose wall-clock exceeds `baseline × factor`, or a
+/// baseline cell the current run did not record at all — a silently
+/// vanished cell would otherwise freeze its baseline forever while the
+/// gate reported green. Cells new since the baseline are ignored (new
+/// experiments start their own trajectory).
 #[must_use]
 pub fn regressions(current: &BenchReport, baseline: &BenchReport, factor: f64) -> Vec<String> {
     let mut messages = Vec::new();
@@ -245,6 +303,15 @@ pub fn regressions(current: &BenchReport, baseline: &BenchReport, factor: f64) -
             messages.push(format!(
                 "{}: {:.1} ms exceeds {:.1} ms ({}x over the {:.1} ms baseline)",
                 cell.name, cell.millis, limit, factor, base.millis
+            ));
+        }
+    }
+    for base in &baseline.cells {
+        if current.cell(&base.name).is_none() {
+            messages.push(format!(
+                "{}: recorded in the baseline but missing from this run — \
+                 renamed or dropped cells must update the committed baseline",
+                base.name
             ));
         }
     }
@@ -265,10 +332,14 @@ mod tests {
                 BenchCell {
                     name: "fig10".to_string(),
                     millis: 123.456,
+                    min: None,
+                    stddev: None,
                 },
                 BenchCell {
                     name: "lifecycle".to_string(),
                     millis: 42.0,
+                    min: None,
+                    stddev: None,
                 },
             ],
         }
@@ -280,6 +351,23 @@ mod tests {
         let parsed = BenchReport::from_json(&original.to_json()).unwrap();
         assert_eq!(parsed, original);
         assert!((parsed.total_millis() - 165.456).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_and_stddev_round_trip_and_old_reports_parse_without_them() {
+        let mut original = report();
+        original.cells[0].min = Some(100.125);
+        original.cells[0].stddev = Some(4.5);
+        let text = original.to_json();
+        assert!(text.contains("\"min\":100.125"));
+        assert!(text.contains("\"stddev\":4.500"));
+        let parsed = BenchReport::from_json(&text).unwrap();
+        assert_eq!(parsed, original);
+        // The second cell carried no distribution — the writer omits the
+        // keys and the parser reads them back as `None`, exactly like a
+        // report recorded before the fields existed.
+        assert_eq!(parsed.cells[1].min, None);
+        assert_eq!(parsed.cells[1].stddev, None);
     }
 
     #[test]
@@ -310,10 +398,23 @@ mod tests {
         current.cells.push(BenchCell {
             name: "brand-new".to_string(),
             millis: 9999.0, // no baseline: ignored
+            min: None,
+            stddev: None,
         });
         let messages = regressions(&current, &baseline, DEFAULT_REGRESSION_FACTOR);
         assert_eq!(messages.len(), 1);
         assert!(messages[0].starts_with("fig10:"));
+    }
+
+    #[test]
+    fn a_cell_missing_from_the_current_run_fails_the_gate() {
+        let baseline = report();
+        let mut current = report();
+        current.cells.remove(1); // `lifecycle` vanished from this run
+        let messages = regressions(&current, &baseline, DEFAULT_REGRESSION_FACTOR);
+        assert_eq!(messages.len(), 1);
+        assert!(messages[0].starts_with("lifecycle:"), "{messages:?}");
+        assert!(messages[0].contains("missing from this run"));
     }
 
     #[test]
@@ -349,6 +450,8 @@ mod tests {
             cells: vec![BenchCell {
                 name: "t".to_string(),
                 millis: 0.2,
+                min: None,
+                stddev: None,
             }],
             ..report()
         };
@@ -356,6 +459,8 @@ mod tests {
             cells: vec![BenchCell {
                 name: "t".to_string(),
                 millis: 0.9, // 4.5x but under the 1 ms floor
+                min: None,
+                stddev: None,
             }],
             ..report()
         };
@@ -363,9 +468,9 @@ mod tests {
     }
 
     #[test]
-    fn time_cell_stable_repeats_fast_cells_and_reports_the_mean() {
+    fn time_cell_stable_repeats_fast_cells_and_reports_the_distribution() {
         let mut calls = 0u32;
-        let (value, millis) = time_cell_stable(|| {
+        let (value, timing) = time_cell_stable(|| {
             calls += 1;
             calls
         });
@@ -375,18 +480,24 @@ mod tests {
         assert_eq!(value, calls);
         assert!(calls > 1, "sub-floor cells are repeated (ran {calls}x)");
         assert!(calls <= MAX_SAMPLE_ITERATIONS);
-        assert!(millis < MIN_SAMPLE_MILLIS);
+        assert_eq!(timing.samples, calls);
+        assert!(timing.mean < MIN_SAMPLE_MILLIS);
+        assert!(timing.min <= timing.mean, "the fastest run bounds the mean");
+        assert!(timing.stddev >= 0.0 && timing.stddev.is_finite());
     }
 
     #[test]
     fn time_cell_stable_takes_one_sample_of_slow_cells() {
         let mut calls = 0u32;
-        let (_, millis) = time_cell_stable(|| {
+        let (_, timing) = time_cell_stable(|| {
             calls += 1;
             std::thread::sleep(std::time::Duration::from_millis(11));
         });
         assert_eq!(calls, 1, "cells above the floor are not repeated");
-        assert!(millis >= MIN_SAMPLE_MILLIS);
+        assert!(timing.mean >= MIN_SAMPLE_MILLIS);
+        assert_eq!(timing.samples, 1);
+        assert!((timing.min - timing.mean).abs() < 1e-12);
+        assert_eq!(timing.stddev, 0.0, "one sample has no spread");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use crate::algorithm::Codec;
 use crate::error::CompressError;
+use crate::swar::read_u64_le;
 
 /// Segment size BDI operates on. 64 B matches the cache-line granularity used
 /// by the original hardware proposal and the fine-grained redundancy the
@@ -88,77 +89,96 @@ impl Bdi {
     }
 
     /// Try to encode `seg` (exactly [`SEGMENT`] bytes) with base size `B` and
-    /// delta size `D`. Returns the encoded payload (base followed by deltas)
-    /// if every element fits.
-    fn try_base_delta(seg: &[u8], base_size: usize, delta_size: usize) -> Option<Vec<u8>> {
-        debug_assert_eq!(seg.len() % base_size, 0);
-        let read = |i: usize| -> u64 {
-            let mut v = [0u8; 8];
-            v[..base_size].copy_from_slice(&seg[i * base_size..(i + 1) * base_size]);
-            u64::from_le_bytes(v)
-        };
-        let count = seg.len() / base_size;
-        let base = read(0);
+    /// delta size `D`, appending header + payload (base followed by deltas)
+    /// directly to `out`. On failure the partial emission is rolled back
+    /// (`compress_into` only ever appends, so truncating back to the saved
+    /// length removes exactly our own bytes) and `false` is returned.
+    ///
+    /// Elements are scanned word-wide: one `u64` load per 8 bytes, with the
+    /// 8/4/2-byte lanes extracted by shifting. Lane order matches the memory
+    /// order of the scalar reference's per-element `from_le_bytes` reads, and
+    /// every delta is computed with the same zero-extend-then-subtract
+    /// arithmetic, so both the feasibility decision and the emitted payload
+    /// bytes are identical.
+    fn try_emit_base_delta(
+        seg: &[u8],
+        encoding: Encoding,
+        base_size: usize,
+        delta_size: usize,
+        out: &mut Vec<u8>,
+    ) -> bool {
+        debug_assert_eq!(seg.len(), SEGMENT);
         let max_delta: i64 = match delta_size {
             1 => i64::from(i8::MAX),
             2 => i64::from(i16::MAX),
             4 => i64::from(i32::MAX),
             _ => unreachable!("delta size is 1, 2 or 4"),
         };
-        let mut payload = Vec::with_capacity(base_size + count * delta_size);
-        payload.extend_from_slice(&seg[..base_size]);
-        for i in 0..count {
-            let value = read(i) as i64;
-            let delta = value.wrapping_sub(base as i64);
-            if delta > max_delta || delta < -(max_delta + 1) {
-                return None;
+        let saved = out.len();
+        out.push(encoding as u8);
+        out.extend_from_slice(&seg[..base_size]);
+
+        let mut base = [0u8; 8];
+        base[..base_size].copy_from_slice(&seg[..base_size]);
+        let base = u64::from_le_bytes(base) as i64;
+
+        let lanes_per_word = 8 / base_size;
+        let lane_bits = base_size * 8;
+        let lane_mask = if base_size == 8 {
+            u64::MAX
+        } else {
+            (1u64 << lane_bits) - 1
+        };
+        for word_index in 0..SEGMENT / 8 {
+            let word = read_u64_le(seg, word_index * 8);
+            for lane in 0..lanes_per_word {
+                // Zero-extended little-endian element, as the scalar
+                // reference reads it.
+                let value = ((word >> (lane * lane_bits)) & lane_mask) as i64;
+                let delta = value.wrapping_sub(base);
+                if delta > max_delta || delta < -(max_delta + 1) {
+                    out.truncate(saved);
+                    return false;
+                }
+                out.extend_from_slice(&delta.to_le_bytes()[..delta_size]);
             }
-            payload.extend_from_slice(&delta.to_le_bytes()[..delta_size]);
         }
-        Some(payload)
+        true
     }
 
     fn encode_segment(seg: &[u8], out: &mut Vec<u8>) {
-        if seg.iter().all(|&b| b == 0) {
+        debug_assert_eq!(seg.len(), SEGMENT);
+        let word = |i: usize| read_u64_le(seg, i * 8);
+        if (0..SEGMENT / 8).all(|i| word(i) == 0) {
             out.push(Encoding::Zeros as u8);
             return;
         }
-        if seg.chunks_exact(8).all(|c| c == &seg[..8]) {
+        if (1..SEGMENT / 8).all(|i| word(i) == word(0)) {
             out.push(Encoding::Repeat8 as u8);
             out.extend_from_slice(&seg[..8]);
             return;
         }
-        // Candidate encodings, ordered by resulting payload size.
+        // Candidate encodings in ascending payload-size order (16, 20, 24,
+        // 34, 36, 40 bytes — all distinct and all below SEGMENT). The scalar
+        // reference materialized every feasible payload and kept the
+        // strictly smallest; with distinct sizes that winner is exactly the
+        // first feasible candidate in this order, so the first success can
+        // be emitted directly with no intermediate allocation.
         let candidates: [(Encoding, usize, usize); 6] = [
             (Encoding::Base8Delta1, 8, 1),
-            (Encoding::Base2Delta1, 2, 1),
             (Encoding::Base4Delta1, 4, 1),
             (Encoding::Base8Delta2, 8, 2),
+            (Encoding::Base2Delta1, 2, 1),
             (Encoding::Base4Delta2, 4, 2),
             (Encoding::Base8Delta4, 8, 4),
         ];
-        let mut best: Option<(Encoding, Vec<u8>)> = None;
         for (enc, base, delta) in candidates {
-            if let Some(payload) = Self::try_base_delta(seg, base, delta) {
-                let better = match &best {
-                    Some((_, existing)) => payload.len() < existing.len(),
-                    None => true,
-                };
-                if better {
-                    best = Some((enc, payload));
-                }
+            if Self::try_emit_base_delta(seg, enc, base, delta, out) {
+                return;
             }
         }
-        match best {
-            Some((enc, payload)) if payload.len() < SEGMENT => {
-                out.push(enc as u8);
-                out.extend_from_slice(&payload);
-            }
-            _ => {
-                out.push(Encoding::Raw as u8);
-                out.extend_from_slice(seg);
-            }
-        }
+        out.push(Encoding::Raw as u8);
+        out.extend_from_slice(seg);
     }
 
     fn decode_segment<'a>(

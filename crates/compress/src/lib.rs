@@ -50,7 +50,10 @@ mod error;
 mod latency;
 mod lz4;
 mod lzo;
+#[cfg(any(test, feature = "scalar-reference"))]
+pub mod reference;
 mod stats;
+mod swar;
 mod thermal;
 
 pub use algorithm::{Algorithm, Codec};

@@ -9,6 +9,15 @@
 
 use crate::algorithm::Codec;
 use crate::error::CompressError;
+use crate::swar::{common_prefix, StampedTable};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread match table, reused across compress calls so the hot path
+    /// never allocates (the scalar codec paid a 64 KiB `vec!` per call).
+    static MATCH_TABLE: RefCell<StampedTable> =
+        RefCell::new(StampedTable::new(1 << HASH_LOG));
+}
 
 /// Minimum match length encodable by the LZ4 block format.
 const MIN_MATCH: usize = 4;
@@ -53,8 +62,11 @@ impl Lz4 {
         ((word.wrapping_mul(2_654_435_761)) >> (32 - HASH_LOG)) as usize
     }
 
+    #[inline]
     fn read_u32_le(data: &[u8], pos: usize) -> u32 {
-        u32::from_le_bytes([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]])
+        // A single 4-byte slice load (one bounds check) — this runs once per
+        // input byte on the insert path.
+        u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4-byte slice"))
     }
 
     /// Append an LZ4 length using the 15 + 255-extension scheme.
@@ -109,49 +121,57 @@ impl Codec for Lz4 {
             return Ok(());
         }
 
-        let mut table = vec![usize::MAX; 1 << HASH_LOG];
-        let match_limit = n - MF_LIMIT;
-        let mut anchor = 0usize;
-        let mut pos = 0usize;
+        MATCH_TABLE.with(|table| {
+            let mut table = table.borrow_mut();
+            table.begin_pass();
+            let match_limit = n - MF_LIMIT;
+            let mut anchor = 0usize;
+            let mut pos = 0usize;
 
-        while pos < match_limit {
-            let word = Self::read_u32_le(input, pos);
-            let slot = Self::hash(word);
-            let candidate = table[slot];
-            table[slot] = pos;
+            while pos < match_limit {
+                let word = Self::read_u32_le(input, pos);
+                let slot = Self::hash(word);
+                let candidate = table.replace(slot, pos);
 
-            let is_match = candidate != usize::MAX
-                && pos - candidate <= MAX_DISTANCE
-                && Self::read_u32_le(input, candidate) == word;
-            if !is_match {
-                pos += 1;
-                continue;
+                let is_match = candidate != usize::MAX
+                    && pos - candidate <= MAX_DISTANCE
+                    && Self::read_u32_le(input, candidate) == word;
+                if !is_match {
+                    pos += 1;
+                    continue;
+                }
+
+                // Extend the match forward as far as possible (but never into
+                // the tail that must remain literal). The word-wide scan
+                // locates the same first mismatch the byte loop would.
+                let max_len = n - pos - 5; // keep last 5 bytes literal
+                let mut match_len = MIN_MATCH;
+                if max_len > MIN_MATCH {
+                    match_len += common_prefix(
+                        input,
+                        candidate + MIN_MATCH,
+                        pos + MIN_MATCH,
+                        max_len - MIN_MATCH,
+                    );
+                }
+
+                let offset = (pos - candidate) as u16;
+                Self::emit_sequence(out, &input[anchor..pos], Some(match_len), offset);
+
+                pos += match_len;
+                anchor = pos;
+
+                // Seed the table with a couple of positions inside the match
+                // so that following matches can still be found quickly.
+                if pos < match_limit {
+                    let w = Self::read_u32_le(input, pos - 2);
+                    table.set(Self::hash(w), pos - 2);
+                }
             }
 
-            // Extend the match forward as far as possible (but never into the
-            // tail that must remain literal).
-            let mut match_len = MIN_MATCH;
-            let max_len = n - pos - 5; // keep last 5 bytes literal
-            while match_len < max_len && input[candidate + match_len] == input[pos + match_len] {
-                match_len += 1;
-            }
-
-            let offset = (pos - candidate) as u16;
-            Self::emit_sequence(out, &input[anchor..pos], Some(match_len), offset);
-
-            pos += match_len;
-            anchor = pos;
-
-            // Seed the table with a couple of positions inside the match so
-            // that following matches can still be found quickly.
-            if pos < match_limit {
-                let w = Self::read_u32_le(input, pos - 2);
-                table[Self::hash(w)] = pos - 2;
-            }
-        }
-
-        // Trailing literals.
-        Self::emit_sequence(out, &input[anchor..], None, 0);
+            // Trailing literals.
+            Self::emit_sequence(out, &input[anchor..], None, 0);
+        });
         Ok(())
     }
 

@@ -19,6 +19,22 @@
 
 use crate::algorithm::Codec;
 use crate::error::CompressError;
+use crate::swar::{common_prefix, StampedTable};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread hash-chain scratch (head table + `prev` links), reused
+    /// across compress calls. The scalar codec allocated a 128 KiB head
+    /// table plus an `n`-entry chain vector per call; the stamped table
+    /// invalidates in O(1) and `prev` only grows. Stale `prev` contents are
+    /// harmless: a chain walk only reaches positions inserted during the
+    /// current pass, and every insertion writes `prev[p]` first. Links are
+    /// `u32` (positions are bounded by the packed head table anyway), which
+    /// halves the chain's cache traffic — every input position is inserted
+    /// exactly once, so the insert path is the hottest loop in the codec.
+    static CHAIN_SCRATCH: RefCell<(StampedTable, Vec<u32>)> =
+        RefCell::new((StampedTable::new(1 << HASH_LOG), Vec::new()));
+}
 
 const MIN_MATCH: usize = 4;
 const MAX_MATCH_TOKEN: usize = 0x7F + MIN_MATCH; // 131
@@ -56,46 +72,70 @@ impl Lzo {
         Lzo { _private: () }
     }
 
+    #[inline]
     fn hash(data: &[u8], pos: usize) -> usize {
-        let word = u32::from_le_bytes([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]]);
+        // A single 4-byte slice load (one bounds check) — this runs once per
+        // input byte on the insert path.
+        let word = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4-byte slice"));
         ((word.wrapping_mul(2_654_435_761)) >> (32 - HASH_LOG)) as usize
     }
 
-    /// Find the longest match for `pos` by walking the hash chain.
+    /// Find the longest match for `pos` by walking the hash chain, keeping
+    /// only matches strictly longer than `floor` (callers pass
+    /// `MIN_MATCH - 1`, or the length a candidate must displace).
+    ///
+    /// The floor doubles as a cheap rejection filter: a candidate whose byte
+    /// at the current-best offset differs from `input[pos + best]` cannot
+    /// have a common prefix longer than the best, so the word-wide compare
+    /// is skipped. The same candidates are walked in the same order and the
+    /// running best evolves through the same strict improvements, so the
+    /// match returned — and therefore the emitted stream — is identical to
+    /// the unfiltered walk.
     fn find_match(
         input: &[u8],
         pos: usize,
-        head: &[usize],
-        prev: &[usize],
+        head: &StampedTable,
+        prev: &[u32],
         max_len: usize,
+        floor: usize,
     ) -> Option<(usize, usize)> {
-        if max_len < MIN_MATCH {
+        if floor >= max_len {
             return None;
         }
-        let mut best_len = 0usize;
+        let mut best_len = floor;
         let mut best_dist = 0usize;
-        let mut candidate = head[Self::hash(input, pos)];
+        let mut candidate = head.get(Self::hash(input, pos));
         let mut chain = 0usize;
+        // `best_len < max_len` holds throughout (a best reaching `max_len`
+        // breaks out below), so the probe byte is always in bounds.
+        let mut probe = input[pos + best_len];
         while candidate != usize::MAX && chain < MAX_CHAIN {
             let dist = pos - candidate;
             if dist > MAX_DISTANCE {
                 break;
             }
-            let mut len = 0usize;
-            while len < max_len && input[candidate + len] == input[pos + len] {
-                len += 1;
-            }
-            if len > best_len {
-                best_len = len;
-                best_dist = dist;
-                if len == max_len {
-                    break;
+            if input[candidate + best_len] == probe {
+                let len = common_prefix(input, candidate, pos, max_len);
+                if len > best_len {
+                    best_len = len;
+                    best_dist = dist;
+                    if len == max_len {
+                        break;
+                    }
+                    probe = input[pos + best_len];
                 }
             }
-            candidate = prev[candidate];
+            // `u32::MAX` links widen to the `usize::MAX` "end of chain"
+            // sentinel (positions never reach either value).
+            let link = prev[candidate];
+            candidate = if link == u32::MAX {
+                usize::MAX
+            } else {
+                link as usize
+            };
             chain += 1;
         }
-        if best_len >= MIN_MATCH {
+        if best_dist != 0 {
             Some((best_len, best_dist))
         } else {
             None
@@ -143,66 +183,15 @@ impl Codec for Lzo {
             return Ok(());
         }
 
-        let mut head = vec![usize::MAX; 1 << HASH_LOG];
-        let mut prev = vec![usize::MAX; n];
-        let hash_limit = n.saturating_sub(MIN_MATCH);
-
-        let insert = |head: &mut Vec<usize>, prev: &mut Vec<usize>, p: usize| {
-            if p < hash_limit {
-                let h = Self::hash(input, p);
-                prev[p] = head[h];
-                head[h] = p;
+        CHAIN_SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            let (head, prev) = &mut *scratch;
+            head.begin_pass();
+            if prev.len() < n {
+                prev.resize(n, u32::MAX);
             }
-        };
-
-        let mut anchor = 0usize;
-        let mut pos = 0usize;
-        while pos + MIN_MATCH <= n {
-            let max_len = n - pos;
-            let found = Self::find_match(input, pos, &head, &prev, max_len);
-            match found {
-                None => {
-                    insert(&mut head, &mut prev, pos);
-                    pos += 1;
-                }
-                Some((len, dist)) => {
-                    // Lazy evaluation: peek one position ahead; if it yields a
-                    // strictly longer match, emit the current byte as a
-                    // literal instead.
-                    let mut use_len = len;
-                    let mut use_dist = dist;
-                    let mut start = pos;
-                    if pos + 1 + MIN_MATCH <= n {
-                        insert(&mut head, &mut prev, pos);
-                        if let Some((len2, dist2)) =
-                            Self::find_match(input, pos + 1, &head, &prev, n - pos - 1)
-                        {
-                            if len2 > len + 1 {
-                                use_len = len2;
-                                use_dist = dist2;
-                                start = pos + 1;
-                            }
-                        }
-                    } else {
-                        insert(&mut head, &mut prev, pos);
-                    }
-
-                    Self::emit_literals(out, &input[anchor..start]);
-                    Self::emit_match(out, use_len, use_dist);
-
-                    // Index the positions covered by the match.
-                    let end = start + use_len;
-                    let mut p = start.max(pos + 1);
-                    while p < end && p < hash_limit {
-                        insert(&mut head, &mut prev, p);
-                        p += 1;
-                    }
-                    pos = end;
-                    anchor = end;
-                }
-            }
-        }
-        Self::emit_literals(out, &input[anchor..]);
+            self.compress_with_scratch(input, out, head, prev);
+        });
         Ok(())
     }
 
@@ -251,6 +240,84 @@ impl Codec for Lzo {
 
     fn name(&self) -> &'static str {
         "lzo"
+    }
+}
+
+impl Lzo {
+    /// The compress loop proper, operating on borrowed per-thread scratch.
+    /// Identical match decisions to the scalar reference: the stamped head
+    /// table behaves exactly like a fresh `vec![usize::MAX; _]`, and the
+    /// word-wide compare returns the same lengths the byte loop did.
+    fn compress_with_scratch(
+        &self,
+        input: &[u8],
+        out: &mut Vec<u8>,
+        head: &mut StampedTable,
+        prev: &mut [u32],
+    ) {
+        let n = input.len();
+        let hash_limit = n.saturating_sub(MIN_MATCH);
+
+        let insert = |head: &mut StampedTable, prev: &mut [u32], p: usize| {
+            if p < hash_limit {
+                let h = Self::hash(input, p);
+                // Truncating the `usize::MAX` empty sentinel yields
+                // `u32::MAX`, the chain-end sentinel the walk widens back.
+                prev[p] = head.replace(h, p) as u32;
+            }
+        };
+
+        let mut anchor = 0usize;
+        let mut pos = 0usize;
+        while pos + MIN_MATCH <= n {
+            let max_len = n - pos;
+            let found = Self::find_match(input, pos, head, prev, max_len, MIN_MATCH - 1);
+            match found {
+                None => {
+                    insert(head, prev, pos);
+                    pos += 1;
+                }
+                Some((len, dist)) => {
+                    // Lazy evaluation: peek one position ahead; if it yields a
+                    // strictly longer match, emit the current byte as a
+                    // literal instead.
+                    let mut use_len = len;
+                    let mut use_dist = dist;
+                    let mut start = pos;
+                    if pos + 1 + MIN_MATCH <= n {
+                        insert(head, prev, pos);
+                        // A lazy match only displaces the current one when it
+                        // is strictly longer than `len + 1`; passing that as
+                        // the floor lets the walk reject non-improving
+                        // candidates on a single byte probe.
+                        if let Some((len2, dist2)) =
+                            Self::find_match(input, pos + 1, head, prev, n - pos - 1, len + 1)
+                        {
+                            debug_assert!(len2 > len + 1);
+                            use_len = len2;
+                            use_dist = dist2;
+                            start = pos + 1;
+                        }
+                    } else {
+                        insert(head, prev, pos);
+                    }
+
+                    Self::emit_literals(out, &input[anchor..start]);
+                    Self::emit_match(out, use_len, use_dist);
+
+                    // Index the positions covered by the match.
+                    let end = start + use_len;
+                    let mut p = start.max(pos + 1);
+                    while p < end && p < hash_limit {
+                        insert(head, prev, p);
+                        p += 1;
+                    }
+                    pos = end;
+                    anchor = end;
+                }
+            }
+        }
+        Self::emit_literals(out, &input[anchor..]);
     }
 }
 

@@ -1,0 +1,447 @@
+//! Scalar reference codecs for differential testing of the SWAR kernels.
+//!
+//! These are the byte-at-a-time compress loops the production [`crate::Lz4`],
+//! [`crate::Lzo`] and [`crate::Bdi`] codecs used before their inner scans
+//! were rewritten word-wide. They are kept verbatim — per-call allocations
+//! and all — as an executable specification: the SWAR kernels must produce
+//! **byte-identical** streams, which `tests/kernel_equivalence.rs` checks by
+//! compressing adversarial corpora through both and comparing the output.
+//!
+//! Compiled only for tests and under the `scalar-reference` feature (the
+//! crate's own integration tests enable it through a self dev-dependency),
+//! so production builds carry no dead scalar code.
+//!
+//! Decompression was not changed by the SWAR work, so the reference codecs
+//! delegate `decompress` to the production implementations.
+
+use crate::algorithm::Codec;
+use crate::bdi::SEGMENT;
+use crate::error::CompressError;
+use crate::{Bdi, Lz4, Lzo};
+
+/// Scalar reference for the LZ4 compress loop (pre-SWAR, per-call table).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScalarLz4 {
+    _private: (),
+}
+
+impl ScalarLz4 {
+    /// Create a new scalar LZ4 reference codec.
+    #[must_use]
+    pub fn new() -> Self {
+        ScalarLz4 { _private: () }
+    }
+
+    fn hash(word: u32) -> usize {
+        const HASH_LOG: usize = 13;
+        ((word.wrapping_mul(2_654_435_761)) >> (32 - HASH_LOG)) as usize
+    }
+
+    fn read_u32_le(data: &[u8], pos: usize) -> u32 {
+        u32::from_le_bytes([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]])
+    }
+
+    fn write_length(out: &mut Vec<u8>, mut len: usize) {
+        while len >= 255 {
+            out.push(255);
+            len -= 255;
+        }
+        out.push(len as u8);
+    }
+
+    fn emit_sequence(out: &mut Vec<u8>, literals: &[u8], match_len: Option<usize>, offset: u16) {
+        const MIN_MATCH: usize = 4;
+        let lit_len = literals.len();
+        let ml_field = match match_len {
+            Some(ml) => (ml - MIN_MATCH).min(15),
+            None => 0,
+        };
+        let token = (((lit_len.min(15)) as u8) << 4) | ml_field as u8;
+        out.push(token);
+        if lit_len >= 15 {
+            Self::write_length(out, lit_len - 15);
+        }
+        out.extend_from_slice(literals);
+        if let Some(ml) = match_len {
+            out.extend_from_slice(&offset.to_le_bytes());
+            if ml - MIN_MATCH >= 15 {
+                Self::write_length(out, ml - MIN_MATCH - 15);
+            }
+        }
+    }
+}
+
+impl Codec for ScalarLz4 {
+    fn compress(&self, input: &[u8]) -> Result<Vec<u8>, CompressError> {
+        let mut out = Vec::with_capacity(input.len() / 2 + 16);
+        self.compress_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    fn compress_into(&self, input: &[u8], out: &mut Vec<u8>) -> Result<(), CompressError> {
+        const MIN_MATCH: usize = 4;
+        const MF_LIMIT: usize = 12;
+        const HASH_LOG: usize = 13;
+        const MAX_DISTANCE: usize = 65535;
+        let n = input.len();
+        if n == 0 {
+            out.push(0);
+            return Ok(());
+        }
+        if n < MF_LIMIT + 1 {
+            Self::emit_sequence(out, input, None, 0);
+            return Ok(());
+        }
+
+        let mut table = vec![usize::MAX; 1 << HASH_LOG];
+        let match_limit = n - MF_LIMIT;
+        let mut anchor = 0usize;
+        let mut pos = 0usize;
+
+        while pos < match_limit {
+            let word = Self::read_u32_le(input, pos);
+            let slot = Self::hash(word);
+            let candidate = table[slot];
+            table[slot] = pos;
+
+            let is_match = candidate != usize::MAX
+                && pos - candidate <= MAX_DISTANCE
+                && Self::read_u32_le(input, candidate) == word;
+            if !is_match {
+                pos += 1;
+                continue;
+            }
+
+            let mut match_len = MIN_MATCH;
+            let max_len = n - pos - 5;
+            while match_len < max_len && input[candidate + match_len] == input[pos + match_len] {
+                match_len += 1;
+            }
+
+            let offset = (pos - candidate) as u16;
+            Self::emit_sequence(out, &input[anchor..pos], Some(match_len), offset);
+
+            pos += match_len;
+            anchor = pos;
+
+            if pos < match_limit {
+                let w = Self::read_u32_le(input, pos - 2);
+                table[Self::hash(w)] = pos - 2;
+            }
+        }
+
+        Self::emit_sequence(out, &input[anchor..], None, 0);
+        Ok(())
+    }
+
+    fn decompress(&self, input: &[u8], decompressed_len: usize) -> Result<Vec<u8>, CompressError> {
+        Lz4::new().decompress(input, decompressed_len)
+    }
+
+    fn name(&self) -> &'static str {
+        "lz4-scalar"
+    }
+}
+
+/// Scalar reference for the LZO-class compress loop (pre-SWAR, per-call
+/// head/prev chains).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScalarLzo {
+    _private: (),
+}
+
+const LZO_MIN_MATCH: usize = 4;
+const LZO_MAX_MATCH_TOKEN: usize = 0x7F + LZO_MIN_MATCH;
+const LZO_MAX_LITERAL_TOKEN: usize = 0x80;
+const LZO_MAX_DISTANCE: usize = 65535;
+const LZO_HASH_LOG: usize = 14;
+const LZO_MAX_CHAIN: usize = 16;
+
+impl ScalarLzo {
+    /// Create a new scalar LZO reference codec.
+    #[must_use]
+    pub fn new() -> Self {
+        ScalarLzo { _private: () }
+    }
+
+    fn hash(data: &[u8], pos: usize) -> usize {
+        let word = u32::from_le_bytes([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]]);
+        ((word.wrapping_mul(2_654_435_761)) >> (32 - LZO_HASH_LOG)) as usize
+    }
+
+    fn find_match(
+        input: &[u8],
+        pos: usize,
+        head: &[usize],
+        prev: &[usize],
+        max_len: usize,
+    ) -> Option<(usize, usize)> {
+        if max_len < LZO_MIN_MATCH {
+            return None;
+        }
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        let mut candidate = head[Self::hash(input, pos)];
+        let mut chain = 0usize;
+        while candidate != usize::MAX && chain < LZO_MAX_CHAIN {
+            let dist = pos - candidate;
+            if dist > LZO_MAX_DISTANCE {
+                break;
+            }
+            let mut len = 0usize;
+            while len < max_len && input[candidate + len] == input[pos + len] {
+                len += 1;
+            }
+            if len > best_len {
+                best_len = len;
+                best_dist = dist;
+                if len == max_len {
+                    break;
+                }
+            }
+            candidate = prev[candidate];
+            chain += 1;
+        }
+        if best_len >= LZO_MIN_MATCH {
+            Some((best_len, best_dist))
+        } else {
+            None
+        }
+    }
+
+    fn emit_literals(out: &mut Vec<u8>, mut literals: &[u8]) {
+        while !literals.is_empty() {
+            let take = literals.len().min(LZO_MAX_LITERAL_TOKEN);
+            out.push((take - 1) as u8);
+            out.extend_from_slice(&literals[..take]);
+            literals = &literals[take..];
+        }
+    }
+
+    fn emit_match(out: &mut Vec<u8>, mut len: usize, dist: usize) {
+        while len >= LZO_MIN_MATCH {
+            let take = len.min(LZO_MAX_MATCH_TOKEN);
+            let take = if len - take > 0 && len - take < LZO_MIN_MATCH {
+                len - LZO_MIN_MATCH
+            } else {
+                take
+            };
+            out.push(0x80 | ((take - LZO_MIN_MATCH) as u8));
+            out.extend_from_slice(&(dist as u16).to_le_bytes());
+            len -= take;
+        }
+    }
+}
+
+impl Codec for ScalarLzo {
+    fn compress(&self, input: &[u8]) -> Result<Vec<u8>, CompressError> {
+        let mut out = Vec::with_capacity(input.len() / 2 + 16);
+        self.compress_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    fn compress_into(&self, input: &[u8], out: &mut Vec<u8>) -> Result<(), CompressError> {
+        let n = input.len();
+        if n < LZO_MIN_MATCH + 1 {
+            Self::emit_literals(out, input);
+            return Ok(());
+        }
+
+        let mut head = vec![usize::MAX; 1 << LZO_HASH_LOG];
+        let mut prev = vec![usize::MAX; n];
+        let hash_limit = n.saturating_sub(LZO_MIN_MATCH);
+
+        let insert = |head: &mut Vec<usize>, prev: &mut Vec<usize>, p: usize| {
+            if p < hash_limit {
+                let h = Self::hash(input, p);
+                prev[p] = head[h];
+                head[h] = p;
+            }
+        };
+
+        let mut anchor = 0usize;
+        let mut pos = 0usize;
+        while pos + LZO_MIN_MATCH <= n {
+            let max_len = n - pos;
+            let found = Self::find_match(input, pos, &head, &prev, max_len);
+            match found {
+                None => {
+                    insert(&mut head, &mut prev, pos);
+                    pos += 1;
+                }
+                Some((len, dist)) => {
+                    let mut use_len = len;
+                    let mut use_dist = dist;
+                    let mut start = pos;
+                    if pos + 1 + LZO_MIN_MATCH <= n {
+                        insert(&mut head, &mut prev, pos);
+                        if let Some((len2, dist2)) =
+                            Self::find_match(input, pos + 1, &head, &prev, n - pos - 1)
+                        {
+                            if len2 > len + 1 {
+                                use_len = len2;
+                                use_dist = dist2;
+                                start = pos + 1;
+                            }
+                        }
+                    } else {
+                        insert(&mut head, &mut prev, pos);
+                    }
+
+                    Self::emit_literals(out, &input[anchor..start]);
+                    Self::emit_match(out, use_len, use_dist);
+
+                    let end = start + use_len;
+                    let mut p = start.max(pos + 1);
+                    while p < end && p < hash_limit {
+                        insert(&mut head, &mut prev, p);
+                        p += 1;
+                    }
+                    pos = end;
+                    anchor = end;
+                }
+            }
+        }
+        Self::emit_literals(out, &input[anchor..]);
+        Ok(())
+    }
+
+    fn decompress(&self, input: &[u8], decompressed_len: usize) -> Result<Vec<u8>, CompressError> {
+        Lzo::new().decompress(input, decompressed_len)
+    }
+
+    fn name(&self) -> &'static str {
+        "lzo-scalar"
+    }
+}
+
+/// Scalar reference for the BDI segment encoder (pre-SWAR, materializes a
+/// payload `Vec` per candidate encoding).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScalarBdi {
+    _private: (),
+}
+
+impl ScalarBdi {
+    /// Create a new scalar BDI reference codec.
+    #[must_use]
+    pub fn new() -> Self {
+        ScalarBdi { _private: () }
+    }
+
+    fn try_base_delta(seg: &[u8], base_size: usize, delta_size: usize) -> Option<Vec<u8>> {
+        let read = |i: usize| -> u64 {
+            let mut v = [0u8; 8];
+            v[..base_size].copy_from_slice(&seg[i * base_size..(i + 1) * base_size]);
+            u64::from_le_bytes(v)
+        };
+        let count = seg.len() / base_size;
+        let base = read(0);
+        let max_delta: i64 = match delta_size {
+            1 => i64::from(i8::MAX),
+            2 => i64::from(i16::MAX),
+            4 => i64::from(i32::MAX),
+            _ => unreachable!("delta size is 1, 2 or 4"),
+        };
+        let mut payload = Vec::with_capacity(base_size + count * delta_size);
+        payload.extend_from_slice(&seg[..base_size]);
+        for i in 0..count {
+            let value = read(i) as i64;
+            let delta = value.wrapping_sub(base as i64);
+            if delta > max_delta || delta < -(max_delta + 1) {
+                return None;
+            }
+            payload.extend_from_slice(&delta.to_le_bytes()[..delta_size]);
+        }
+        Some(payload)
+    }
+
+    fn encode_segment(seg: &[u8], out: &mut Vec<u8>) {
+        // Header byte values mirror `bdi::Encoding` (pinned by the decoder).
+        const ZEROS: u8 = 0;
+        const REPEAT8: u8 = 1;
+        const RAW: u8 = 8;
+        if seg.iter().all(|&b| b == 0) {
+            out.push(ZEROS);
+            return;
+        }
+        if seg.chunks_exact(8).all(|c| c == &seg[..8]) {
+            out.push(REPEAT8);
+            out.extend_from_slice(&seg[..8]);
+            return;
+        }
+        // (header byte, base size, delta size) in the original scan order.
+        let candidates: [(u8, usize, usize); 6] = [
+            (2, 8, 1), // Base8Delta1
+            (7, 2, 1), // Base2Delta1
+            (5, 4, 1), // Base4Delta1
+            (3, 8, 2), // Base8Delta2
+            (6, 4, 2), // Base4Delta2
+            (4, 8, 4), // Base8Delta4
+        ];
+        let mut best: Option<(u8, Vec<u8>)> = None;
+        for (enc, base, delta) in candidates {
+            if let Some(payload) = Self::try_base_delta(seg, base, delta) {
+                let better = match &best {
+                    Some((_, existing)) => payload.len() < existing.len(),
+                    None => true,
+                };
+                if better {
+                    best = Some((enc, payload));
+                }
+            }
+        }
+        match best {
+            Some((enc, payload)) if payload.len() < SEGMENT => {
+                out.push(enc);
+                out.extend_from_slice(&payload);
+            }
+            _ => {
+                out.push(RAW);
+                out.extend_from_slice(seg);
+            }
+        }
+    }
+}
+
+impl Codec for ScalarBdi {
+    fn compress(&self, input: &[u8]) -> Result<Vec<u8>, CompressError> {
+        let mut out = Vec::with_capacity(input.len() / 2 + 8);
+        self.compress_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    fn compress_into(&self, input: &[u8], out: &mut Vec<u8>) -> Result<(), CompressError> {
+        const RAW_PARTIAL: u8 = 9;
+        let mut chunks = input.chunks_exact(SEGMENT);
+        for seg in &mut chunks {
+            Self::encode_segment(seg, out);
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            out.push(RAW_PARTIAL);
+            out.push(tail.len() as u8);
+            out.extend_from_slice(tail);
+        }
+        Ok(())
+    }
+
+    fn decompress(&self, input: &[u8], decompressed_len: usize) -> Result<Vec<u8>, CompressError> {
+        Bdi::new().decompress(input, decompressed_len)
+    }
+
+    fn name(&self) -> &'static str {
+        "bdi-scalar"
+    }
+}
+
+/// The scalar reference codec for `algorithm`, boxed like
+/// [`crate::Algorithm::codec`].
+#[must_use]
+pub fn scalar_codec(algorithm: crate::Algorithm) -> Box<dyn Codec> {
+    match algorithm {
+        crate::Algorithm::Lz4 => Box::new(ScalarLz4::new()),
+        crate::Algorithm::Lzo => Box::new(ScalarLzo::new()),
+        crate::Algorithm::Bdi => Box::new(ScalarBdi::new()),
+    }
+}

@@ -1,0 +1,191 @@
+//! Word-wide (SWAR) scan primitives shared by the compression kernels.
+//!
+//! The LZ4 and LZO match loops and the BDI segment scans all reduce to one
+//! primitive: "how many leading bytes do two regions have in common?". The
+//! scalar codecs answered it one byte at a time; the kernels in this crate
+//! now answer it eight bytes at a time with `u64` reads and
+//! `trailing_zeros` to locate the first mismatching byte. The result is the
+//! *same number* the byte loop would produce — the SWAR form only changes
+//! how fast the answer is computed, never what it is — which is what lets
+//! the compressed streams stay byte-identical to the scalar reference
+//! codecs (pinned by `tests/kernel_equivalence.rs`).
+//!
+//! Everything here is safe code: the slice-indexing bounds checks on the
+//! word loads compile down to a single comparison per iteration, and
+//! `u64::from_le_bytes` on a 8-byte slice is recognised by LLVM as an
+//! unaligned load.
+
+/// Read a little-endian `u64` starting at `pos`. Panics (bounds check) if
+/// fewer than 8 bytes remain — callers guarantee the room.
+#[inline]
+pub(crate) fn read_u64_le(data: &[u8], pos: usize) -> u64 {
+    u64::from_le_bytes(data[pos..pos + 8].try_into().expect("8-byte slice"))
+}
+
+/// Length of the common prefix of `data[a..a + max]` and `data[b..b + max]`,
+/// exactly as the scalar loop
+/// `while len < max && data[a + len] == data[b + len] { len += 1 }` would
+/// compute it, but comparing eight bytes per step.
+///
+/// Callers must guarantee `a + max <= data.len()` and `b + max <= data.len()`
+/// (the word loads stay inside those bounds; a violation panics on the
+/// bounds check rather than reading out of range).
+#[inline]
+pub(crate) fn common_prefix(data: &[u8], a: usize, b: usize, max: usize) -> usize {
+    let mut len = 0usize;
+    while len + 8 <= max {
+        let xor = read_u64_le(data, a + len) ^ read_u64_le(data, b + len);
+        if xor != 0 {
+            // The first differing byte is the lowest non-zero byte of the
+            // XOR on a little-endian read.
+            return len + (xor.trailing_zeros() / 8) as usize;
+        }
+        len += 8;
+    }
+    while len < max && data[a + len] == data[b + len] {
+        len += 1;
+    }
+    len
+}
+
+/// A generation-stamped hash-table of input positions, reused across
+/// compress calls through a `thread_local` so the hot path never allocates
+/// or clears the table. A slot is live only when its stamp matches the
+/// current generation; `begin_pass` bumps the generation, which invalidates
+/// every slot in O(1). The entries are re-zeroed only when the `u32`
+/// generation counter wraps (once every four billion compress calls).
+///
+/// Each slot packs `(generation << 32) | position` into one `u64`, so the
+/// match loops — which read and write a slot on every inserted position —
+/// touch a single cache line's worth of data per operation instead of a
+/// stamp array and a position array on separate lines. Positions are
+/// therefore capped at `u32::MAX - 1` bytes, far beyond any compression
+/// unit in the workspace (chunks top out at 128 KiB).
+///
+/// Reading a slot whose stamp is stale returns `usize::MAX` — the same
+/// "empty" sentinel the scalar codecs used for freshly-allocated tables —
+/// so lookups observe exactly the state a per-call `vec![usize::MAX; N]`
+/// would hold.
+#[derive(Debug)]
+pub(crate) struct StampedTable {
+    entries: Vec<u64>,
+    generation: u32,
+}
+
+impl StampedTable {
+    /// Create a table with `slots` entries, all empty.
+    pub(crate) fn new(slots: usize) -> Self {
+        StampedTable {
+            entries: vec![0; slots],
+            generation: 0,
+        }
+    }
+
+    /// Invalidate every slot, starting a fresh compress pass.
+    pub(crate) fn begin_pass(&mut self) {
+        self.generation = match self.generation.checked_add(1) {
+            Some(g) => g,
+            None => {
+                // Generation wrapped: physically reset the entries so stale
+                // slots from generation `u32::MAX` cannot alias.
+                self.entries.fill(0);
+                1
+            }
+        };
+    }
+
+    /// The position stored in `slot` during the current pass, or
+    /// `usize::MAX` when the slot is empty.
+    #[inline]
+    pub(crate) fn get(&self, slot: usize) -> usize {
+        let entry = self.entries[slot];
+        if (entry >> 32) as u32 == self.generation {
+            (entry & u32::MAX as u64) as usize
+        } else {
+            usize::MAX
+        }
+    }
+
+    /// Store `pos` in `slot` for the current pass.
+    #[inline]
+    pub(crate) fn set(&mut self, slot: usize, pos: usize) {
+        debug_assert!(
+            pos < u32::MAX as usize,
+            "position overflows the packed slot"
+        );
+        self.entries[slot] = (u64::from(self.generation) << 32) | pos as u64;
+    }
+
+    /// Store `pos` in `slot` and return the position it displaced (or
+    /// `usize::MAX` if the slot was empty) — `get` + `set` fused into one
+    /// slot access for the insert path, which runs once per input byte.
+    #[inline]
+    pub(crate) fn replace(&mut self, slot: usize, pos: usize) -> usize {
+        debug_assert!(
+            pos < u32::MAX as usize,
+            "position overflows the packed slot"
+        );
+        let entry = self.entries[slot];
+        self.entries[slot] = (u64::from(self.generation) << 32) | pos as u64;
+        if (entry >> 32) as u32 == self.generation {
+            (entry & u32::MAX as u64) as usize
+        } else {
+            usize::MAX
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_prefix_matches_the_scalar_loop() {
+        let mut data: Vec<u8> = (0..64u8).collect();
+        data.extend((0..64u8).map(|i| if i == 37 { 0xFF } else { i }));
+        for max in 0..=64usize {
+            let scalar = {
+                let mut len = 0;
+                while len < max && data[len] == data[64 + len] {
+                    len += 1;
+                }
+                len
+            };
+            assert_eq!(common_prefix(&data, 0, 64, max), scalar, "max {max}");
+        }
+    }
+
+    #[test]
+    fn common_prefix_handles_mismatch_in_every_byte_lane() {
+        for lane in 0..24usize {
+            let a: Vec<u8> = vec![7u8; 48];
+            let mut data = a.clone();
+            data.extend_from_slice(&a);
+            data[48 + lane] = 9;
+            assert_eq!(common_prefix(&data, 0, 48, 48), lane, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn stamped_table_is_empty_after_begin_pass() {
+        let mut table = StampedTable::new(8);
+        table.begin_pass();
+        assert_eq!(table.get(3), usize::MAX);
+        table.set(3, 17);
+        assert_eq!(table.get(3), 17);
+        table.begin_pass();
+        assert_eq!(table.get(3), usize::MAX, "new pass must not see old slots");
+    }
+
+    #[test]
+    fn stamped_table_survives_generation_wrap() {
+        let mut table = StampedTable::new(2);
+        table.generation = u32::MAX - 1;
+        table.begin_pass(); // -> u32::MAX
+        table.set(0, 5);
+        table.begin_pass(); // wraps -> 1, stamps cleared
+        assert_eq!(table.get(0), usize::MAX);
+        table.set(1, 9);
+        assert_eq!(table.get(1), 9);
+    }
+}

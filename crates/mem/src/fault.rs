@@ -1,0 +1,246 @@
+//! The lightweight fault-task table: slab-backed waiter bookkeeping for
+//! page faults on in-flight flash write commands.
+//!
+//! When a fault hits a page whose write command is still queued on the
+//! device, the fault's *cost* is known immediately (the remaining time to
+//! the command's completion — [`crate::FaultIn::stall`] is computed at
+//! fault time and charged to that fault alone). What used to be expensive
+//! was the *bookkeeping*: every retiring command re-scanned its full slot
+//! list through hash lookups, including slots long since cancelled by
+//! faults, so a relaunch storm of N faults against a deep queue cost
+//! O(N × queue-scan).
+//!
+//! Following the user-space-swap design of Zhong et al. ("Revisiting
+//! Swapping in User-space with Lightweight Threading"), a fault on an
+//! in-flight command now parks a *fault task* — a tiny slab-resident record
+//! keyed by the command id — instead of leaving tombstones for the
+//! retirement scan to skip. [`FlashDevice::retire_completed`] retires a
+//! command's entire waiter list in one batch (a chain walk, no hashing, no
+//! tombstones), so a storm costs O(faults + completions): each fault does
+//! O(1) parking work and each completion touches exactly its own live
+//! waiters.
+//!
+//! The table changes *when bookkeeping happens*, never *what is charged*:
+//! every parked task carries the stall its fault already paid, and the
+//! retirement batch only drains records. The simulation's
+//! `AccessOutcome` totals are bit-identical with the table on — the
+//! determinism suites pin that.
+//!
+//! [`FlashDevice::retire_completed`]: crate::FlashDevice::retire_completed
+
+use crate::flash::{IoRequestId, SwapSlot};
+use crate::slab::{Chain, FxHashMap, Slab};
+use ariadne_compress::CostNanos;
+use serde::{Deserialize, Serialize};
+
+/// Link channel used for the per-command waiter chains. Fault tasks live in
+/// their own slab, so channel 0 is free (the flash entry slab reserves
+/// channel 0 for app chains and channel 1 for command chains).
+const WAITER_CHANNEL: usize = 0;
+
+/// One parked fault: a page fault that hit an in-flight write command and
+/// was served from the write buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultTask {
+    /// The write command the fault waited on.
+    pub command: IoRequestId,
+    /// The swap slot the fault cancelled.
+    pub slot: SwapSlot,
+    /// The stall the fault was charged (remaining time to the command's
+    /// completion at the moment it faulted). Parked for observability only:
+    /// the fault already paid it.
+    pub stall: CostNanos,
+    /// Simulated nanosecond the fault parked.
+    pub parked_at: u128,
+}
+
+/// Lifetime counters of the fault-task table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultTaskStats {
+    /// Fault tasks ever parked (== faults served from in-flight commands).
+    pub parked: usize,
+    /// Fault tasks retired (each exactly once, in its command's batch).
+    pub retired: usize,
+    /// Waiter batches drained (== retired commands that had waiters).
+    pub batches: usize,
+    /// Largest number of tasks simultaneously parked.
+    pub peak_parked: usize,
+}
+
+/// Slab-backed table of parked fault tasks, chained per command id.
+///
+/// Parking is O(1) (slab insert + chain push). Retiring a command drains
+/// its whole chain in one walk over live waiters — no hash lookups per
+/// waiter, no visits to anything that is not a waiter of that command.
+#[derive(Debug, Clone, Default)]
+pub struct FaultTaskTable {
+    tasks: Slab<FaultTask>,
+    waiters: FxHashMap<IoRequestId, Chain>,
+    stats: FaultTaskStats,
+}
+
+impl FaultTaskTable {
+    /// Create an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        FaultTaskTable::default()
+    }
+
+    /// Park a fault task on `command`. Returns the number of waiters now
+    /// parked on that command (including this one).
+    pub fn park(
+        &mut self,
+        command: IoRequestId,
+        slot: SwapSlot,
+        stall: CostNanos,
+        now_nanos: u128,
+    ) -> usize {
+        let key = self.tasks.insert(FaultTask {
+            command,
+            slot,
+            stall,
+            parked_at: now_nanos,
+        });
+        let chain = self.waiters.entry(command).or_default();
+        chain.push_back(&mut self.tasks, WAITER_CHANNEL, key.index());
+        let parked_on_command = chain.len();
+        self.stats.parked += 1;
+        self.stats.peak_parked = self.stats.peak_parked.max(self.tasks.len());
+        parked_on_command
+    }
+
+    /// Retire every waiter parked on `command` in one batch, returning the
+    /// drained tasks in parking order. Each task is returned exactly once:
+    /// the batch removes the records, so a second retirement of the same
+    /// command finds no waiters.
+    pub fn retire_command(&mut self, command: IoRequestId) -> Vec<FaultTask> {
+        let Some(mut chain) = self.waiters.remove(&command) else {
+            return Vec::new();
+        };
+        let mut drained = Vec::with_capacity(chain.len());
+        while let Some(index) = chain.head() {
+            chain.unlink(&mut self.tasks, WAITER_CHANNEL, index);
+            let key = self.tasks.key_at(index);
+            drained.push(self.tasks.remove(key).expect("chained task is live"));
+        }
+        self.stats.retired += drained.len();
+        if !drained.is_empty() {
+            self.stats.batches += 1;
+        }
+        drained
+    }
+
+    /// Number of tasks currently parked across all commands.
+    #[must_use]
+    pub fn parked(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of tasks currently parked on `command`.
+    #[must_use]
+    pub fn parked_on(&self, command: IoRequestId) -> usize {
+        self.waiters.get(&command).map_or(0, |c| c.len())
+    }
+
+    /// Lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> FaultTaskStats {
+        self.stats
+    }
+
+    /// Commands that currently have parked waiters, for invariant checks.
+    pub fn commands_with_waiters(&self) -> impl Iterator<Item = IoRequestId> + '_ {
+        self.waiters.keys().copied()
+    }
+
+    /// Verify internal consistency: every chain entry is a live task keyed
+    /// by that chain's command, and every live task is on its chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn leak_check(&self) -> Result<(), String> {
+        let mut chained = 0usize;
+        for (command, chain) in &self.waiters {
+            if chain.is_empty() {
+                return Err(format!("empty waiter chain left behind for {command}"));
+            }
+            for index in chain.indices(&self.tasks, WAITER_CHANNEL) {
+                let task = self.tasks.value_at(index);
+                if task.command != *command {
+                    return Err(format!("task for {} chained under {command}", task.command));
+                }
+                chained += 1;
+            }
+        }
+        if chained != self.tasks.len() {
+            return Err(format!(
+                "{} fault tasks not reachable from any waiter chain",
+                self.tasks.len() - chained
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64) -> IoRequestId {
+        IoRequestId::for_tests(n)
+    }
+
+    fn slot(n: u64) -> SwapSlot {
+        SwapSlot::for_tests(n)
+    }
+
+    #[test]
+    fn waiters_on_the_same_command_retire_together_exactly_once() {
+        let mut table = FaultTaskTable::new();
+        assert_eq!(table.park(id(1), slot(10), CostNanos(100), 0), 1);
+        assert_eq!(table.park(id(1), slot(11), CostNanos(90), 10), 2);
+        assert_eq!(table.park(id(2), slot(12), CostNanos(50), 20), 1);
+        table.leak_check().unwrap();
+
+        let batch = table.retire_command(id(1));
+        assert_eq!(batch.len(), 2, "both waiters of command 1 in one batch");
+        assert_eq!(batch[0].slot, slot(10), "parking order preserved");
+        assert_eq!(batch[1].slot, slot(11));
+        assert!(
+            table.retire_command(id(1)).is_empty(),
+            "a second retirement finds nothing — each task retires once"
+        );
+        assert_eq!(table.parked(), 1, "command 2's waiter is untouched");
+        assert_eq!(table.parked_on(id(2)), 1);
+        table.leak_check().unwrap();
+
+        let stats = table.stats();
+        assert_eq!(stats.parked, 3);
+        assert_eq!(stats.retired, 2);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.peak_parked, 3);
+    }
+
+    #[test]
+    fn each_fault_records_its_own_stall() {
+        let mut table = FaultTaskTable::new();
+        // A storm of faults against one in-flight command: every fault
+        // parks with the stall it was individually charged.
+        let completes_at = 1_000u128;
+        for (i, now) in [0u128, 250, 600, 999].iter().enumerate() {
+            let stall = CostNanos(completes_at - now);
+            table.park(id(7), slot(i as u64), stall, *now);
+        }
+        let batch = table.retire_command(id(7));
+        let stalls: Vec<u128> = batch.iter().map(|t| t.stall.as_nanos()).collect();
+        assert_eq!(stalls, vec![1000, 750, 400, 1]);
+    }
+
+    #[test]
+    fn retiring_an_unknown_command_is_a_no_op() {
+        let mut table = FaultTaskTable::new();
+        assert!(table.retire_command(id(99)).is_empty());
+        assert_eq!(table.stats().batches, 0);
+    }
+}

@@ -50,6 +50,11 @@ use std::fmt;
 
 /// Link channel of the per-app entry chain.
 const APP_CHANNEL: usize = 0;
+/// Link channel of the per-command entry chain: every *live* in-flight
+/// entry of a queued write command is chained under its [`IoRequestId`],
+/// so retirement walks exactly the entries that still need retiring —
+/// fault-cancelled slots left the chain when they were cancelled.
+const CMD_CHANNEL: usize = 1;
 
 /// Identifier of a slot in the flash swap area.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -60,6 +65,12 @@ impl SwapSlot {
     #[must_use]
     pub fn value(self) -> u64 {
         self.0
+    }
+
+    /// Construct a raw slot id in unit tests.
+    #[cfg(test)]
+    pub(crate) fn for_tests(raw: u64) -> Self {
+        SwapSlot(raw)
     }
 }
 
@@ -78,6 +89,12 @@ impl IoRequestId {
     #[must_use]
     pub fn value(self) -> u64 {
         self.0
+    }
+
+    /// Construct a raw request id in unit tests.
+    #[cfg(test)]
+    pub(crate) fn for_tests(raw: u64) -> Self {
+        IoRequestId(raw)
     }
 }
 
@@ -302,6 +319,10 @@ struct FlashEntry {
     /// `Some(t)` while the object's write command is in flight (completes at
     /// simulated nanosecond `t`); `None` once at rest.
     completes_at: Option<u128>,
+    /// The queued write command carrying the object — `Some` while the
+    /// command is in flight (the entry is then on that command's
+    /// [`CMD_CHANNEL`] chain), `None` once retired or written inline.
+    command: Option<IoRequestId>,
 }
 
 /// The flash swap device.
@@ -335,8 +356,19 @@ pub struct FlashDevice {
     /// Completion time of the last queued command (the single channel
     /// services commands back to back).
     busy_until: u128,
-    /// Outstanding commands in completion order: `(completes_at, slots)`.
-    outstanding: VecDeque<(u128, IoRequestId, Vec<SwapSlot>)>,
+    /// Outstanding commands in completion order: `(completes_at, id)`. The
+    /// slots each command still carries live on the command's
+    /// [`CMD_CHANNEL`] chain (see [`FlashDevice::command_chains`]), so the
+    /// queue itself holds no per-slot payload to clone or re-scan.
+    outstanding: VecDeque<(u128, IoRequestId)>,
+    /// Per-command chain through the slab slots of the *live* in-flight
+    /// entries. A fault that cancels a slot unlinks it here immediately, so
+    /// retirement walks only entries that actually need their
+    /// `completes_at` cleared — never fault-cancelled tombstones.
+    command_chains: FxHashMap<IoRequestId, Chain>,
+    /// Parked fault tasks: faults served from in-flight commands, retired
+    /// in one batch when their command completes.
+    fault_tasks: crate::fault::FaultTaskTable,
     /// Program/erase cycles per erase block. Blocks are programmed
     /// round-robin (an idealized wear-levelling FTL): physical page `n`
     /// lands in block `(n / pages-per-block) % blocks`, and opening a
@@ -452,7 +484,20 @@ impl FlashDevice {
     /// event engine schedules its `IoComplete` events from).
     #[must_use]
     pub fn next_completion(&self) -> Option<u128> {
-        self.outstanding.front().map(|(t, _, _)| *t)
+        self.outstanding.front().map(|(t, _)| *t)
+    }
+
+    /// Lifetime counters of the fault-task table (faults parked on
+    /// in-flight commands and the batches that retired them).
+    #[must_use]
+    pub fn fault_task_stats(&self) -> crate::fault::FaultTaskStats {
+        self.fault_tasks.stats()
+    }
+
+    /// Fault tasks currently parked (their commands have not retired yet).
+    #[must_use]
+    pub fn parked_fault_tasks(&self) -> usize {
+        self.fault_tasks.parked()
     }
 
     /// The completion time of the in-flight command holding `slot`, or
@@ -473,13 +518,29 @@ impl FlashDevice {
     /// caller so each removal path charges what it means to.
     fn take_entry(&mut self, slot: SwapSlot) -> Option<FlashEntry> {
         let key = self.slot_index.remove(&slot)?;
-        let app = self.entries.get(key).expect("indexed slot is live").pages[0].app();
+        let live = self.entries.get(key).expect("indexed slot is live");
+        let app = live.pages[0].app();
+        let command = live.command;
         let mut chain = *self.app_chains.get(&app).expect("app chain exists");
         chain.unlink(&mut self.entries, APP_CHANNEL, key.index());
         if chain.is_empty() {
             self.app_chains.remove(&app);
         } else {
             self.app_chains.insert(app, chain);
+        }
+        // An in-flight entry also leaves its command's chain, so retirement
+        // never sees (or pays for) a cancelled slot.
+        if let Some(command) = command {
+            let mut chain = *self
+                .command_chains
+                .get(&command)
+                .expect("command chain exists");
+            chain.unlink(&mut self.entries, CMD_CHANNEL, key.index());
+            if chain.is_empty() {
+                self.command_chains.remove(&command);
+            } else {
+                self.command_chains.insert(command, chain);
+            }
         }
         let entry = self.entries.remove(key).expect("indexed slot is live");
         for page in &entry.pages {
@@ -490,21 +551,28 @@ impl FlashDevice {
 
     /// Retire every command whose completion time has passed; its objects
     /// become at-rest flash data. Returns the number of commands retired.
+    ///
+    /// Each retiring command walks its own [`CMD_CHANNEL`] chain — only the
+    /// entries still live and in flight — and drains its parked fault tasks
+    /// in one batch. Fault-cancelled slots left the chain at cancellation
+    /// time, so a relaunch storm's worth of faults adds nothing to the
+    /// retirement cost.
     pub fn retire_completed(&mut self, now_nanos: u128) -> usize {
         let mut retired = 0usize;
-        while let Some((completes_at, _, _)) = self.outstanding.front() {
+        while let Some((completes_at, _)) = self.outstanding.front() {
             if *completes_at > now_nanos {
                 break;
             }
-            let (_, _, slots) = self.outstanding.pop_front().expect("front exists");
-            for slot in slots {
-                // A slot may have been cancelled by an in-flight fault.
-                if let Some(key) = self.slot_index.get(&slot) {
-                    if let Some(entry) = self.entries.get_mut(*key) {
-                        entry.completes_at = None;
-                    }
+            let (_, request) = self.outstanding.pop_front().expect("front exists");
+            if let Some(mut chain) = self.command_chains.remove(&request) {
+                while let Some(index) = chain.head() {
+                    chain.unlink(&mut self.entries, CMD_CHANNEL, index);
+                    let entry = self.entries.value_at_mut(index);
+                    entry.completes_at = None;
+                    entry.command = None;
                 }
             }
+            self.fault_tasks.retire_command(request);
             retired += 1;
         }
         retired
@@ -541,6 +609,7 @@ impl FlashDevice {
                 stored_bytes,
                 compressed,
             },
+            None,
             None,
         );
         self.debug_check_invariants();
@@ -606,7 +675,7 @@ impl FlashDevice {
                     result.sync_latency += CostNanos(completes - cursor);
                     self.busy_until = completes;
                     cursor = completes;
-                    let slot = self.store_entry(request, None);
+                    let slot = self.store_entry(request, None, None);
                     result.slots.push(slot);
                 }
             }
@@ -628,11 +697,13 @@ impl FlashDevice {
                         device.next_request += 1;
                         let mut slots = Vec::with_capacity(cmd.len());
                         for request in cmd {
-                            slots.push(device.store_entry(request, Some(completes_at)));
+                            slots.push(device.store_entry(
+                                request,
+                                Some(completes_at),
+                                Some(request_id),
+                            ));
                         }
-                        device
-                            .outstanding
-                            .push_back((completes_at, request_id, slots.clone()));
+                        device.outstanding.push_back((completes_at, request_id));
                         (stall, slots)
                     };
                 for request in accepted {
@@ -670,7 +741,7 @@ impl FlashDevice {
             let oldest = self
                 .outstanding
                 .front()
-                .map(|(t, _, _)| *t)
+                .map(|(t, _)| *t)
                 .expect("queue is full");
             if oldest > *cursor {
                 stall += CostNanos(oldest - *cursor);
@@ -722,7 +793,17 @@ impl FlashDevice {
         let entry = self.take_entry(slot).ok_or(MemError::StaleHandle)?;
         self.used -= Self::footprint(entry.stored_bytes);
         let (stall, from_in_flight) = match entry.completes_at {
-            Some(completes_at) => (CostNanos(completes_at.saturating_sub(now_nanos)), true),
+            Some(completes_at) => {
+                let stall = CostNanos(completes_at.saturating_sub(now_nanos));
+                // Park a lightweight fault task on the command: the stall is
+                // charged to this fault right here, and the record is drained
+                // in one batch when the command retires. `take_entry` already
+                // removed the slot from the command's chain, so parking is
+                // this fault's only O(1) footprint on the retirement path.
+                let command = entry.command.expect("in-flight entry has a command");
+                self.fault_tasks.park(command, slot, stall, now_nanos);
+                (stall, true)
+            }
             None => {
                 self.stats.reads += 1;
                 self.stats.bytes_read += entry.stored_bytes;
@@ -755,10 +836,10 @@ impl FlashDevice {
     /// the slots are freed without any device read — the data is simply
     /// invalidated, like discarding a dead process's swap entries.
     ///
-    /// Objects whose write command is still in flight are released too; the
-    /// command itself stays queued and retires harmlessly later
-    /// ([`FlashDevice::retire_completed`] skips slots that no longer exist),
-    /// so [`FlashDevice::leak_check`] holds throughout. Returns
+    /// Objects whose write command is still in flight are released too: each
+    /// leaves its command's chain as it is taken, the command itself stays
+    /// queued and retires harmlessly later (its chain is simply shorter — or
+    /// gone), so [`FlashDevice::leak_check`] holds throughout. Returns
     /// `(slots freed, pages released)`.
     pub fn release_app(&mut self, app: crate::page::AppId, now_nanos: u128) -> (usize, usize) {
         self.retire_completed(now_nanos);
@@ -839,21 +920,54 @@ impl FlashDevice {
             ));
         }
         let mut last = 0u128;
-        for (completes_at, request, slots) in &self.outstanding {
+        let mut outstanding_ids = std::collections::HashSet::new();
+        let mut chained_entries = 0usize;
+        for (completes_at, request) in &self.outstanding {
             if *completes_at < last {
                 return Err(format!("command {request} completes out of order"));
             }
             last = *completes_at;
-            for slot in slots {
-                if let Some(entry) = self.entry(*slot) {
-                    if entry.completes_at.is_none() {
+            outstanding_ids.insert(*request);
+            if let Some(chain) = self.command_chains.get(request) {
+                for index in chain.indices(&self.entries, CMD_CHANNEL) {
+                    let entry = self.entries.value_at(index);
+                    if entry.command != Some(*request) {
                         return Err(format!(
-                            "{slot} of outstanding {request} is already at rest"
+                            "{} chained under {request} but tagged {:?}",
+                            entry.slot, entry.command
                         ));
                     }
+                    if entry.completes_at != Some(*completes_at) {
+                        return Err(format!(
+                            "{} of outstanding {request} is already at rest",
+                            entry.slot
+                        ));
+                    }
+                    chained_entries += 1;
                 }
             }
         }
+        for command in self.command_chains.keys() {
+            if !outstanding_ids.contains(command) {
+                return Err(format!("command chain for retired/unknown {command}"));
+            }
+        }
+        let in_flight_entries = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.completes_at.is_some())
+            .count();
+        if chained_entries != in_flight_entries {
+            return Err(format!(
+                "{in_flight_entries} in-flight entries but {chained_entries} chained to commands"
+            ));
+        }
+        for command in self.fault_tasks.commands_with_waiters() {
+            if !outstanding_ids.contains(&command) {
+                return Err(format!("fault tasks parked on retired/unknown {command}"));
+            }
+        }
+        self.fault_tasks.leak_check()?;
         Ok(())
     }
 
@@ -877,7 +991,12 @@ impl FlashDevice {
     /// validated the request and reserved capacity. Wear statistics are
     /// charged at submission: the bytes hit the cells whether or not the
     /// command has retired yet.
-    fn store_entry(&mut self, request: WriteRequest, completes_at: Option<u128>) -> SwapSlot {
+    fn store_entry(
+        &mut self,
+        request: WriteRequest,
+        completes_at: Option<u128>,
+        command: Option<IoRequestId>,
+    ) -> SwapSlot {
         let slot = SwapSlot(self.next_slot);
         self.next_slot += 1;
         self.used += Self::footprint(request.stored_bytes);
@@ -899,6 +1018,7 @@ impl FlashDevice {
             original_bytes: request.original_bytes,
             compressed: request.compressed,
             completes_at,
+            command,
         });
         self.slot_index.insert(slot, key);
         self.app_chains.entry(app).or_default().push_back(
@@ -906,6 +1026,13 @@ impl FlashDevice {
             APP_CHANNEL,
             key.index(),
         );
+        if let Some(command) = command {
+            self.command_chains.entry(command).or_default().push_back(
+                &mut self.entries,
+                CMD_CHANNEL,
+                key.index(),
+            );
+        }
         slot
     }
 
@@ -1100,6 +1227,63 @@ mod tests {
         // The command still retires harmlessly after the cancellation.
         flash.retire_completed(completes);
         assert_eq!(flash.in_flight_commands(), 0);
+        flash.leak_check().unwrap();
+    }
+
+    #[test]
+    fn fault_storm_on_one_command_charges_each_fault_its_own_stall() {
+        // One batch command carrying 8 pages, then a storm of faults against
+        // it while it is still in flight: every fault pays exactly the
+        // remaining time from *its own* fault instant, parks one lightweight
+        // task, and the command's retirement drains the whole batch at once.
+        let io = FlashIoConfig::ufs31().with_max_batch_pages(8);
+        let mut flash = FlashDevice::with_io(1 << 20, io);
+        let result = flash.submit_writes((0..8).map(|i| request(1, i)).collect(), 0);
+        assert_eq!(result.commands, 1);
+        let completes = flash.pending_completion(result.slots[0]).unwrap();
+        for (i, &slot) in result.slots.iter().enumerate() {
+            let now = 1_000 * (i as u128 + 1);
+            let fault = flash.fault_in(slot, now).unwrap();
+            assert!(fault.from_in_flight);
+            assert_eq!(fault.stall, CostNanos(completes - now), "fault {i}");
+            assert_eq!(flash.parked_fault_tasks(), i + 1);
+            flash.leak_check().unwrap();
+        }
+        assert_eq!(flash.stats().reads, 0, "in-flight faults never read");
+        // The retirement drains all 8 parked tasks in one batch — exactly
+        // once: a second retirement pass finds nothing left.
+        assert_eq!(flash.retire_completed(completes), 1);
+        assert_eq!(flash.parked_fault_tasks(), 0);
+        let stats = flash.fault_task_stats();
+        assert_eq!((stats.parked, stats.retired, stats.batches), (8, 8, 1));
+        assert_eq!(flash.retire_completed(completes + 1), 0);
+        assert_eq!(flash.fault_task_stats().retired, 8, "no double retirement");
+        flash.leak_check().unwrap();
+    }
+
+    #[test]
+    fn release_app_with_parked_fault_tasks_stays_leak_check_green() {
+        let io = FlashIoConfig::ufs31().with_max_batch_pages(2);
+        let mut flash = FlashDevice::with_io(1 << 20, io);
+        // Two commands for app 1, one for app 2.
+        let first = flash.submit_writes((0..4).map(|i| request(1, i)).collect(), 0);
+        let other = flash.submit_writes(vec![request(2, 9)], 0);
+        // A fault parks a waiter on app 1's first in-flight command...
+        let fault = flash.fault_in(first.slots[0], 5_000).unwrap();
+        assert!(fault.from_in_flight);
+        assert_eq!(flash.parked_fault_tasks(), 1);
+        flash.leak_check().unwrap();
+        // ...then the app dies mid-writeback with the waiter still parked.
+        let (slots_freed, pages_freed) = flash.release_app(AppId::new(1), 6_000);
+        assert_eq!((slots_freed, pages_freed), (3, 3));
+        assert_eq!(flash.parked_fault_tasks(), 1, "waiter survives the kill");
+        flash.leak_check().unwrap();
+        // The orphaned commands retire harmlessly and drain the waiter.
+        let last = flash.pending_completion(other.slots[0]).unwrap();
+        flash.retire_completed(last);
+        assert_eq!(flash.parked_fault_tasks(), 0);
+        assert_eq!(flash.in_flight_commands(), 0);
+        assert!(flash.contains(page(2, 9)), "app 2's data is untouched");
         flash.leak_check().unwrap();
     }
 

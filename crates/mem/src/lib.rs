@@ -12,6 +12,8 @@
 //! * [`zpool`] — the compressed-page pool ZRAM stores data in, with
 //!   sector-numbered 4 KiB blocks so swap-in locality can be studied;
 //! * [`flash`] — the UFS flash swap device, with wear accounting;
+//! * [`fault`] — the lightweight fault-task table that batches the
+//!   bookkeeping of faults on in-flight write commands;
 //! * [`timing`] — the simulated clock and the latency model for DRAM and
 //!   flash accesses;
 //! * [`cpu`] — CPU-time accounting split by activity (compression,
@@ -38,6 +40,7 @@
 pub mod cpu;
 pub mod dram;
 pub mod error;
+pub mod fault;
 pub mod flash;
 pub mod lru;
 pub mod page;
@@ -49,6 +52,7 @@ pub mod zpool;
 pub use cpu::{CpuActivity, CpuBreakdown};
 pub use dram::{MainMemory, Watermarks};
 pub use error::MemError;
+pub use fault::{FaultTask, FaultTaskStats, FaultTaskTable};
 pub use flash::{
     FaultIn, FlashDevice, FlashIoConfig, FlashIoMode, FlashStats, FlushResult, IoRequestId,
     SwapSlot, WriteRequest, ERASE_BLOCK_BYTES,

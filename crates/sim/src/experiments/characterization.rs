@@ -160,28 +160,42 @@ pub fn fig6(opts: &ExperimentOptions) -> Table {
     } else {
         ChunkSize::figure6_sweep()
     };
-    let mut scratch = Vec::new();
-    for algorithm in [Algorithm::Lz4, Algorithm::Lzo] {
-        for &chunk in &sweep {
-            // The size-only entry point skips building a CompressedImage:
-            // one reused per-chunk scratch buffer instead of an allocation
-            // per chunk (the 128 B sweep alone is ~80k chunks here).
-            let codec = ChunkedCodec::new(algorithm, chunk);
-            let lens = codec
-                .compressed_len_only(&corpus, &mut scratch)
-                .expect("compression cannot fail");
-            let ratio =
-                CompressionRatio::from_sizes(lens.original_len, lens.compressed_len).value();
-            let comp = model.compression_cost(algorithm, chunk, full_corpus_bytes);
-            let decomp = model.decompression_cost(algorithm, chunk, full_corpus_bytes);
-            table.push_row(vec![
-                algorithm.to_string(),
-                chunk.to_string(),
-                fmt_unit(comp.as_secs_f64(), "s"),
-                fmt_unit(decomp.as_secs_f64(), "s"),
-                fmt_unit(ratio, "x"),
-            ]);
+    // Every (algorithm × chunk) pair is an independent sweep point over the
+    // shared read-only corpus, so the pairs run on the work-stealing cell
+    // runner. Each worker thread reuses one scratch arena across all the
+    // points it claims (the 128 B sweep alone is ~80k chunks), and the
+    // size-only entry point skips building a CompressedImage. Rows merge in
+    // pair order, so the table is byte-identical to the serial sweep.
+    let pairs: Vec<(Algorithm, ChunkSize)> = [Algorithm::Lz4, Algorithm::Lzo]
+        .into_iter()
+        .flat_map(|algorithm| sweep.iter().map(move |&chunk| (algorithm, chunk)))
+        .collect();
+    let corpus = &corpus;
+    let model = &model;
+    let rows = super::runner::run_cells(pairs, |(algorithm, chunk)| {
+        thread_local! {
+            static SWEEP_SCRATCH: std::cell::RefCell<Vec<u8>> =
+                const { std::cell::RefCell::new(Vec::new()) };
         }
+        let lens = SWEEP_SCRATCH.with(|scratch| {
+            let codec = ChunkedCodec::new(algorithm, chunk);
+            codec
+                .compressed_len_only(corpus, &mut scratch.borrow_mut())
+                .expect("compression cannot fail")
+        });
+        let ratio = CompressionRatio::from_sizes(lens.original_len, lens.compressed_len).value();
+        let comp = model.compression_cost(algorithm, chunk, full_corpus_bytes);
+        let decomp = model.decompression_cost(algorithm, chunk, full_corpus_bytes);
+        vec![
+            algorithm.to_string(),
+            chunk.to_string(),
+            fmt_unit(comp.as_secs_f64(), "s"),
+            fmt_unit(decomp.as_secs_f64(), "s"),
+            fmt_unit(ratio, "x"),
+        ]
+    });
+    for row in rows {
+        table.push_row(row);
     }
     table
 }

@@ -20,7 +20,7 @@ use crate::report::{fmt_unit, Table};
 use crate::system::{MobileSystem, RelaunchKind, SimulationConfig};
 use ariadne_compress::ThermalConfig;
 use ariadne_trace::{AdversarialMix, DeviceClass, TimedScenario};
-use ariadne_zram::OracleHandle;
+use ariadne_zram::{CompressionOracle, OracleHandle};
 
 /// Wear-dependent latency inflation used by this experiment: each average
 /// erase-block cycle consumed makes flash commands 10 % slower (an
@@ -112,22 +112,29 @@ pub fn cell_config(
 #[must_use]
 pub fn grid(opts: &ExperimentOptions) -> Vec<LifetimeOutcome> {
     let hours = soak_hours(opts);
-    // One scenario and one oracle *per mix*: cells of the same mix compress
-    // identical page bytes (the incompressible mix poisons them), so the
-    // memoized outcomes are only shareable within a mix.
-    let scenarios: Vec<(AdversarialMix, TimedScenario, OracleHandle)> = AdversarialMix::ALL
+    // One scenario per mix, one oracle for the whole grid: every cell is
+    // built from the same `(seed, scale)`, and the oracle key's
+    // content-variant tag distinguishes poisoned from calibrated page bytes,
+    // so mixes that poison different apps share every calibrated result
+    // instead of re-compressing it four times. The entry cap scales with the
+    // mix count because this one cache now holds what per-mix oracles used
+    // to hold separately; the cap only bounds host memory — a memoized
+    // result is bit-identical however it is obtained.
+    let oracle =
+        if opts.oracle {
+            OracleHandle::new(CompressionOracle::new().with_max_entries(
+                AdversarialMix::ALL.len() * CompressionOracle::DEFAULT_MAX_ENTRIES,
+            ))
+        } else {
+            OracleHandle::enabled(false)
+        };
+    let scenarios: Vec<(AdversarialMix, TimedScenario)> = AdversarialMix::ALL
         .iter()
-        .map(|&mix| {
-            (
-                mix,
-                TimedScenario::lifetime(mix, hours),
-                OracleHandle::enabled(opts.oracle),
-            )
-        })
+        .map(|&mix| (mix, TimedScenario::lifetime(mix, hours)))
         .collect();
     let mut cells = Vec::new();
     for &device in &DeviceClass::ALL {
-        for (mix, scenario, oracle) in &scenarios {
+        for (mix, scenario) in &scenarios {
             for spec in evaluated_schemes() {
                 cells.push((device, *mix, scenario.clone(), oracle.clone(), spec));
             }

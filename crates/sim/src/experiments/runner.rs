@@ -3,16 +3,19 @@
 //! Experiment cells — a [`SchemeSpec`] × scenario pair, or a whole named
 //! experiment table — are independent simulations: each constructs its own
 //! [`MobileSystem`] from a seeded [`SimulationConfig`], so no state is
-//! shared between cells. The runner exploits that by spawning cells onto
-//! their own OS threads (there is no work stealing and no shared queue to
-//! introduce scheduling nondeterminism), **capped at the host's available
-//! parallelism**: cells are split into deterministic chunks of at most that
-//! many threads, each chunk is spawned and joined **in spawn order**, and
-//! only then does the next chunk start. The merge order is therefore a pure
-//! function of the input order — byte-identical to the serial path for the
-//! same `(seed, scale)` — while a 100-cell grid no longer spawns 100
-//! simultaneous OS threads. The determinism regression tests in
-//! `tests/determinism.rs` pin both properties.
+//! shared between cells. The runner is a **deterministic work-stealing
+//! pool**: at most [`max_parallel_cells`] worker threads claim cells from a
+//! shared atomic cursor and write each result into the output slot indexed
+//! by the cell's input position. Which worker runs which cell (and in what
+//! wall-clock order) is scheduling-dependent, but it cannot affect the
+//! output: cells share no state, every cell's result lands in its own
+//! pre-assigned slot, and the merge is a read-out in input order after all
+//! workers join — byte-identical to the serial path for the same
+//! `(seed, scale)`. Unlike the earlier chunked spawn-and-join design there
+//! is no barrier between chunks, so a single long-running cell (the
+//! `lifetime` grid's worst scheme × device × mix unit, for instance) no
+//! longer holds idle cores hostage. The determinism regression tests in
+//! `tests/determinism.rs` pin both the ordering and the thread cap.
 
 use super::ExperimentOptions;
 use crate::report::Table;
@@ -20,6 +23,8 @@ use crate::schemes::SchemeSpec;
 use crate::system::{MobileSystem, SimulationConfig};
 use ariadne_mem::CpuActivity;
 use ariadne_trace::TimedScenario;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// The cap on simultaneously live experiment threads: the host's available
 /// parallelism (falling back to 8 when the platform cannot report it —
@@ -32,35 +37,64 @@ pub fn max_parallel_cells() -> usize {
         .max(1)
 }
 
-/// Run `run` over every cell, at most [`max_parallel_cells`] threads at a
-/// time, and merge the results in input order (chunked spawn-order joins
-/// keep the merge deterministic). Panics in a cell propagate to the caller.
+/// Run `run` over every cell on a work-stealing pool of at most
+/// [`max_parallel_cells`] worker threads, and merge the results in input
+/// order. Workers claim cells through a shared atomic cursor, so no chunk
+/// barrier exists: the moment a worker finishes one cell it starts the next
+/// unclaimed one. Each result is written into the output slot of its input
+/// index, making the merged vector a pure function of the inputs regardless
+/// of which worker ran what. Panics in a cell propagate to the caller.
 pub fn run_cells<I, O, F>(cells: Vec<I>, run: F) -> Vec<O>
 where
     I: Send,
     O: Send,
     F: Fn(I) -> O + Sync,
 {
-    let cap = max_parallel_cells();
-    let mut outputs = Vec::with_capacity(cells.len());
-    let run = &run;
-    let mut remaining = cells.into_iter();
-    loop {
-        let chunk: Vec<I> = remaining.by_ref().take(cap).collect();
-        if chunk.is_empty() {
-            break;
-        }
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = chunk
-                .into_iter()
-                .map(|cell| scope.spawn(move || run(cell)))
-                .collect();
-            for handle in handles {
-                outputs.push(handle.join().expect("experiment cell panicked"));
-            }
-        });
+    let n = cells.len();
+    if n == 0 {
+        return Vec::new();
     }
+    let workers = max_parallel_cells().min(n);
+    if workers <= 1 {
+        return cells.into_iter().map(run).collect();
+    }
+    // Slot-per-cell storage. The mutexes are uncontended (each slot is
+    // touched by exactly one worker, once) — they exist to hand `Send` data
+    // across the scope without unsafe code.
+    let inputs: Vec<Mutex<Option<I>>> = cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let outputs: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let run = &run;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= n {
+                        break;
+                    }
+                    let cell = inputs[index]
+                        .lock()
+                        .expect("input slot lock")
+                        .take()
+                        .expect("cell claimed twice");
+                    let output = run(cell);
+                    *outputs[index].lock().expect("output slot lock") = Some(output);
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("experiment cell panicked");
+        }
+    });
     outputs
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("output slot lock")
+                .expect("every claimed cell produced an output")
+        })
+        .collect()
 }
 
 /// One cell of a scheme × scenario grid.

@@ -29,6 +29,7 @@ use ariadne_zram::{
     SchemeContext, SchemeStats, SwapScheme,
 };
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Simulated nanoseconds between successive deferred-work drain ticks.
 const DRAIN_TICK_NANOS: u128 = 1_000_000;
@@ -233,7 +234,9 @@ pub struct MobileSystem {
     clock: SimClock,
     scheme: Box<dyn SwapScheme>,
     kswapd: ReclaimController,
-    workloads: HashMap<AppName, AppWorkload>,
+    /// Shared (`Arc`) so event handlers can hold a workload across `&mut
+    /// self` scheme calls without deep-copying its page and trace vectors.
+    workloads: HashMap<AppName, Arc<AppWorkload>>,
     launched: HashSet<AppName>,
     measurements: Vec<RelaunchMeasurement>,
     baseline_cpu: CostNanos,
@@ -279,7 +282,10 @@ impl MobileSystem {
             clock: SimClock::new(),
             scheme,
             kswapd: ReclaimController::new(),
-            workloads: workload_list.into_iter().map(|w| (w.name, w)).collect(),
+            workloads: workload_list
+                .into_iter()
+                .map(|w| (w.name, Arc::new(w)))
+                .collect(),
             launched: HashSet::new(),
             measurements: Vec::new(),
             baseline_cpu: CostNanos::zero(),

@@ -37,10 +37,16 @@ use std::sync::{Arc, Mutex};
 /// Cache key: the exact page group plus the codec configuration. Two groups
 /// with the same pages in a different order are different keys (the
 /// concatenated bytes differ), which is exactly what correctness requires.
+///
+/// `variant` is the content-variant tag (see
+/// [`CompressionOracle::lookup`]): page bytes are a pure function of
+/// `(seed, page, profile variant)`, so two consultations of the same pages
+/// under different profile variants are different keys.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct OracleKey {
     algorithm: Algorithm,
     chunk_size: ChunkSize,
+    variant: u64,
     pages: Vec<PageId>,
 }
 
@@ -212,6 +218,7 @@ impl CompressionOracle {
             key_scratch: OracleKey {
                 algorithm: Algorithm::Lzo,
                 chunk_size: ChunkSize::k4(),
+                variant: 0,
                 pages: Vec::new(),
             },
             scratch: CodecScratch::default(),
@@ -275,22 +282,32 @@ impl CompressionOracle {
         self.stats
     }
 
-    /// Probe the cache for `(pages, algorithm, chunk_size)`. A hit updates
-    /// the LRU order and the hit/bytes-saved counters; a miss (or a disabled
-    /// oracle) returns `None` without touching anything, so callers can run
-    /// the codec **outside** the oracle lock and [`CompressionOracle::admit`]
-    /// the result afterwards.
+    /// Probe the cache for `(pages, algorithm, chunk_size, variant)`. A hit
+    /// updates the LRU order and the hit/bytes-saved counters; a miss (or a
+    /// disabled oracle) returns `None` without touching anything, so callers
+    /// can run the codec **outside** the oracle lock and
+    /// [`CompressionOracle::admit`] the result afterwards.
+    ///
+    /// `variant` distinguishes contents the `PageId` alone cannot: a page's
+    /// bytes are a pure function of `(seed, page)` *plus* whether its app
+    /// carries the adversarial incompressible profile. Callers that share an
+    /// oracle across configurations differing only in which apps are
+    /// poisoned (the adversarial-mix grid) encode those per-page flags here
+    /// so each content variant memoizes independently; callers with a single
+    /// configuration pass `0`.
     pub fn lookup(
         &mut self,
         pages: &[PageId],
         algorithm: Algorithm,
         chunk_size: ChunkSize,
+        variant: u64,
     ) -> Option<OracleOutcome> {
         if !self.enabled {
             return None;
         }
         self.key_scratch.algorithm = algorithm;
         self.key_scratch.chunk_size = chunk_size;
+        self.key_scratch.variant = variant;
         self.key_scratch.pages.clear();
         self.key_scratch.pages.extend_from_slice(pages);
         let slot = *self.index.get(&self.key_scratch)?;
@@ -332,6 +349,7 @@ impl CompressionOracle {
         pages: &[PageId],
         algorithm: Algorithm,
         chunk_size: ChunkSize,
+        variant: u64,
         lens: ariadne_compress::CompressedLen,
         image: Option<CompressedImage>,
     ) -> OracleOutcome {
@@ -347,6 +365,7 @@ impl CompressionOracle {
         self.stats.misses += 1;
         self.key_scratch.algorithm = algorithm;
         self.key_scratch.chunk_size = chunk_size;
+        self.key_scratch.variant = variant;
         self.key_scratch.pages.clear();
         self.key_scratch.pages.extend_from_slice(pages);
         if self.index.contains_key(&self.key_scratch) {
@@ -390,14 +409,14 @@ impl CompressionOracle {
         chunk_size: ChunkSize,
         fill: &mut dyn FnMut(PageId, &mut [u8; PAGE_SIZE]),
     ) -> OracleOutcome {
-        if let Some(hit) = self.lookup(pages, algorithm, chunk_size) {
+        if let Some(hit) = self.lookup(pages, algorithm, chunk_size, 0) {
             return hit;
         }
         let want_image = self.caches_payloads();
         let mut scratch = std::mem::take(&mut self.scratch);
         let (lens, image) = scratch.compress(pages, algorithm, chunk_size, want_image, fill);
         self.scratch = scratch;
-        self.admit(pages, algorithm, chunk_size, lens, image)
+        self.admit(pages, algorithm, chunk_size, 0, lens, image)
     }
 
     /// The cached compressed image for a group, if payload caching kept it.
@@ -407,10 +426,12 @@ impl CompressionOracle {
         pages: &[PageId],
         algorithm: Algorithm,
         chunk_size: ChunkSize,
+        variant: u64,
     ) -> Option<&CompressedImage> {
         let key = OracleKey {
             algorithm,
             chunk_size,
+            variant,
             pages: pages.to_vec(),
         };
         let slot = *self.index.get(&key)?;
@@ -550,18 +571,20 @@ impl OracleShards {
         self.caches_payloads
     }
 
-    /// The shard responsible for `(pages, algorithm, chunk_size)`: a pure
-    /// function of the key, computed without any lock.
+    /// The shard responsible for `(pages, algorithm, chunk_size, variant)`:
+    /// a pure function of the key, computed without any lock.
     #[must_use]
     pub fn shard(
         &self,
         pages: &[PageId],
         algorithm: Algorithm,
         chunk_size: ChunkSize,
+        variant: u64,
     ) -> &Mutex<CompressionOracle> {
         let mut hasher = FxHasher::default();
         algorithm.hash(&mut hasher);
         chunk_size.hash(&mut hasher);
+        variant.hash(&mut hasher);
         pages.hash(&mut hasher);
         let index = (hasher.finish() & self.mask) as usize;
         &self.shards[index]
@@ -751,7 +774,7 @@ mod tests {
         let mut oracle = CompressionOracle::new();
         let pages = [page(5), page(6)];
         assert!(oracle
-            .lookup(&pages, Algorithm::Lzo, ChunkSize::k4())
+            .lookup(&pages, Algorithm::Lzo, ChunkSize::k4(), 0)
             .is_none());
 
         // Compute outside the oracle (the two-phase context path) and admit.
@@ -759,7 +782,7 @@ mod tests {
         let (lens, image) =
             scratch.compress(&pages, Algorithm::Lzo, ChunkSize::k4(), false, &mut fill);
         assert!(image.is_none(), "payload caching is off by default");
-        let admitted = oracle.admit(&pages, Algorithm::Lzo, ChunkSize::k4(), lens, image);
+        let admitted = oracle.admit(&pages, Algorithm::Lzo, ChunkSize::k4(), 0, lens, image);
         assert!(!admitted.hit);
 
         // A concurrent duplicate compute admits the same key again: counted
@@ -767,11 +790,11 @@ mod tests {
         let (lens2, _) =
             scratch.compress(&pages, Algorithm::Lzo, ChunkSize::k4(), false, &mut fill);
         assert_eq!(lens, lens2, "duplicate computes are bit-identical");
-        oracle.admit(&pages, Algorithm::Lzo, ChunkSize::k4(), lens2, None);
+        oracle.admit(&pages, Algorithm::Lzo, ChunkSize::k4(), 0, lens2, None);
         assert_eq!(oracle.len(), 1);
         assert_eq!(oracle.stats().misses, 2);
         let hit = oracle
-            .lookup(&pages, Algorithm::Lzo, ChunkSize::k4())
+            .lookup(&pages, Algorithm::Lzo, ChunkSize::k4(), 0)
             .expect("admitted entry must hit");
         assert_eq!(hit.compressed_len, lens.compressed_len);
     }
@@ -782,7 +805,7 @@ mod tests {
         let pages = [page(1)];
         oracle.compress_pages(&pages, Algorithm::Lzo, ChunkSize::k4(), &mut fill);
         let image = oracle
-            .cached_image(&pages, Algorithm::Lzo, ChunkSize::k4())
+            .cached_image(&pages, Algorithm::Lzo, ChunkSize::k4(), 0)
             .expect("payload cached within budget")
             .clone();
         // The cached payload is the real compression of the real bytes.

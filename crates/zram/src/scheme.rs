@@ -244,12 +244,25 @@ impl MemoryPressure {
     }
 }
 
+/// [`SchemeContext::poison_flags`] value: calibrated content profile.
+const CALIBRATED: u8 = 0;
+/// [`SchemeContext::poison_flags`] value: adversarial incompressible profile.
+const POISONED: u8 = 1;
+/// [`SchemeContext::poison_flags`] value: app id outside the workload set.
+const NO_PROFILE: u8 = 2;
+
 /// Read-only context handed to schemes: page contents, application profiles,
 /// the latency models and the shared [`CompressionOracle`].
 #[derive(Debug, Clone)]
 pub struct SchemeContext {
     data: PageDataGenerator,
     profiles: HashMap<AppId, AppProfile>,
+    /// `poison_flags[app id]` — [`POISONED`] when the app carries the
+    /// adversarial incompressible profile, [`CALIBRATED`] when calibrated,
+    /// [`NO_PROFILE`] when the id is outside the workload set. Dense so the
+    /// per-consultation content-variant tag costs an array index per page
+    /// instead of a hash probe (the oracle hit path runs millions of times).
+    poison_flags: Vec<u8>,
     /// The memoized, sharded compression oracle shared by every consumer of
     /// this context (clones share the same cache).
     oracle: Arc<OracleShards>,
@@ -271,9 +284,23 @@ impl SchemeContext {
     /// Build a context for the given workloads (oracle enabled).
     #[must_use]
     pub fn new(seed: u64, workloads: &[AppWorkload]) -> Self {
+        let max_id = workloads
+            .iter()
+            .map(|w| w.app.value() as usize)
+            .max()
+            .unwrap_or(0);
+        let mut poison_flags = vec![NO_PROFILE; max_id + 1];
+        for w in workloads {
+            poison_flags[w.app.value() as usize] = if w.profile.media_weight >= 1.0 {
+                POISONED
+            } else {
+                CALIBRATED
+            };
+        }
         SchemeContext {
             data: PageDataGenerator::new(seed),
             profiles: workloads.iter().map(|w| (w.app, w.profile)).collect(),
+            poison_flags,
             oracle: Arc::new(OracleShards::new(
                 CompressionOracle::new(),
                 OracleShards::DEFAULT_SHARDS,
@@ -439,10 +466,11 @@ impl SchemeContext {
         // cold caches), then admit the result. Two threads may compute the
         // same key concurrently; the results are bit-identical by
         // construction and `admit` keeps the first.
-        let shard = self.oracle.shard(pages, algorithm, chunk_size);
+        let variant = self.content_variant(pages);
+        let shard = self.oracle.shard(pages, algorithm, chunk_size, variant);
         let want_image = {
             let mut oracle = shard.lock().expect("oracle lock poisoned");
-            if let Some(hit) = oracle.lookup(pages, algorithm, chunk_size) {
+            if let Some(hit) = oracle.lookup(pages, algorithm, chunk_size, variant) {
                 return hit;
             }
             oracle.caches_payloads()
@@ -459,7 +487,37 @@ impl SchemeContext {
         shard
             .lock()
             .expect("oracle lock poisoned")
-            .admit(pages, algorithm, chunk_size, lens, image)
+            .admit(pages, algorithm, chunk_size, variant, lens, image)
+    }
+
+    /// The content-variant tag of a page group: one bit per page, set when
+    /// the page's app carries the adversarial incompressible profile. A
+    /// page's bytes are a pure function of `(seed, page, that flag)`, so the
+    /// tag makes oracle keys exact across contexts that share an oracle but
+    /// poison different apps (the adversarial-mix grid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a page belongs to an application that was not part of the
+    /// workloads this context was built from.
+    #[must_use]
+    fn content_variant(&self, pages: &[PageId]) -> u64 {
+        debug_assert!(pages.len() <= 64, "group exceeds the variant bitmask");
+        let mut variant = 0u64;
+        for (index, page) in pages.iter().enumerate() {
+            let flag = self
+                .poison_flags
+                .get(page.app().value() as usize)
+                .copied()
+                .unwrap_or(NO_PROFILE);
+            assert!(
+                flag != NO_PROFILE,
+                "no profile registered for {}",
+                page.app()
+            );
+            variant |= u64::from(flag) << (index & 63);
+        }
+        variant
     }
 
     /// Lifetime counters of the shared oracle.
@@ -486,11 +544,12 @@ impl SchemeContext {
         algorithm: Algorithm,
         chunk_size: ChunkSize,
     ) -> Option<ariadne_compress::CompressedImage> {
+        let variant = self.content_variant(pages);
         self.oracle
-            .shard(pages, algorithm, chunk_size)
+            .shard(pages, algorithm, chunk_size, variant)
             .lock()
             .expect("oracle lock poisoned")
-            .cached_image(pages, algorithm, chunk_size)
+            .cached_image(pages, algorithm, chunk_size, variant)
             .cloned()
     }
 

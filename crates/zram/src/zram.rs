@@ -40,6 +40,9 @@ pub struct ZramScheme {
     lru: LruList<PageId>,
     foreground: Option<AppId>,
     stats: SchemeStats,
+    /// Reusable buffer for foreground pages popped and reinserted during a
+    /// victim scan, so the per-page `make_room` loop never allocates.
+    pick_scratch: Vec<PageId>,
 }
 
 impl ZramScheme {
@@ -53,6 +56,7 @@ impl ZramScheme {
             lru: LruList::new(),
             foreground: None,
             stats: SchemeStats::default(),
+            pick_scratch: Vec::new(),
             config,
         }
     }
@@ -147,7 +151,7 @@ impl ZramScheme {
     /// other victims exist.
     fn pick_victims(&mut self, count: usize) -> Vec<PageId> {
         let mut victims = Vec::with_capacity(count);
-        let mut skipped = Vec::new();
+        let mut skipped = std::mem::take(&mut self.pick_scratch);
         while victims.len() < count {
             match self.lru.pop_lru() {
                 None => break,
@@ -160,10 +164,36 @@ impl ZramScheme {
                 }
             }
         }
-        for page in skipped {
+        for page in skipped.drain(..) {
             self.lru.insert_lru(page);
         }
+        self.pick_scratch = skipped;
         victims
+    }
+
+    /// Single-victim fast path for the per-page `make_room` loop: the same
+    /// pop/skip/reinsert sequence as `pick_victims(1)`, without building the
+    /// one-element vector.
+    fn pick_one_victim(&mut self) -> Option<PageId> {
+        let mut victim = None;
+        let mut skipped = std::mem::take(&mut self.pick_scratch);
+        while victim.is_none() {
+            match self.lru.pop_lru() {
+                None => break,
+                Some(page) => {
+                    if Some(page.app()) == self.foreground && !self.lru.is_empty() {
+                        skipped.push(page);
+                    } else {
+                        victim = Some(page);
+                    }
+                }
+            }
+        }
+        for page in skipped.drain(..) {
+            self.lru.insert_lru(page);
+        }
+        self.pick_scratch = skipped;
+        victim
     }
 
     /// Ensure one more page fits in DRAM, compressing victims synchronously
@@ -171,15 +201,12 @@ impl ZramScheme {
     fn make_room(&mut self, clock: &mut SimClock, ctx: &SchemeContext) -> CostNanos {
         let mut latency = CostNanos::zero();
         while self.dram.free_bytes() < PAGE_SIZE {
-            let victims = self.pick_victims(1);
-            if victims.is_empty() {
+            let Some(page) = self.pick_one_victim() else {
                 break;
-            }
-            for page in victims {
-                let cost = self.compress_page(page, clock, ctx);
-                latency += cost;
-                clock.advance(cost);
-            }
+            };
+            let cost = self.compress_page(page, clock, ctx);
+            latency += cost;
+            clock.advance(cost);
         }
         latency
     }
