@@ -191,10 +191,59 @@ fn compression_kernels(c: &mut Criterion) {
     }
 }
 
+/// The observability primitives that sit on simulation hot paths: a counter
+/// increment and a histogram record through an enabled registry handle, and
+/// — most importantly — the disabled-sink dispatch, which is the price every
+/// *uninstrumented* run pays at each emission site. The disabled costs must
+/// stay at a branch-on-none, or observability would tax the default runs it
+/// promises not to perturb.
+fn obs_primitives(c: &mut Criterion) {
+    use ariadne_obs::{metrics::names, MetricsHandle, TraceEventKind, TraceHandle};
+
+    let enabled = MetricsHandle::new_registry();
+    c.bench_function("obs_counter_increment", |b| {
+        b.iter(|| enabled.count(names::FAULTS, 1))
+    });
+    let mut value = 0u64;
+    c.bench_function("obs_histogram_record", |b| {
+        b.iter(|| {
+            value = value
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            enabled.record(names::RELAUNCH_WARM_MICROS, value >> 32);
+        })
+    });
+
+    let disabled_metrics = MetricsHandle::disabled();
+    c.bench_function("obs_disabled_counter_dispatch", |b| {
+        b.iter(|| disabled_metrics.count(names::FAULTS, 1))
+    });
+    let disabled_trace = TraceHandle::disabled();
+    c.bench_function("obs_disabled_trace_dispatch", |b| {
+        b.iter(|| {
+            // The closure must never run on a disabled handle; Criterion
+            // times the bare branch.
+            disabled_trace.emit(0, || TraceEventKind::Kill {
+                app: "youtube".to_string(),
+                app_uid: 1,
+            });
+        })
+    });
+    let (tracing, _buffer) = TraceHandle::ring(1 << 12);
+    c.bench_function("obs_ring_trace_emit", |b| {
+        b.iter(|| {
+            tracing.emit(0, || TraceEventKind::Compress {
+                bytes: 4096,
+                cost_nanos: 1_000,
+            });
+        })
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = zpool_store_fault_release, flash_store_fault_release, oracle_lookup_admit,
-        compression_kernels
+        compression_kernels, obs_primitives
 }
 criterion_main!(benches);

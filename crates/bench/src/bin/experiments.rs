@@ -3,7 +3,8 @@
 //! ```text
 //! experiments [--quick] [--scale N] [--seed N] [--json] [--serial] [--list]
 //!             [--no-oracle] [--thermal-off] [--bench-json PATH]
-//!             [--bench-compare BASELINE] [EXPERIMENT ...]
+//!             [--bench-compare BASELINE] [--trace-out PATH]
+//!             [--metrics-json PATH] [EXPERIMENT ... | status]
 //! ```
 //!
 //! With no experiment names, all experiments run in paper order.
@@ -27,9 +28,19 @@
 //! everything except `lifetime` (whose default is the sustained-load
 //! model) output is byte-identical to a default run — CI diffs the two
 //! JSON documents to pin that.
+//!
+//! Observability (see `ariadne-obs`): `--trace-out PATH` attaches a trace
+//! ring to every simulated system and writes a Chrome `trace_event`
+//! document loadable in Perfetto (`.jsonl` extension switches to
+//! line-delimited JSON); `--metrics-json PATH` writes the counter and
+//! histogram registry. Both force a serial run so event order is
+//! deterministic; experiment output stays byte-identical either way
+//! (pinned by the `obs_identity` suite). `experiments status` prints a
+//! one-shot device health report instead of running the catalog.
 
-use ariadne_bench::perf::{self, BenchCell, BenchReport};
-use ariadne_sim::experiments::{catalog, runner, ExperimentOptions};
+use ariadne_bench::perf::{self, BenchCell, BenchMeta, BenchReport, PhaseMillis};
+use ariadne_obs::{profile, MetricsHandle, Phase, TraceHandle};
+use ariadne_sim::experiments::{catalog, runner, status, ExperimentOptions};
 use ariadne_sim::report::json_string;
 use std::process::ExitCode;
 
@@ -40,6 +51,8 @@ struct OutputOptions {
     list: bool,
     bench_json: Option<String>,
     bench_compare: Option<String>,
+    trace_out: Option<String>,
+    metrics_json: Option<String>,
 }
 
 fn parse_args() -> Result<(ExperimentOptions, OutputOptions, Vec<String>), String> {
@@ -81,11 +94,18 @@ fn parse_args() -> Result<(ExperimentOptions, OutputOptions, Vec<String>), Strin
                 output.bench_compare =
                     Some(args.next().ok_or("--bench-compare needs a baseline path")?);
             }
+            "--trace-out" => {
+                output.trace_out = Some(args.next().ok_or("--trace-out needs a path")?);
+            }
+            "--metrics-json" => {
+                output.metrics_json = Some(args.next().ok_or("--metrics-json needs a path")?);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--quick] [--scale N] [--seed N] [--json] [--serial] \
                      [--list] [--no-oracle] [--thermal-off] [--bench-json PATH] \
-                     [--bench-compare BASELINE] [EXPERIMENT ...]"
+                     [--bench-compare BASELINE] [--trace-out PATH] [--metrics-json PATH] \
+                     [EXPERIMENT ... | status]"
                 );
                 std::process::exit(0);
             }
@@ -133,33 +153,77 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if names.first().map(String::as_str) == Some("status") {
+        print!("{}", status::status(&opts));
+        return ExitCode::SUCCESS;
+    }
+
     let selected: Vec<String> = if names.is_empty() {
         catalog().iter().map(|(n, _)| (*n).to_string()).collect()
     } else {
         names
     };
 
+    // Observability sinks: installed as the process-ambient handles so
+    // every `MobileSystem` any experiment builds picks them up.
+    let observing = output.trace_out.is_some() || output.metrics_json.is_some();
+    let mut trace_buffer = None;
+    let metrics_handle = if output.metrics_json.is_some() {
+        MetricsHandle::new_registry()
+    } else {
+        MetricsHandle::disabled()
+    };
+    if observing {
+        let trace_handle = if output.trace_out.is_some() {
+            let (handle, buffer) = TraceHandle::ring(ariadne_obs::trace::DEFAULT_RING_CAPACITY);
+            trace_buffer = Some(buffer);
+            handle
+        } else {
+            TraceHandle::disabled()
+        };
+        ariadne_obs::install_ambient(trace_handle, metrics_handle.clone());
+    }
+
     // The perf harness forces a serial run so each cell's wall-clock is its
     // own (parallel neighbours would otherwise share the cores).
     let mut bench_cells: Vec<BenchCell> = Vec::new();
     let results: Vec<(String, Option<ariadne_sim::Table>)> = if output.bench_json.is_some() {
+        profile::enable(true);
         selected
             .iter()
             .map(|name| {
+                profile::reset();
                 let (table, timing) =
                     perf::time_cell_stable(|| ariadne_sim::experiments::run_by_name(name, &opts));
+                // The profiler accumulated across every sample iteration;
+                // report the per-iteration share next to the mean.
+                let breakdown = profile::snapshot();
+                let per_iter = f64::from(timing.samples.max(1));
+                let codec = breakdown.millis(Phase::Codec) / per_iter;
+                let zpool = breakdown.millis(Phase::Zpool) / per_iter;
+                let io = breakdown.millis(Phase::Io) / per_iter;
+                let queue = breakdown.millis(Phase::Queue) / per_iter;
                 if table.is_some() {
                     bench_cells.push(BenchCell {
                         name: name.clone(),
                         millis: timing.mean,
                         min: Some(timing.min),
                         stddev: Some(timing.stddev),
+                        phases: Some(PhaseMillis {
+                            codec,
+                            zpool,
+                            io,
+                            queue,
+                            other: (timing.mean - codec - zpool - io - queue).max(0.0),
+                        }),
                     });
                 }
                 (name.clone(), table)
             })
             .collect()
-    } else if output.serial {
+    } else if output.serial || observing {
+        // Observed runs are forced serial too: the trace ring is shared, so
+        // parallel cells would interleave events nondeterministically.
         selected
             .iter()
             .map(|name| {
@@ -216,12 +280,41 @@ fn main() -> ExitCode {
             }
         }
     }
+    if let Some(path) = &output.trace_out {
+        let buffer = trace_buffer.expect("--trace-out installed a ring");
+        let buffer = buffer.lock().expect("trace ring lock");
+        let document = if path.ends_with(".jsonl") {
+            buffer.to_jsonl()
+        } else {
+            buffer.to_chrome_trace_json()
+        };
+        if let Err(error) = std::fs::write(path, document) {
+            eprintln!("error: cannot write {path}: {error}");
+            failures += 1;
+        } else {
+            eprintln!(
+                "trace: {} events ({} dropped), written to {path}",
+                buffer.len(),
+                buffer.dropped()
+            );
+        }
+    }
+    if let Some(path) = &output.metrics_json {
+        let registry = metrics_handle.snapshot().unwrap_or_default();
+        if let Err(error) = std::fs::write(path, registry.to_json()) {
+            eprintln!("error: cannot write {path}: {error}");
+            failures += 1;
+        } else {
+            eprintln!("metrics: written to {path}");
+        }
+    }
     if let Some(path) = &output.bench_json {
         let report = BenchReport {
             seed: opts.seed,
             scale: opts.scale,
             mode: if opts.quick { "quick" } else { "full" }.to_string(),
             oracle: opts.oracle,
+            meta: Some(BenchMeta::capture()),
             cells: bench_cells,
         };
         if let Err(error) = std::fs::write(path, report.to_json()) {

@@ -37,6 +37,75 @@ pub struct BenchCell {
     /// Population standard deviation across the iterations, in
     /// milliseconds; 0 for single-sample cells. `None` in old reports.
     pub stddev: Option<f64>,
+    /// Where the cell's wall-clock went, attributed by the self-profiler
+    /// (see [`ariadne_obs::profile`]). `None` in reports written before
+    /// the profiler existed (BENCH_PR8 and earlier).
+    pub phases: Option<PhaseMillis>,
+}
+
+/// Host wall-clock attribution of one cell across simulator phases, in
+/// milliseconds. `other` is the remainder of the cell's total after the
+/// instrumented phases — event dispatch glue, ledger bookkeeping, table
+/// rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseMillis {
+    /// Compression/decompression codec work (cost charging included).
+    pub codec: f64,
+    /// Zpool slab and LRU bookkeeping.
+    pub zpool: f64,
+    /// Flash I/O model (submission, retirement, fault-in).
+    pub io: f64,
+    /// Event-queue pushes and pops.
+    pub queue: f64,
+    /// Everything the profiler did not attribute.
+    pub other: f64,
+}
+
+/// Provenance of one `BENCH_*.json` document: enough to tell whose machine
+/// the wall-clock numbers came from. `None` when parsing reports recorded
+/// before the field existed (BENCH_PR8 and earlier).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchMeta {
+    /// `git describe --always --dirty` of the tree that ran (or `unknown`).
+    pub commit: String,
+    /// Hostname of the recording machine (or `unknown`).
+    pub host: String,
+    /// Logical cores available to the run.
+    pub cores: usize,
+}
+
+impl BenchMeta {
+    /// Capture the current machine's provenance. Never fails: fields that
+    /// cannot be determined read `unknown`.
+    #[must_use]
+    pub fn capture() -> Self {
+        let commit = std::process::Command::new("git")
+            .args(["describe", "--always", "--dirty"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string());
+        let host = std::env::var("HOSTNAME")
+            .ok()
+            .filter(|s| !s.is_empty())
+            .or_else(|| {
+                std::process::Command::new("hostname")
+                    .output()
+                    .ok()
+                    .filter(|o| o.status.success())
+                    .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+                    .filter(|s| !s.is_empty())
+            })
+            .unwrap_or_else(|| "unknown".to_string());
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        BenchMeta {
+            commit,
+            host,
+            cores,
+        }
+    }
 }
 
 /// The timing distribution [`time_cell_stable`] measured for one cell.
@@ -63,6 +132,8 @@ pub struct BenchReport {
     pub mode: String,
     /// Whether the memoized compression oracle was active.
     pub oracle: bool,
+    /// Which machine and tree recorded the run. `None` in old reports.
+    pub meta: Option<BenchMeta>,
     /// Per-cell wall-clock, in run order.
     pub cells: Vec<BenchCell>,
 }
@@ -83,12 +154,23 @@ impl BenchReport {
     /// Serialize to the `BENCH_*.json` format (deterministic key order).
     #[must_use]
     pub fn to_json(&self) -> String {
+        let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
         let mut out = String::new();
         let _ = write!(
             out,
-            "{{\"seed\":{},\"scale\":{},\"mode\":\"{}\",\"oracle\":{},\"cells\":[",
+            "{{\"seed\":{},\"scale\":{},\"mode\":\"{}\",\"oracle\":{}",
             self.seed, self.scale, self.mode, self.oracle
         );
+        if let Some(meta) = &self.meta {
+            let _ = write!(
+                out,
+                ",\"meta\":{{\"commit\":\"{}\",\"host\":\"{}\",\"cores\":{}}}",
+                escape(&meta.commit),
+                escape(&meta.host),
+                meta.cores
+            );
+        }
+        out.push_str(",\"cells\":[");
         for (i, cell) in self.cells.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -104,40 +186,50 @@ impl BenchReport {
             if let Some(stddev) = cell.stddev {
                 let _ = write!(out, ",\"stddev\":{stddev:.3}");
             }
+            if let Some(phases) = cell.phases {
+                let _ = write!(
+                    out,
+                    ",\"phases\":{{\"codec\":{:.3},\"zpool\":{:.3},\"io\":{:.3},\
+                     \"queue\":{:.3},\"other\":{:.3}}}",
+                    phases.codec, phases.zpool, phases.io, phases.queue, phases.other
+                );
+            }
             out.push('}');
         }
         out.push_str("]}\n");
         out
     }
 
-    /// Parse a `BENCH_*.json` document produced by [`BenchReport::to_json`].
+    /// Parse a `BENCH_*.json` document produced by [`BenchReport::to_json`]
+    /// — any vintage of it. Reports recorded before `meta` and per-cell
+    /// `phases` existed (BENCH_PR8 and earlier, including the pre-`min`
+    /// BENCH_PR5–PR7 shape) parse with those fields as `None`.
     ///
     /// # Errors
     ///
     /// Returns a description of the first malformed field.
     pub fn from_json(text: &str) -> Result<Self, String> {
-        let field = |key: &str| -> Result<String, String> {
-            let marker = format!("\"{key}\":");
-            let start = text
-                .find(&marker)
-                .ok_or_else(|| format!("missing field `{key}`"))?
-                + marker.len();
-            let rest = &text[start..];
-            let end = rest
-                .find([',', '}'])
-                .ok_or_else(|| format!("unterminated field `{key}`"))?;
-            Ok(rest[..end].trim().trim_matches('"').to_string())
-        };
-        let seed = field("seed")?
+        let seed = scalar_field(text, "seed")?
             .parse::<u64>()
             .map_err(|e| format!("bad seed: {e}"))?;
-        let scale = field("scale")?
+        let scale = scalar_field(text, "scale")?
             .parse::<usize>()
             .map_err(|e| format!("bad scale: {e}"))?;
-        let mode = field("mode")?;
-        let oracle = field("oracle")?
+        let mode = scalar_field(text, "mode")?;
+        let oracle = scalar_field(text, "oracle")?
             .parse::<bool>()
             .map_err(|e| format!("bad oracle flag: {e}"))?;
+
+        let meta = match object_field(text, "meta")? {
+            Some(obj) => Some(BenchMeta {
+                commit: scalar_field(obj, "commit")?,
+                host: scalar_field(obj, "host")?,
+                cores: scalar_field(obj, "cores")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad cores: {e}"))?,
+            }),
+            None => None,
+        };
 
         let cells_key = text
             .find("\"cells\":")
@@ -149,25 +241,12 @@ impl BenchReport {
         let mut cells = Vec::new();
         let mut rest = &text[cells_at + 1..];
         while let Some(obj_start) = rest.find('{') {
-            let obj_end = rest[obj_start..]
-                .find('}')
-                .ok_or_else(|| "unterminated cell object".to_string())?
-                + obj_start;
+            let obj_end = matching_brace(rest, obj_start)?;
             let obj = &rest[obj_start..=obj_end];
-            let take = |key: &str| -> Result<String, String> {
-                let marker = format!("\"{key}\":");
-                let at = obj
-                    .find(&marker)
-                    .ok_or_else(|| format!("cell missing `{key}` in `{obj}`"))?
-                    + marker.len();
-                let tail = &obj[at..];
-                let end = tail.find([',', '}']).unwrap_or(tail.len());
-                Ok(tail[..end].trim().trim_matches('"').to_string())
-            };
             // `min`/`stddev` are optional: reports recorded before the
             // fields existed (BENCH_PR7 and earlier) parse as `None`.
             let optional = |key: &str| -> Result<Option<f64>, String> {
-                match take(key) {
+                match scalar_field(obj, key) {
                     Ok(text) => text
                         .parse::<f64>()
                         .map(Some)
@@ -175,13 +254,31 @@ impl BenchReport {
                     Err(_) => Ok(None),
                 }
             };
+            let phases = match object_field(obj, "phases")? {
+                Some(ph) => {
+                    let part = |key: &str| -> Result<f64, String> {
+                        scalar_field(ph, key)?
+                            .parse::<f64>()
+                            .map_err(|e| format!("bad phase {key}: {e}"))
+                    };
+                    Some(PhaseMillis {
+                        codec: part("codec")?,
+                        zpool: part("zpool")?,
+                        io: part("io")?,
+                        queue: part("queue")?,
+                        other: part("other")?,
+                    })
+                }
+                None => None,
+            };
             cells.push(BenchCell {
-                name: take("name")?,
-                millis: take("millis")?
+                name: scalar_field(obj, "name")?,
+                millis: scalar_field(obj, "millis")?
                     .parse::<f64>()
                     .map_err(|e| format!("bad millis: {e}"))?,
                 min: optional("min")?,
                 stddev: optional("stddev")?,
+                phases,
             });
             rest = &rest[obj_end + 1..];
         }
@@ -190,9 +287,76 @@ impl BenchReport {
             scale,
             mode,
             oracle,
+            meta,
             cells,
         })
     }
+}
+
+/// Extract the scalar value of `"key":` from `text`: the run of characters
+/// up to the next `,`, `}` or `]`, unquoted and trimmed. Scalar values
+/// never contain those characters in this format, and every scalar key is
+/// unique within the region it is searched in.
+fn scalar_field(text: &str, key: &str) -> Result<String, String> {
+    let marker = format!("\"{key}\":");
+    let start = text
+        .find(&marker)
+        .ok_or_else(|| format!("missing field `{key}`"))?
+        + marker.len();
+    let rest = &text[start..];
+    let end = rest
+        .find([',', '}', ']'])
+        .ok_or_else(|| format!("unterminated field `{key}`"))?;
+    Ok(rest[..end].trim().trim_matches('"').to_string())
+}
+
+/// Extract the `{...}` object value of `"key":` from `text`, nested braces
+/// included. `Ok(None)` when the key is absent (old reports).
+fn object_field<'a>(text: &'a str, key: &str) -> Result<Option<&'a str>, String> {
+    let marker = format!("\"{key}\":");
+    let Some(at) = text.find(&marker) else {
+        return Ok(None);
+    };
+    let open = at
+        + marker.len()
+        + text[at + marker.len()..]
+            .find('{')
+            .ok_or_else(|| format!("field `{key}` is not an object"))?;
+    let close = matching_brace(text, open)?;
+    Ok(Some(&text[open..=close]))
+}
+
+/// Index of the `}` matching the `{` at byte `open`, skipping string
+/// literals (escapes included).
+fn matching_brace(text: &str, open: usize) -> Result<usize, String> {
+    let bytes = text.as_bytes();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_string = true,
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    Err("unterminated object".to_string())
 }
 
 /// Time one closure, returning `(its result, wall-clock milliseconds)`.
@@ -328,18 +492,21 @@ mod tests {
             scale: 256,
             mode: "quick".to_string(),
             oracle: true,
+            meta: None,
             cells: vec![
                 BenchCell {
                     name: "fig10".to_string(),
                     millis: 123.456,
                     min: None,
                     stddev: None,
+                    phases: None,
                 },
                 BenchCell {
                     name: "lifecycle".to_string(),
                     millis: 42.0,
                     min: None,
                     stddev: None,
+                    phases: None,
                 },
             ],
         }
@@ -368,6 +535,65 @@ mod tests {
         // report recorded before the fields existed.
         assert_eq!(parsed.cells[1].min, None);
         assert_eq!(parsed.cells[1].stddev, None);
+    }
+
+    #[test]
+    fn meta_and_phases_round_trip() {
+        let mut original = report();
+        original.meta = Some(BenchMeta {
+            commit: "939b36c-dirty".to_string(),
+            host: "build-box".to_string(),
+            cores: 16,
+        });
+        original.cells[0].phases = Some(PhaseMillis {
+            codec: 60.25,
+            zpool: 20.5,
+            io: 10.125,
+            queue: 2.75,
+            other: 29.831,
+        });
+        let text = original.to_json();
+        assert!(text.contains("\"meta\":{\"commit\":\"939b36c-dirty\""));
+        assert!(text.contains("\"phases\":{\"codec\":60.250"));
+        let parsed = BenchReport::from_json(&text).unwrap();
+        assert_eq!(parsed, original);
+        // The second cell carried no breakdown: parses back as `None`.
+        assert_eq!(parsed.cells[1].phases, None);
+    }
+
+    #[test]
+    fn captured_meta_has_no_empty_fields() {
+        let meta = BenchMeta::capture();
+        assert!(!meta.commit.is_empty());
+        assert!(!meta.host.is_empty());
+        assert!(meta.cores >= 1);
+    }
+
+    #[test]
+    fn reports_from_previous_prs_parse_with_the_new_fields_absent() {
+        // The exact shapes committed as BENCH_PR5.json (no min/stddev) and
+        // BENCH_PR8.json (min/stddev, no meta/phases): both vintages must
+        // keep parsing so `--bench-compare` works against any baseline.
+        let pr5 = "{\"seed\":7,\"scale\":256,\"mode\":\"quick\",\"oracle\":true,\
+                   \"cells\":[{\"name\":\"fig10\",\"millis\":123.456}]}\n";
+        let parsed = BenchReport::from_json(pr5).unwrap();
+        assert_eq!(parsed.meta, None);
+        assert_eq!(parsed.cells[0].min, None);
+        assert_eq!(parsed.cells[0].phases, None);
+        let pr8 = "{\"seed\":7,\"scale\":256,\"mode\":\"quick\",\"oracle\":true,\
+                   \"cells\":[{\"name\":\"fig10\",\"millis\":123.456,\
+                   \"min\":120.000,\"stddev\":2.000}]}\n";
+        let parsed = BenchReport::from_json(pr8).unwrap();
+        assert_eq!(parsed.meta, None);
+        assert_eq!(parsed.cells[0].min, Some(120.0));
+        assert_eq!(parsed.cells[0].phases, None);
+        // And a new-format report downgrades cleanly for an old cell mix.
+        let new = BenchReport {
+            meta: Some(BenchMeta::default()),
+            ..parsed
+        };
+        let reparsed = BenchReport::from_json(&new.to_json()).unwrap();
+        assert_eq!(reparsed, new);
     }
 
     #[test]
@@ -400,6 +626,7 @@ mod tests {
             millis: 9999.0, // no baseline: ignored
             min: None,
             stddev: None,
+            phases: None,
         });
         let messages = regressions(&current, &baseline, DEFAULT_REGRESSION_FACTOR);
         assert_eq!(messages.len(), 1);
@@ -452,6 +679,7 @@ mod tests {
                 millis: 0.2,
                 min: None,
                 stddev: None,
+                phases: None,
             }],
             ..report()
         };
@@ -461,6 +689,7 @@ mod tests {
                 millis: 0.9, // 4.5x but under the 1 ms floor
                 min: None,
                 stddev: None,
+                phases: None,
             }],
             ..report()
         };

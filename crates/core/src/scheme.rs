@@ -409,6 +409,10 @@ impl SwapScheme for AriadneScheme {
         self.config.scheme_name()
     }
 
+    fn attach_trace(&mut self, trace: &ariadne_obs::TraceHandle) {
+        self.flash.set_trace(trace);
+    }
+
     fn register_page(&mut self, page: PageId, clock: &mut SimClock, ctx: &SchemeContext) {
         if self.dram.contains(page) {
             return;

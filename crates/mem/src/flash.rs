@@ -378,6 +378,10 @@ pub struct FlashDevice {
     /// Physical pages programmed over the device lifetime (drives the
     /// round-robin block cursor; never decremented — wear is permanent).
     physical_pages_written: usize,
+    /// Structured-event sink for writeback submit/complete (disabled by
+    /// default — one branch; see `ariadne-obs`). Observation never perturbs
+    /// the device: the handle only ever receives copies of values.
+    trace: ariadne_obs::TraceHandle,
 }
 
 /// Bytes per simulated flash erase block (a typical 256 KiB block).
@@ -408,6 +412,12 @@ impl FlashDevice {
     #[must_use]
     pub fn io(&self) -> FlashIoConfig {
         self.io
+    }
+
+    /// Attach a trace sink: writeback submissions and completions are
+    /// emitted through it (disabled handles cost one branch per call).
+    pub fn set_trace(&mut self, trace: &ariadne_obs::TraceHandle) {
+        self.trace = trace.clone();
     }
 
     /// Configured swap-area capacity.
@@ -558,21 +568,37 @@ impl FlashDevice {
     /// time, so a relaunch storm's worth of faults adds nothing to the
     /// retirement cost.
     pub fn retire_completed(&mut self, now_nanos: u128) -> usize {
+        let _io = ariadne_obs::profile::span(ariadne_obs::Phase::Io);
+        let traced = self.trace.is_enabled();
         let mut retired = 0usize;
         while let Some((completes_at, _)) = self.outstanding.front() {
             if *completes_at > now_nanos {
                 break;
             }
-            let (_, request) = self.outstanding.pop_front().expect("front exists");
+            let (completes_at, request) = self.outstanding.pop_front().expect("front exists");
+            let mut trace_pages = 0usize;
+            let mut trace_bytes = 0usize;
             if let Some(mut chain) = self.command_chains.remove(&request) {
                 while let Some(index) = chain.head() {
                     chain.unlink(&mut self.entries, CMD_CHANNEL, index);
                     let entry = self.entries.value_at_mut(index);
                     entry.completes_at = None;
                     entry.command = None;
+                    if traced {
+                        trace_pages += entry.pages.len();
+                        trace_bytes += entry.stored_bytes;
+                    }
                 }
             }
             self.fault_tasks.retire_command(request);
+            // Stamped with the command's *completion* time, not `now`:
+            // retirement may run lazily long after the device finished.
+            self.trace.emit(completes_at, || {
+                ariadne_obs::TraceEventKind::WritebackComplete {
+                    pages: trace_pages,
+                    bytes: trace_bytes,
+                }
+            });
             retired += 1;
         }
         retired
@@ -626,6 +652,7 @@ impl FlashDevice {
     /// pages; under [`FlashIoMode::Sync`] each request is written inline and
     /// its device time accumulates in [`FlushResult::sync_latency`].
     pub fn submit_writes(&mut self, requests: Vec<WriteRequest>, now_nanos: u128) -> FlushResult {
+        let _io = ariadne_obs::profile::span(ariadne_obs::Phase::Io);
         self.retire_completed(now_nanos);
         let mut result = FlushResult::default();
 
@@ -675,8 +702,16 @@ impl FlashDevice {
                     result.sync_latency += CostNanos(completes - cursor);
                     self.busy_until = completes;
                     cursor = completes;
+                    let (trace_pages, trace_bytes) = (request.pages.len(), request.stored_bytes);
                     let slot = self.store_entry(request, None, None);
                     result.slots.push(slot);
+                    self.trace
+                        .emit(start, || ariadne_obs::TraceEventKind::WritebackSubmit {
+                            commands: 1,
+                            pages: trace_pages,
+                            bytes: trace_bytes,
+                            completes_at_nanos: completes,
+                        });
                 }
             }
             FlashIoMode::Queued => {
@@ -690,6 +725,7 @@ impl FlashDevice {
                         }
                         let stall = device.wait_for_queue_slot(cursor);
                         let bytes: usize = cmd.iter().map(|r| r.stored_bytes).sum();
+                        let trace_pages: usize = cmd.iter().map(|r| r.pages.len()).sum();
                         let start = (*cursor).max(device.busy_until);
                         let completes_at = start + device.wear_adjusted_cost(bytes).as_nanos();
                         device.busy_until = completes_at;
@@ -704,6 +740,14 @@ impl FlashDevice {
                             ));
                         }
                         device.outstanding.push_back((completes_at, request_id));
+                        device
+                            .trace
+                            .emit(start, || ariadne_obs::TraceEventKind::WritebackSubmit {
+                                commands: 1,
+                                pages: trace_pages,
+                                bytes,
+                                completes_at_nanos: completes_at,
+                            });
                         (stall, slots)
                     };
                 for request in accepted {
@@ -789,6 +833,7 @@ impl FlashDevice {
     ///
     /// Returns [`MemError::StaleHandle`] if the slot is free.
     pub fn fault_in(&mut self, slot: SwapSlot, now_nanos: u128) -> Result<FaultIn, MemError> {
+        let _io = ariadne_obs::profile::span(ariadne_obs::Phase::Io);
         self.retire_completed(now_nanos);
         let entry = self.take_entry(slot).ok_or(MemError::StaleHandle)?;
         self.used -= Self::footprint(entry.stored_bytes);
@@ -842,6 +887,7 @@ impl FlashDevice {
     /// gone), so [`FlashDevice::leak_check`] holds throughout. Returns
     /// `(slots freed, pages released)`.
     pub fn release_app(&mut self, app: crate::page::AppId, now_nanos: u128) -> (usize, usize) {
+        let _io = ariadne_obs::profile::span(ariadne_obs::Phase::Io);
         self.retire_completed(now_nanos);
         let Some(chain) = self.app_chains.get(&app) else {
             self.debug_check_invariants();

@@ -1,0 +1,112 @@
+//! Observability layer for the Ariadne reproduction.
+//!
+//! Three independent facilities, all built around the same contract —
+//! **observation never perturbs simulation**:
+//!
+//! * [`trace`] — a structured event stream (faults, compress/decompress,
+//!   writeback submit/complete, kills, pressure wakes, thermal inflation)
+//!   recorded through a [`TraceHandle`] into a bounded ring buffer (or any
+//!   custom [`TraceSink`]), exportable as Chrome `trace_event` JSON (loadable
+//!   in Perfetto / `chrome://tracing`) and as JSONL.
+//! * [`metrics`] — a registry of saturating counters and log-bucketed
+//!   [`Histogram`]s. Histograms are *mergeable* ([`Histogram::merge`]):
+//!   merging two histograms is exactly bucket-wise addition, so per-cell
+//!   registries can be combined into fleet-level aggregates without losing
+//!   quantile fidelity beyond the bucket resolution (±25 %).
+//! * [`profile`] — a process-global self-profiler attributing the runner's
+//!   host wall-clock to simulator phases (codec vs zpool/LRU bookkeeping vs
+//!   event queue vs flash I/O model). It measures *host* time and is never
+//!   consulted by the simulation, so it cannot affect simulated time.
+//!
+//! The determinism rules every hook site obeys:
+//!
+//! 1. A disabled handle is a `None` — the entire off-path is one branch and
+//!    the event-construction closure is never run.
+//! 2. Sinks receive copies of simulation state; nothing flows back.
+//! 3. No host-clock reads on the simulated path: trace events are stamped
+//!    with *simulated* nanoseconds supplied by the caller, and profiler
+//!    spans read `Instant` only for host-side attribution.
+//!
+//! With that contract, simulation output is byte-identical with
+//! observability off and on — pinned by `crates/sim/tests/obs_identity.rs`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod profile;
+pub mod trace;
+
+pub use metrics::{Histogram, MetricsHandle, MetricsRegistry};
+pub use profile::{Phase, PhaseBreakdown, PhaseSpan};
+pub use trace::{TraceBuffer, TraceEvent, TraceEventKind, TraceHandle, TraceSink};
+
+use std::sync::OnceLock;
+
+static AMBIENT: OnceLock<(TraceHandle, MetricsHandle)> = OnceLock::new();
+
+/// Installs process-wide ambient handles that newly constructed systems pick
+/// up (the `experiments` binary calls this once before running; libraries and
+/// tests attach handles explicitly instead). Returns `false` if ambient
+/// handles were already installed — the first installation wins.
+pub fn install_ambient(trace: TraceHandle, metrics: MetricsHandle) -> bool {
+    AMBIENT.set((trace, metrics)).is_ok()
+}
+
+/// The ambient [`TraceHandle`], or a disabled handle if none was installed.
+#[must_use]
+pub fn ambient_trace() -> TraceHandle {
+    AMBIENT
+        .get()
+        .map(|(trace, _)| trace.clone())
+        .unwrap_or_default()
+}
+
+/// The ambient [`MetricsHandle`], or a disabled handle if none was installed.
+#[must_use]
+pub fn ambient_metrics() -> MetricsHandle {
+    AMBIENT
+        .get()
+        .map(|(_, metrics)| metrics.clone())
+        .unwrap_or_default()
+}
+
+/// Escapes a string for inclusion in JSON output (shared by the trace and
+/// metrics exporters; the workspace deliberately carries no JSON dependency).
+#[must_use]
+pub fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ambient_defaults_are_disabled() {
+        // Nothing installs ambient handles under `cargo test`, so fresh
+        // lookups must come back disabled (the off-path contract).
+        assert!(!ambient_trace().is_enabled());
+        assert!(!ambient_metrics().is_enabled());
+    }
+
+    #[test]
+    fn json_escape_handles_controls_and_quotes() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_escape("\u{1}"), "\"\\u0001\"");
+    }
+}

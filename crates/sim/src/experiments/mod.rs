@@ -14,6 +14,7 @@ pub mod identification;
 pub mod lifecycle;
 pub mod lifetime;
 pub mod runner;
+pub mod status;
 pub mod writeback;
 
 use crate::report::Table;

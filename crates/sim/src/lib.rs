@@ -38,4 +38,4 @@ pub use engine::{EngineEvent, EventQueue};
 pub use lifecycle::{AppState, Lmkd, LmkdConfig, ProcessTable, PsiTracker};
 pub use report::Table;
 pub use schemes::SchemeSpec;
-pub use system::{MobileSystem, RelaunchKind, RelaunchMeasurement, SimulationConfig};
+pub use system::{KillRecord, MobileSystem, RelaunchKind, RelaunchMeasurement, SimulationConfig};

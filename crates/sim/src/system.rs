@@ -20,6 +20,7 @@ use ariadne_mem::{
     CpuBreakdown, FlashIoConfig, PageLocation, ReclaimController, SimClock, SimInstant, Watermarks,
     PAGE_SIZE,
 };
+use ariadne_obs::{metrics::names as metric_names, MetricsHandle, TraceEventKind, TraceHandle};
 use ariadne_trace::{
     AppMask, AppName, AppWorkload, DeviceClass, Scenario, ScenarioEvent, TimedScenario,
     WorkloadBuilder,
@@ -226,6 +227,36 @@ impl RelaunchMeasurement {
     }
 }
 
+/// A single kill executed by the low-memory killer (or an explicit
+/// scenario kill), as reported by [`MobileSystem::kill_records`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillRecord {
+    /// Simulated instant of the kill, as an offset from simulation start.
+    pub at: std::time::Duration,
+    /// The application whose process was killed.
+    pub app: AppName,
+}
+
+/// Static label of a page location for trace-event args.
+fn location_label(location: PageLocation) -> &'static str {
+    match location {
+        PageLocation::Dram => "dram",
+        PageLocation::Zpool => "zpool",
+        PageLocation::Flash => "flash",
+        PageLocation::PreDecompBuffer => "predecomp_buffer",
+        PageLocation::Absent => "absent",
+    }
+}
+
+/// Convert a simulated-nanosecond timestamp into a [`std::time::Duration`].
+fn duration_from_nanos(nanos: u128) -> std::time::Duration {
+    const NANOS_PER_SEC: u128 = 1_000_000_000;
+    std::time::Duration::new(
+        u64::try_from(nanos / NANOS_PER_SEC).unwrap_or(u64::MAX),
+        (nanos % NANOS_PER_SEC) as u32,
+    )
+}
+
 /// The simulated mobile device: a swap scheme plus the application workloads
 /// driving it, wrapped around a deterministic discrete-event queue.
 pub struct MobileSystem {
@@ -265,6 +296,13 @@ pub struct MobileSystem {
     memory_stall: CostNanos,
     /// Kills executed so far: `(simulated instant, victim)`.
     kill_log: Vec<(u128, AppName)>,
+    /// Structured-event sink (disabled by default; see [`ariadne_obs`]).
+    /// Observation never perturbs the simulation: every emission happens
+    /// after the simulated outcome is already decided, and the disabled
+    /// handle reduces to a single branch.
+    trace: TraceHandle,
+    /// Counter/histogram sink (disabled by default).
+    metrics: MetricsHandle,
 }
 
 impl MobileSystem {
@@ -276,7 +314,7 @@ impl MobileSystem {
             .with_oracle_enabled(config.oracle)
             .with_thermal(config.thermal);
         let scheme = spec.build(config.memory());
-        MobileSystem {
+        let mut system = MobileSystem {
             config,
             ctx,
             clock: SimClock::new(),
@@ -305,7 +343,20 @@ impl MobileSystem {
             lmkd_pending: false,
             memory_stall: CostNanos::zero(),
             kill_log: Vec::new(),
+            trace: TraceHandle::disabled(),
+            metrics: MetricsHandle::disabled(),
+        };
+        // Binaries opt whole processes into observability through the
+        // ambient handles; tests attach explicit handles instead.
+        let ambient_trace = ariadne_obs::ambient_trace();
+        if ambient_trace.is_enabled() {
+            system.attach_trace(&ambient_trace);
         }
+        let ambient_metrics = ariadne_obs::ambient_metrics();
+        if ambient_metrics.is_enabled() {
+            system.attach_metrics(&ambient_metrics);
+        }
+        system
     }
 
     /// The scheme under test.
@@ -390,6 +441,26 @@ impl MobileSystem {
         self.ctx.oracle_handle()
     }
 
+    /// Attach a structured-trace sink. Each attached system gets its own
+    /// Chrome-trace `pid` lane from the shared handle, so several systems
+    /// (e.g. the per-app systems of one experiment) can interleave into a
+    /// single Perfetto timeline. Call before the first event runs;
+    /// simulation results are byte-identical with or without a sink
+    /// (pinned by the `obs_identity` suite).
+    pub fn attach_trace(&mut self, trace: &TraceHandle) {
+        let handle = trace.for_next_system();
+        self.ctx = self.ctx.clone().with_trace(handle.clone());
+        self.scheme.attach_trace(&handle);
+        self.trace = handle;
+    }
+
+    /// Attach a counter/histogram registry. Metric merges are commutative,
+    /// so one registry may be shared across concurrently-run systems.
+    pub fn attach_metrics(&mut self, metrics: &MetricsHandle) {
+        self.ctx = self.ctx.clone().with_metrics(metrics.clone());
+        self.metrics = metrics.clone();
+    }
+
     /// CPU time of the workload itself (application execution, independent of
     /// the swap scheme), used as the common baseline in energy accounting.
     #[must_use]
@@ -458,8 +529,21 @@ impl MobileSystem {
 
     /// Every kill executed so far: `(simulated instant, victim)`.
     #[must_use]
+    #[deprecated(note = "use `kill_records()`, which returns typed `KillRecord`s")]
     pub fn kill_log(&self) -> &[(u128, AppName)] {
         &self.kill_log
+    }
+
+    /// Every kill executed so far, in execution order.
+    #[must_use]
+    pub fn kill_records(&self) -> Vec<KillRecord> {
+        self.kill_log
+            .iter()
+            .map(|&(at, app)| KillRecord {
+                at: duration_from_nanos(at),
+                app,
+            })
+            .collect()
     }
 
     /// The lifecycle state of `app` (`None` if it never ran).
@@ -649,14 +733,20 @@ impl MobileSystem {
     /// threshold, kill the cached app with the highest `oom_score_adj`.
     fn lmkd_run(&mut self) {
         let now = self.clock.now().as_nanos();
-        if !self.lmkd.should_kill(now, self.memory_stall) {
-            return;
+        let mut killed = false;
+        if self.lmkd.should_kill(now, self.memory_stall) {
+            if let Some(victim) = self.procs.kill_candidate() {
+                self.kill_app(victim);
+                self.lmkd.note_kill(now);
+                killed = true;
+            }
         }
-        let Some(victim) = self.procs.kill_candidate() else {
-            return;
-        };
-        self.kill_app(victim);
-        self.lmkd.note_kill(now);
+        if self.trace.is_enabled() || self.metrics.is_enabled() {
+            let psi_ppm = self.lmkd.psi_ppm();
+            self.metrics.record(metric_names::PSI_SOME_PPM, psi_ppm);
+            self.trace
+                .emit(now, move || TraceEventKind::LmkdWake { psi_ppm, killed });
+        }
     }
 
     /// Schedule an `IoComplete` event at the earliest in-flight flash write
@@ -783,7 +873,7 @@ impl MobileSystem {
             latency += outcome.latency;
             io_stall += outcome.io_stall;
             *found_in.entry(outcome.found_in).or_insert(0) += 1;
-            self.note_stall(&outcome);
+            self.note_stall(app, &outcome);
         }
         self.scheme.on_relaunch_end(workload.app);
         self.note_io_stall(app, io_stall);
@@ -805,6 +895,7 @@ impl MobileSystem {
             pages_accessed: trace.hot_accesses.len(),
             found_in,
         };
+        self.record_relaunch(&measurement);
         self.measurements.push(measurement.clone());
         measurement
     }
@@ -838,7 +929,7 @@ impl MobileSystem {
             latency += outcome.latency;
             io_stall += outcome.io_stall;
             *found_in.entry(outcome.found_in).or_insert(0) += 1;
-            self.note_stall(&outcome);
+            self.note_stall(app, &outcome);
         }
         self.note_io_stall(app, io_stall);
         self.baseline_cpu += CostNanos(1_000_000);
@@ -852,6 +943,7 @@ impl MobileSystem {
             pages_accessed: workload.relaunches[0].hot_accesses.len(),
             found_in,
         };
+        self.record_relaunch(&measurement);
         self.measurements.push(measurement.clone());
         measurement
     }
@@ -867,7 +959,15 @@ impl MobileSystem {
         let footprint = self.scheme.release_app(id, &mut self.clock, &self.ctx);
         if !self.procs.is_killed(app) {
             self.procs.on_kill(app);
-            self.kill_log.push((self.clock.now().as_nanos(), app));
+            let at = self.clock.now().as_nanos();
+            self.kill_log.push((at, app));
+            // The trace sees kills through the exact code path that feeds
+            // the kill ledger, so the two can never drift apart.
+            self.metrics.count(metric_names::KILLS, 1);
+            self.trace.emit(at, move || TraceEventKind::Kill {
+                app: app.to_string(),
+                app_uid: app.uid(),
+            });
         }
         footprint
     }
@@ -892,7 +992,21 @@ impl MobileSystem {
     /// ledger's legacy minor-fault model does not include but the pressure
     /// signal must see, or dropping data would read as *relieving* memory
     /// pressure.
-    fn note_stall(&mut self, outcome: &AccessOutcome) {
+    fn note_stall(&mut self, app: AppName, outcome: &AccessOutcome) {
+        if outcome.found_in != PageLocation::Dram {
+            self.metrics.count(metric_names::FAULTS, 1);
+            let latency = outcome.latency.as_nanos();
+            let location = location_label(outcome.found_in);
+            // Stamp the fault at its *start* so the Chrome-trace span ends
+            // at the current instant.
+            let start = self.clock.now().as_nanos().saturating_sub(latency);
+            self.trace.emit(start, move || TraceEventKind::Fault {
+                app: app.to_string(),
+                app_uid: app.uid(),
+                location,
+                latency_nanos: latency,
+            });
+        }
         match outcome.found_in {
             PageLocation::Dram => {}
             PageLocation::Absent => {
@@ -904,8 +1018,45 @@ impl MobileSystem {
 
     /// Record both ledgers for one access outcome.
     fn note_outcome(&mut self, app: AppName, outcome: &AccessOutcome) {
-        self.note_stall(outcome);
+        self.note_stall(app, outcome);
         self.note_io_stall(app, outcome.io_stall);
+    }
+
+    /// Publish one finished relaunch to the trace and metrics sinks.
+    /// Latencies are recorded in **full-scale** microseconds so histogram
+    /// quantiles line up with [`MobileSystem::average_relaunch_millis_of`].
+    fn record_relaunch(&mut self, measurement: &RelaunchMeasurement) {
+        if !self.trace.is_enabled() && !self.metrics.is_enabled() {
+            return;
+        }
+        let scale = self.config.scale.max(1) as u128;
+        let full_scale_micros =
+            |nanos: u128| u64::try_from(nanos * scale / 1_000).unwrap_or(u64::MAX);
+        let histogram = match measurement.kind {
+            RelaunchKind::Warm => metric_names::RELAUNCH_WARM_MICROS,
+            RelaunchKind::Cold => metric_names::RELAUNCH_COLD_MICROS,
+        };
+        self.metrics
+            .record(histogram, full_scale_micros(measurement.latency.as_nanos()));
+        if measurement.io_stall > CostNanos::zero() {
+            self.metrics.record(
+                metric_names::IO_STALL_MICROS,
+                full_scale_micros(measurement.io_stall.as_nanos()),
+            );
+        }
+        let app = measurement.app;
+        let kind = match measurement.kind {
+            RelaunchKind::Warm => "warm",
+            RelaunchKind::Cold => "cold",
+        };
+        let latency = measurement.latency.as_nanos();
+        let start = self.clock.now().as_nanos().saturating_sub(latency);
+        self.trace.emit(start, move || TraceEventKind::Relaunch {
+            app: app.to_string(),
+            app_uid: app.uid(),
+            kind,
+            latency_nanos: latency,
+        });
     }
 
     fn do_idle(&mut self, millis: u64) {
@@ -932,6 +1083,17 @@ impl MobileSystem {
             target_pages,
             level,
         };
+        self.metrics.count(metric_names::PRESSURE_WAKES, 1);
+        let level_label = match level {
+            PressureLevel::Critical => "critical",
+            PressureLevel::Medium => "medium",
+        };
+        self.trace.emit(self.clock.now().as_nanos(), move || {
+            TraceEventKind::PressureWake {
+                level: level_label,
+                target_pages,
+            }
+        });
         let _ = self
             .scheme
             .on_pressure(pressure, &mut self.clock, &self.ctx);

@@ -138,8 +138,8 @@ fn kill_storm_replays_with_in_flight_io_are_deterministic() {
         let mut second = MobileSystem::new(spec, config);
         second.run_timed(&scenario);
         assert_eq!(
-            first.kill_log(),
-            second.kill_log(),
+            first.kill_records(),
+            second.kill_records(),
             "{spec}: kill decisions diverge"
         );
         assert_eq!(first.psi_ppm(), second.psi_ppm(), "{spec}: PSI diverges");
@@ -200,8 +200,8 @@ fn hog_churn_lifetime_replays_with_kill_storms_are_deterministic() {
         let mut second = MobileSystem::new(spec, config);
         second.run_timed(&scenario);
         assert_eq!(
-            first.kill_log(),
-            second.kill_log(),
+            first.kill_records(),
+            second.kill_records(),
             "{spec}: kill decisions diverge"
         );
         assert_eq!(

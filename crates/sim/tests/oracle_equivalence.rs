@@ -101,8 +101,8 @@ fn sharded_oracle_matches_single_lock_and_no_oracle_byte_for_byte() {
                 "{spec}/{label}: CPU diverges from no-oracle"
             );
             assert_eq!(
-                system.kill_log(),
-                without.kill_log(),
+                system.kill_records(),
+                without.kill_records(),
                 "{spec}/{label}: kill decisions diverge from no-oracle"
             );
         }
@@ -184,8 +184,8 @@ fn shared_oracle_hits_fire_without_perturbing_any_simulated_ledger() {
         );
         assert_eq!(sharing.cpu(), without.cpu(), "{spec}: CPU diverges");
         assert_eq!(
-            sharing.kill_log(),
-            without.kill_log(),
+            sharing.kill_records(),
+            without.kill_records(),
             "{spec}: kill decisions diverge"
         );
         // Scheme stats match except the oracle's own counters (which are

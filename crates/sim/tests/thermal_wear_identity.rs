@@ -28,8 +28,8 @@ fn assert_identical(label: &str, first: &mut MobileSystem, second: &mut MobileSy
     assert_eq!(first.stats(), second.stats(), "{label}: stats diverge");
     assert_eq!(first.cpu(), second.cpu(), "{label}: CPU ledgers diverge");
     assert_eq!(
-        first.kill_log(),
-        second.kill_log(),
+        first.kill_records(),
+        second.kill_records(),
         "{label}: kill decisions diverge"
     );
     assert_eq!(first.events_processed(), second.events_processed());

@@ -16,6 +16,8 @@ use ariadne_mem::{
     AppId, CpuBreakdown, FlashIoConfig, FlashStats, MainMemory, MemTimingModel, PageId,
     PageLocation, ReclaimReason, ReclaimRequest, SimClock, Watermarks, ZpoolStats, PAGE_SIZE,
 };
+use ariadne_obs::metrics::names as metric_names;
+use ariadne_obs::{profile, MetricsHandle, Phase, TraceEventKind, TraceHandle};
 use ariadne_trace::{AppProfile, AppWorkload, PageDataGenerator};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -278,6 +280,12 @@ pub struct SchemeContext {
     /// [`SchemeContext::decompression_cost`], so the throttle hits all of
     /// them identically; disabled (the default) it is a pass-through.
     thermal: ThermalModel,
+    /// Structured-event sink (disabled by default; see `ariadne-obs`).
+    /// Observation never perturbs simulation: a disabled handle is one
+    /// branch, an enabled one only copies values out.
+    trace: TraceHandle,
+    /// Metrics sink for codec counters/ratios (disabled by default).
+    metrics: MetricsHandle,
 }
 
 impl SchemeContext {
@@ -309,7 +317,37 @@ impl SchemeContext {
             latency: LatencyModel::pixel7(),
             drain_batch_pages: 32,
             thermal: ThermalModel::default(),
+            trace: TraceHandle::disabled(),
+            metrics: MetricsHandle::disabled(),
         }
+    }
+
+    /// Attach a trace sink: codec cost charges and thermal inflations are
+    /// emitted through it. Disabled handles (the default) cost one branch.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Attach a metrics sink: codec op counters and compression-ratio
+    /// samples are recorded through it.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: MetricsHandle) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The attached trace handle (disabled unless [`SchemeContext::with_trace`] ran).
+    #[must_use]
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
+    }
+
+    /// The attached metrics handle (disabled unless [`SchemeContext::with_metrics`] ran).
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsHandle {
+        &self.metrics
     }
 
     /// Enable (or explicitly disable) the thermal throttling model. The
@@ -339,7 +377,21 @@ impl SchemeContext {
         now_nanos: u128,
     ) -> CostNanos {
         let base = self.latency.compression_cost(algorithm, chunk, bytes);
-        self.thermal.charge(base, now_nanos)
+        let cost = self.thermal.charge(base, now_nanos);
+        if cost > base {
+            self.metrics.count(metric_names::THERMAL_INFLATIONS, 1);
+            self.trace
+                .emit(now_nanos, || TraceEventKind::ThermalInflation {
+                    base_nanos: base.0,
+                    inflated_nanos: cost.0,
+                });
+        }
+        self.metrics.count(metric_names::COMPRESS_OPS, 1);
+        self.trace.emit(now_nanos, || TraceEventKind::Compress {
+            bytes,
+            cost_nanos: cost.0,
+        });
+        cost
     }
 
     /// Simulated time to decompress `bytes` of original data compressed in
@@ -354,7 +406,21 @@ impl SchemeContext {
         now_nanos: u128,
     ) -> CostNanos {
         let base = self.latency.decompression_cost(algorithm, chunk, bytes);
-        self.thermal.charge(base, now_nanos)
+        let cost = self.thermal.charge(base, now_nanos);
+        if cost > base {
+            self.metrics.count(metric_names::THERMAL_INFLATIONS, 1);
+            self.trace
+                .emit(now_nanos, || TraceEventKind::ThermalInflation {
+                    base_nanos: base.0,
+                    inflated_nanos: cost.0,
+                });
+        }
+        self.metrics.count(metric_names::DECOMPRESS_OPS, 1);
+        self.trace.emit(now_nanos, || TraceEventKind::Decompress {
+            bytes,
+            cost_nanos: cost.0,
+        });
+        cost
     }
 
     /// Override the deferred-work drain batch size.
@@ -454,6 +520,32 @@ impl SchemeContext {
     /// poisoned by a panicking thread.
     #[must_use]
     pub fn compress_pages(
+        &self,
+        pages: &[PageId],
+        algorithm: Algorithm,
+        chunk_size: ChunkSize,
+    ) -> OracleOutcome {
+        // Host-time attribution only; the simulated result is untouched.
+        let _codec = profile::span(Phase::Codec);
+        let outcome = self.consult_oracle(pages, algorithm, chunk_size);
+        if self.metrics.is_enabled() && outcome.original_len > 0 {
+            self.metrics.count(
+                metric_names::COMPRESS_ORIGINAL_BYTES,
+                outcome.original_len as u64,
+            );
+            self.metrics.count(
+                metric_names::COMPRESS_STORED_BYTES,
+                outcome.compressed_len as u64,
+            );
+            self.metrics.record(
+                metric_names::COMPRESSION_RATIO_PCT,
+                (outcome.compressed_len as u64).saturating_mul(100) / outcome.original_len as u64,
+            );
+        }
+        outcome
+    }
+
+    fn consult_oracle(
         &self,
         pages: &[PageId],
         algorithm: Algorithm,
@@ -674,6 +766,13 @@ pub trait SwapScheme {
 
     /// Human-readable name (used in reports, e.g. `ZRAM`, `Ariadne-EHL-1K-2K-16K`).
     fn name(&self) -> String;
+
+    /// Attach a trace sink to the scheme's internals (the flash device's
+    /// writeback submit/complete hooks, for schemes that have one). The
+    /// default ignores the handle: schemes without traced internals need no
+    /// code. Observation never perturbs simulation — implementations must
+    /// only copy values out through the handle.
+    fn attach_trace(&mut self, _trace: &TraceHandle) {}
 
     /// Register a freshly allocated anonymous page and make it resident.
     /// May trigger direct reclaim internally if DRAM is full.

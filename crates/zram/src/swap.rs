@@ -157,6 +157,10 @@ impl SwapScheme for FlashSwapScheme {
     // `reclaim`): flash swap has no deferred work, eviction is the whole job.
     swap_scheme_identity!("SWAP");
 
+    fn attach_trace(&mut self, trace: &ariadne_obs::TraceHandle) {
+        self.flash.set_trace(trace);
+    }
+
     fn register_page(&mut self, page: PageId, clock: &mut SimClock, ctx: &SchemeContext) {
         if self.dram.contains(page) {
             self.lru.touch(page);

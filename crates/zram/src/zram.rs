@@ -247,6 +247,10 @@ impl SwapScheme for ZramScheme {
         }
     }
 
+    fn attach_trace(&mut self, trace: &ariadne_obs::TraceHandle) {
+        self.flash.set_trace(trace);
+    }
+
     fn register_page(&mut self, page: PageId, clock: &mut SimClock, ctx: &SchemeContext) {
         if self.dram.contains(page) {
             self.lru.touch(page);
